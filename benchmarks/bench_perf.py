@@ -1,0 +1,88 @@
+"""Performance microbenchmarks for the substrates.
+
+Not table regenerations — these time the hot paths (bit-parallel
+simulation throughput, GNN inference latency, training step) so substrate
+regressions show up in ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def medium_problem():
+    from repro.circuit.benchmarks import large_design
+    from repro.circuit.graph import CircuitGraph
+    from repro.sim.workload import testbench_workload
+
+    nl = large_design("ptc", scale=0.5)
+    return nl, CircuitGraph(nl), testbench_workload(nl, seed=1)
+
+
+def test_perf_simulation_throughput(benchmark, medium_problem):
+    """Bit-parallel simulation: cycles x 64 streams on ~1k nodes."""
+    from repro.sim.logicsim import SimConfig, simulate
+
+    nl, _, wl = medium_problem
+    cfg = SimConfig(cycles=128, streams=64, seed=0)
+    result = benchmark(simulate, nl, wl, cfg)
+    assert result.logic_prob.shape == (len(nl),)
+
+
+def test_perf_compile_netlist(benchmark, medium_problem):
+    from repro.sim.logicsim import compile_netlist
+
+    nl, _, _ = medium_problem
+    compiled = benchmark(compile_netlist, nl)
+    assert compiled.num_nodes == len(nl)
+
+
+def test_perf_deepseq_inference(benchmark, medium_problem):
+    """Forward pass (no autograd) of DeepSeq at quick-scale hyperparams."""
+    from repro.models.base import ModelConfig
+    from repro.models.deepseq import DeepSeq
+
+    nl, graph, wl = medium_problem
+    model = DeepSeq(ModelConfig(hidden=32, iterations=4, seed=0))
+    pred = benchmark(model.predict, graph, wl)
+    assert pred.tr.shape == (len(nl), 2)
+
+
+def test_perf_deepseq_training_step(benchmark):
+    """One optimization step (forward + backward + Adam) on a sub-circuit."""
+    from repro.circuit.benchmarks import family_subcircuits
+    from repro.circuit.graph import CircuitGraph
+    from repro.models.base import ModelConfig
+    from repro.models.deepseq import DeepSeq
+    from repro.nn.functional import l1_loss
+    from repro.nn.optim import Adam
+    from repro.sim.logicsim import SimConfig, simulate
+    from repro.sim.workload import random_workload
+
+    nl = family_subcircuits("opencores", 1, seed=3)[0]
+    graph = CircuitGraph(nl)
+    wl = random_workload(nl, 1)
+    labels = simulate(nl, wl, SimConfig(cycles=60, seed=1))
+    model = DeepSeq(ModelConfig(hidden=32, iterations=4, seed=0))
+    opt = Adam(model.parameters(), lr=1e-3)
+
+    def step():
+        opt.zero_grad()
+        pred_tr, pred_lg = model(graph, wl)
+        loss = l1_loss(pred_tr, labels.transition_prob) + l1_loss(
+            pred_lg, labels.logic_prob[:, None]
+        )
+        loss.backward()
+        opt.step()
+        return loss.item()
+
+    loss = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert np.isfinite(loss)
+
+
+def test_perf_probabilistic_estimation(benchmark, medium_problem):
+    from repro.tasks.power.probabilistic import estimate_probabilities
+
+    nl, _, wl = medium_problem
+    est = benchmark(estimate_probabilities, nl, wl)
+    assert est.logic_prob.shape == (len(nl),)

@@ -1,0 +1,34 @@
+"""Table I regenerator: training-dataset statistics.
+
+Checks the reproduced shape: three families, ITC'99 largest on average,
+ISCAS'89 smallest, sizes in the paper's sub-circuit range.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_dataset_statistics(benchmark, scale):
+    from dataclasses import replace
+
+    from repro.experiments.table1 import run_table1
+
+    if scale.name == "quick":
+        # Statistics need no training — use enough circuits for the family
+        # ordering to be statistically stable.
+        scale = replace(
+            scale, family_counts={"iscas89": 40, "itc99": 40, "opencores": 80}
+        )
+    result = run_once(benchmark, run_table1, scale)
+    print("\n" + result.text)
+
+    stats = result.stats
+    assert set(stats) == {"iscas89", "itc99", "opencores"}
+    # Shape: family size ordering matches Table I.
+    assert stats["itc99"].mean_nodes > stats["opencores"].mean_nodes
+    assert stats["opencores"].mean_nodes > stats["iscas89"].mean_nodes
+    # Every family's mean lands within 40% of the published mean.
+    from repro.circuit.benchmarks import FAMILY_STATS
+
+    for fam, st in stats.items():
+        target = FAMILY_STATS[fam].mean_nodes
+        assert abs(st.mean_nodes - target) / target < 0.4

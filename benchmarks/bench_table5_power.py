@@ -1,0 +1,26 @@
+"""Table V regenerator: power estimation on the six large designs.
+
+Shape assertions (paper: probabilistic 16.35 % avg err, Grannite 8.48 %,
+DeepSeq 3.19 %): the learning methods beat the probabilistic baseline on
+average, and fine-tuned DeepSeq is the best method overall.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_table5_power_estimation(benchmark, scale):
+    from repro.experiments.table5 import run_table5
+
+    result = run_once(benchmark, run_table5, scale)
+    print("\n" + result.text)
+
+    prob = result.avg_error("probabilistic")
+    grannite = result.avg_error("grannite")
+    deepseq = result.avg_error("deepseq")
+
+    # DeepSeq best on average; probabilistic worst or close to it.
+    assert deepseq < prob, (deepseq, prob)
+    assert deepseq <= grannite * 1.10, (deepseq, grannite)
+    # Absolute sanity band at quick scale: fine-tuned DeepSeq clearly
+    # usable (paper-scale runs land near the published 3.19 %).
+    assert deepseq < 50.0

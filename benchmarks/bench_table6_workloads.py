@@ -1,0 +1,33 @@
+"""Table VI regenerator: ac97_ctrl under five unseen workloads.
+
+Shape assertion (paper: 15.51 % / 7.42 % / 2.57 % avg): the once-fine-tuned
+DeepSeq generalizes across workloads, beating the probabilistic baseline
+on average and staying consistent (no workload blows up).
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_table6_workload_generalization(benchmark, scale):
+    from dataclasses import replace
+
+    from repro.experiments.table6 import run_table6
+
+    if scale.name == "quick":
+        # Table VI fine-tunes a single design, so it can afford a larger
+        # per-design budget than Table V's six-design sweep.
+        scale = replace(scale, finetune_workloads=12, finetune_epochs=8)
+    result = run_once(benchmark, run_table6, scale)
+    print("\n" + result.text)
+
+    prob = result.avg_error("probabilistic")
+    grannite = result.avg_error("grannite")
+    deepseq = result.avg_error("deepseq")
+    assert deepseq < prob
+    assert deepseq <= grannite * 1.25
+    # Consistency across unseen workloads: no workload blows up relative
+    # to the model's own average (paper: W0-W4 all within ~1.5x of avg).
+    worst = max(
+        c.method("deepseq").error_pct for c in result.comparisons.values()
+    )
+    assert worst <= max(2.0 * deepseq, 40.0)

@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper table at the *quick* experiment
+scale (see ``repro.experiments.config``) and prints it, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the shape of Tables I–VII end to end on a laptop CPU.  Each
+experiment runs exactly once (``pedantic`` with one round) — these are
+minutes-long training pipelines, not microbenchmarks.
+
+Environment knobs:
+    REPRO_SCALE=paper   run at full publication scale (hours).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments.config import get_scale
+
+    return get_scale(os.environ.get("REPRO_SCALE", "quick"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a table driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

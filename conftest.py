@@ -1,0 +1,14 @@
+"""Repo-level pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run in a
+fresh checkout even when the package is not installed (this offline
+environment lacks ``wheel``, making ``pip install -e .`` unavailable; use
+``python setup.py develop`` instead — see README).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,47 @@
+"""Pre-train DeepSeq on the multi-family corpus and compare all models.
+
+A miniature of the paper's Table II pipeline: build the three-family
+training corpus, simulate labels, train every (model, aggregator) row, and
+print the comparison.  Use ``--epochs N`` / ``--circuits N`` to scale up.
+
+Run:  python examples/train_deepseq.py [--epochs 10] [--circuits 24]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import get_scale, run_table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--circuits", type=int, default=24)
+    parser.add_argument("--hidden", type=int, default=32)
+    parser.add_argument("--iterations", type=int, default=4)
+    args = parser.parse_args()
+
+    per_family = max(1, args.circuits // 4)
+    scale = get_scale(
+        "quick",
+        epochs=args.epochs,
+        hidden=args.hidden,
+        iterations=args.iterations,
+        family_counts={
+            "iscas89": per_family,
+            "itc99": per_family,
+            "opencores": 2 * per_family,
+        },
+    )
+    t0 = time.time()
+    result = run_table2(scale)
+    print(result.text)
+    print(f"\ntotal {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment is offline and lacks the ``wheel`` package, so modern
+PEP 517 editable installs fail at metadata generation.  Keeping a thin
+``setup.py`` lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+work everywhere; all actual metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

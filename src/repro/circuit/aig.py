@@ -1,0 +1,263 @@
+"""Lowering arbitrary gate libraries to sequential AIG form.
+
+The paper pre-processes every circuit so its combinational part contains only
+2-input AND gates and inverters (Section III), and — for inference on test
+circuits with richer libraries — "decompose[s] each gate in [the] test
+circuit into a combination of AND gates and NOT gates without any
+optimization", with "the fanout gate in the resulting combination [having]
+the same switching activity as the original gate" (Section V-A2).
+
+:func:`to_aig` implements exactly that: a structural, optimization-free
+rewrite.  The returned :class:`AigMapping` records, for every original node,
+the AIG node carrying the same signal, so probabilities measured on the AIG
+can be read back onto the original netlist ("we only record probabilities of
+the fanout gates in all converted combinations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist, NetlistError
+
+__all__ = ["AigMapping", "to_aig", "strash"]
+
+
+@dataclass
+class AigMapping:
+    """Correspondence between an original netlist and its AIG lowering.
+
+    Attributes:
+        aig: the lowered netlist (alphabet {PI, AND, NOT, DFF}).
+        fanout_of: original node id -> AIG node id carrying the same signal
+            (the "fanout gate" of the decomposed combination).
+    """
+
+    aig: Netlist
+    fanout_of: dict[int, int] = field(default_factory=dict)
+
+
+def to_aig(nl: Netlist, name: str | None = None) -> AigMapping:
+    """Rewrite ``nl`` into sequential AIG form without optimization.
+
+    Decompositions used (a' = NOT a)::
+
+        BUF(a)        -> NOT(NOT(a))
+        OR(a, b)      -> NOT(AND(a', b'))
+        NAND(a, b)    -> NOT(AND(a, b))
+        NOR(a, b)     -> AND(a', b')
+        XOR(a, b)     -> NOT(AND(NOT(AND(a, b')), NOT(AND(a', b))))  # OR of minterms
+        XNOR(a, b)    -> NOT(XOR(a, b))
+        MUX(s, a, b)  -> OR(AND(a, s'), AND(b, s))
+        CONST0        -> AND(x, x') for an arbitrary PI x (or fresh tie PI)
+        CONST1        -> NOT(CONST0)
+
+    n-ary AND/OR/XOR/... first become balanced 2-input trees.  Existing AIG
+    nodes pass through untouched, so lowering is idempotent.
+    """
+    aig = Netlist(name or f"{nl.name}_aig")
+    mapping: dict[int, int] = {}
+
+    # Pass 1: create PIs and DFF shells (loops may reference later nodes).
+    for node in nl.nodes():
+        gt = nl.gate_type(node)
+        if gt is GateType.PI:
+            mapping[node] = aig.add_pi(nl.node_name(node))
+        elif gt is GateType.DFF:
+            mapping[node] = aig.add_dff(None, nl.node_name(node))
+
+    state = _Builder(aig)
+
+    # Pass 2: lower combinational gates in an order where fanins are ready.
+    # DFF outputs count as ready (their shells exist); only combinational
+    # fanin edges impose ordering, and validate() guarantees acyclicity.
+    order = _combinational_topo_order(nl)
+    for node in order:
+        gt = nl.gate_type(node)
+        if gt in (GateType.PI, GateType.DFF):
+            continue
+        fanins = [mapping[f] for f in nl.fanins(node)]
+        mapping[node] = _lower_gate(state, gt, fanins, nl.node_name(node))
+
+    # Pass 3: wire DFF data inputs.
+    for node in nl.nodes():
+        if nl.gate_type(node) is GateType.DFF:
+            (src,) = nl.fanins(node)
+            aig.set_fanins(mapping[node], [mapping[src]])
+
+    for po in nl.pos:
+        aig.add_po(mapping[po])
+    aig.validate()
+    if not aig.is_aig():
+        raise NetlistError("internal error: lowering left non-AIG nodes")
+    return AigMapping(aig=aig, fanout_of=mapping)
+
+
+class _Builder:
+    """Small helper creating named intermediate AIG nodes."""
+
+    def __init__(self, aig: Netlist) -> None:
+        self.aig = aig
+        self._tie_pi: int | None = None
+        self._const0: int | None = None
+        self._counter = 0
+
+    def fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}__aig{self._counter}"
+
+    def not_(self, a: int, name: str | None = None) -> int:
+        return self.aig.add_gate(GateType.NOT, [a], name or self.fresh("inv"))
+
+    def and_(self, a: int, b: int, name: str | None = None) -> int:
+        return self.aig.add_gate(GateType.AND, [a, b], name or self.fresh("and"))
+
+    def or_(self, a: int, b: int, name: str | None = None) -> int:
+        # OR(a,b) = NOT(AND(a', b'))
+        return self.not_(self.and_(self.not_(a), self.not_(b)), name)
+
+    def xor_(self, a: int, b: int, name: str | None = None) -> int:
+        # XOR(a,b) = OR(AND(a, b'), AND(a', b))
+        t1 = self.and_(a, self.not_(b))
+        t2 = self.and_(self.not_(a), b)
+        return self.or_(t1, t2, name)
+
+    def const0(self, name: str | None = None) -> int:
+        if self._const0 is None:
+            src = self._any_source()
+            self._const0 = self.and_(src, self.not_(src), self.fresh("const0"))
+        if name is None:
+            return self._const0
+        # Callers wanting a named constant get a buffer-free alias via NOT-NOT.
+        return self.not_(self.not_(self._const0), name)
+
+    def _any_source(self) -> int:
+        pis = self.aig.pis
+        if pis:
+            return pis[0]
+        if self._tie_pi is None:
+            self._tie_pi = self.aig.add_pi(self.fresh("tie"))
+        return self._tie_pi
+
+
+def _lower_gate(b: _Builder, gt: GateType, fanins: list[int], name: str) -> int:
+    if gt is GateType.NOT:
+        return b.not_(fanins[0], name)
+    if gt is GateType.BUF:
+        return b.not_(b.not_(fanins[0]), name)
+    if gt is GateType.AND:
+        return _tree(b, b.and_, fanins, name)
+    if gt is GateType.OR:
+        return _tree(b, b.or_, fanins, name)
+    if gt is GateType.NAND:
+        return b.not_(_tree(b, b.and_, fanins, None), name)
+    if gt is GateType.NOR:
+        return b.not_(_tree(b, b.or_, fanins, None), name)
+    if gt is GateType.XOR:
+        return _tree(b, b.xor_, fanins, name)
+    if gt is GateType.XNOR:
+        return b.not_(_tree(b, b.xor_, fanins, None), name)
+    if gt is GateType.MUX:
+        sel, a, f1 = fanins
+        return b.or_(b.and_(a, b.not_(sel)), b.and_(f1, sel), name)
+    if gt is GateType.CONST0:
+        return b.const0(name)
+    if gt is GateType.CONST1:
+        return b.not_(b.const0(), name)
+    raise NetlistError(f"cannot lower gate type {gt}")
+
+
+def _tree(b: _Builder, op, fanins: list[int], name: str | None) -> int:
+    """Reduce an n-ary gate into a balanced tree of 2-input ops."""
+    layer = list(fanins)
+    while len(layer) > 2:
+        nxt = [
+            op(layer[i], layer[i + 1]) if i + 1 < len(layer) else layer[i]
+            for i in range(0, len(layer), 2)
+        ]
+        layer = nxt
+    if len(layer) == 1:
+        # Single input n-ary gate degenerates to a buffer; keep signal name.
+        return b.not_(b.not_(layer[0]), name)
+    return op(layer[0], layer[1], name)
+
+
+def strash(nl: Netlist, name: str | None = None) -> AigMapping:
+    """Structural hashing: merge identical AIG nodes.
+
+    Two AND nodes with the same (unordered) fanin pair, or two NOTs with
+    the same fanin, compute the same function and are merged.  This is the
+    classic AIG 'strash' pass; it is *optional* in the DeepSeq flow (the
+    paper decomposes test circuits "without any optimization") but useful
+    for dataset deduplication and as an ablation knob — strash changes the
+    graph the GNN sees without changing circuit function.
+
+    Returns an :class:`AigMapping` whose ``fanout_of`` maps every original
+    node to its representative in the hashed netlist.
+    """
+    if not nl.is_aig():
+        raise NetlistError("strash operates on AIG netlists; run to_aig first")
+    out = Netlist(name or f"{nl.name}_strash")
+    mapping: dict[int, int] = {}
+    table: dict[tuple, int] = {}
+
+    # Shells first (PIs and DFFs are never merged: they carry state/input).
+    for node in nl.nodes():
+        gt = nl.gate_type(node)
+        if gt is GateType.PI:
+            mapping[node] = out.add_pi(nl.node_name(node))
+        elif gt is GateType.DFF:
+            mapping[node] = out.add_dff(None, nl.node_name(node))
+
+    for node in _combinational_topo_order(nl):
+        gt = nl.gate_type(node)
+        if gt in (GateType.PI, GateType.DFF):
+            continue
+        fanins = tuple(mapping[f] for f in nl.fanins(node))
+        key = (
+            (gt, tuple(sorted(fanins)))
+            if gt is GateType.AND
+            else (gt, fanins)
+        )
+        existing = table.get(key)
+        if existing is not None:
+            mapping[node] = existing
+        else:
+            new = out.add_gate(gt, list(fanins), nl.node_name(node))
+            table[key] = new
+            mapping[node] = new
+
+    for node in nl.nodes():
+        if nl.gate_type(node) is GateType.DFF:
+            (src,) = nl.fanins(node)
+            out.set_fanins(mapping[node], [mapping[src]])
+    for po in nl.pos:
+        out.add_po(mapping[po])
+    out.validate()
+    return AigMapping(aig=out, fanout_of=mapping)
+
+
+def _combinational_topo_order(nl: Netlist) -> list[int]:
+    """Topological order treating DFF outputs as sources (fan-in edges cut)."""
+    n = len(nl)
+    indeg = [0] * n
+    fanout: list[list[int]] = [[] for _ in range(n)]
+    for i in nl.nodes():
+        if nl.gate_type(i) is GateType.DFF:
+            continue
+        for f in nl.fanins(i):
+            indeg[i] += 1
+            fanout[f].append(i)
+    queue = [i for i in range(n) if indeg[i] == 0]
+    order: list[int] = []
+    while queue:
+        v = queue.pop()
+        order.append(v)
+        for w in fanout[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                queue.append(w)
+    if len(order) != n:
+        raise NetlistError("combinational cycle detected during lowering")
+    return order

@@ -1,0 +1,131 @@
+"""ISCAS'89 ``.bench`` format parser and writer.
+
+The ``.bench`` dialect accepted here is the one used by the ISCAS'85/'89 and
+ITC'99 distributions::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G17)
+    G11 = NAND(G0, G10)
+    G17 = NOT(G11)
+
+Gate names are case-insensitive; ``DFF``/``FF`` denote D flip-flops.  The
+parser tolerates forward references (required for sequential loops) and
+produces a validated :class:`~repro.circuit.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist, NetlistError
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench", "write_bench_file"]
+
+_GATE_ALIASES: dict[str, GateType] = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "DFF": GateType.DFF,
+    "FF": GateType.DFF,
+    "MUX": GateType.MUX,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+_ASSIGN_RE = re.compile(
+    r"^\s*(?P<lhs>[^\s=]+)\s*=\s*(?P<op>[A-Za-z01]+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[^)]+)\)\s*$", re.I)
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a validated netlist."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    assigns: list[tuple[str, GateType, list[str], int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io = _IO_RE.match(line)
+        if io:
+            target = inputs if io.group("kind").upper() == "INPUT" else outputs
+            target.append(io.group("name").strip())
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            op = assign.group("op").upper()
+            if op not in _GATE_ALIASES:
+                raise NetlistError(f"line {lineno}: unknown gate {op!r}")
+            args = [a.strip() for a in assign.group("args").split(",") if a.strip()]
+            assigns.append((assign.group("lhs").strip(), _GATE_ALIASES[op], args, lineno))
+            continue
+        raise NetlistError(f"line {lineno}: cannot parse {line!r}")
+
+    nl = Netlist(name)
+    ids: dict[str, int] = {}
+    for pi in inputs:
+        if pi in ids:
+            raise NetlistError(f"duplicate INPUT({pi})")
+        ids[pi] = nl.add_pi(pi)
+    # First pass: declare every assigned signal so forward references resolve.
+    for lhs, gate_type, args, lineno in assigns:
+        if lhs in ids:
+            raise NetlistError(f"line {lineno}: signal {lhs!r} assigned twice")
+        if gate_type is GateType.DFF:
+            ids[lhs] = nl.add_dff(None, lhs)
+        else:
+            ids[lhs] = nl.add_gate(gate_type, (), lhs)
+    # Second pass: wire fanins.
+    for lhs, gate_type, args, lineno in assigns:
+        try:
+            fanins = [ids[a] for a in args]
+        except KeyError as exc:
+            raise NetlistError(
+                f"line {lineno}: {lhs} references undefined signal {exc.args[0]!r}"
+            ) from None
+        nl.set_fanins(ids[lhs], fanins)
+    for po in outputs:
+        if po not in ids:
+            raise NetlistError(f"OUTPUT({po}) references undefined signal")
+        nl.add_po(ids[po])
+    nl.validate()
+    return nl
+
+
+def parse_bench_file(path: str | Path) -> Netlist:
+    """Parse a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(nl: Netlist) -> str:
+    """Serialize a netlist to ``.bench`` text (round-trips with the parser)."""
+    lines: list[str] = [f"# {nl.name}"]
+    for pi in nl.pis:
+        lines.append(f"INPUT({nl.node_name(pi)})")
+    for po in nl.pos:
+        lines.append(f"OUTPUT({nl.node_name(po)})")
+    for node in nl.nodes():
+        gate_type = nl.gate_type(node)
+        if gate_type is GateType.PI:
+            continue
+        args = ", ".join(nl.node_name(f) for f in nl.fanins(node))
+        lines.append(f"{nl.node_name(node)} = {gate_type.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(nl: Netlist, path: str | Path) -> None:
+    """Write a netlist to a ``.bench`` file."""
+    Path(path).write_text(write_bench(nl))

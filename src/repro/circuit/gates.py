@@ -1,0 +1,219 @@
+"""Gate types and their zero-delay boolean semantics.
+
+DeepSeq operates on sequential AIGs whose node alphabet is exactly
+``{PI, AND, NOT, DFF}`` (paper, Section III).  Realistic test netlists,
+however, arrive with a richer gate library (Table IV circuits have "multiple
+gate types"); those are decomposed into AND/NOT by :mod:`repro.circuit.aig`.
+This module is the single source of truth for both alphabets: the AIG core
+types, the extended library used by generated/parsed test circuits, and the
+boolean evaluation of every gate.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "GateType",
+    "AIG_TYPES",
+    "SEQUENTIAL_TYPES",
+    "COMBINATIONAL_TYPES",
+    "EXTENDED_TYPES",
+    "FANIN_ARITY",
+    "ONE_HOT_INDEX",
+    "ONE_HOT_DIM",
+    "one_hot",
+    "eval_gate",
+    "gate_truth_table",
+]
+
+
+class GateType(enum.Enum):
+    """Every gate kind understood by the library.
+
+    The first four members form the AIG alphabet used for learning; the rest
+    belong to the extended library accepted by the ``.bench`` parser and the
+    synthetic benchmark generators, and are lowered to the AIG alphabet by
+    :func:`repro.circuit.aig.to_aig`.
+    """
+
+    PI = "PI"
+    AND = "AND"
+    NOT = "NOT"
+    DFF = "DFF"
+    # --- extended library (lowered before learning) ---
+    BUF = "BUF"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    MUX = "MUX"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateType.{self.name}"
+
+
+#: The four node types of a sequential AIG (one-hot feature alphabet).
+AIG_TYPES: tuple[GateType, ...] = (
+    GateType.PI,
+    GateType.AND,
+    GateType.NOT,
+    GateType.DFF,
+)
+
+#: Gate kinds holding state across clock edges.
+SEQUENTIAL_TYPES: frozenset[GateType] = frozenset({GateType.DFF})
+
+#: Everything that computes purely combinationally (PIs excluded: they are
+#: inputs, not functions).
+COMBINATIONAL_TYPES: frozenset[GateType] = frozenset(
+    t for t in GateType if t not in SEQUENTIAL_TYPES and t is not GateType.PI
+)
+
+#: Gate kinds outside the AIG alphabet.
+EXTENDED_TYPES: frozenset[GateType] = frozenset(
+    t for t in GateType if t not in AIG_TYPES
+)
+
+#: Required fanin count per gate type.  ``None`` means "any count >= 2"
+#: (n-ary gates the .bench format permits); the AIG lowering rewrites those
+#: into 2-input trees.
+FANIN_ARITY: dict[GateType, int | None] = {
+    GateType.PI: 0,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.DFF: 1,
+    GateType.AND: None,
+    GateType.OR: None,
+    GateType.NAND: None,
+    GateType.NOR: None,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.MUX: 3,
+}
+
+#: Index of each AIG node type in the one-hot node feature (paper: 4-d).
+ONE_HOT_INDEX: dict[GateType, int] = {t: i for i, t in enumerate(AIG_TYPES)}
+
+#: Dimensionality of the one-hot node feature.
+ONE_HOT_DIM: int = len(AIG_TYPES)
+
+
+def one_hot(gate_type: GateType) -> np.ndarray:
+    """Return the 4-d one-hot feature for an AIG node type.
+
+    Raises:
+        ValueError: for a gate outside the AIG alphabet (lower it first).
+    """
+    if gate_type not in ONE_HOT_INDEX:
+        raise ValueError(
+            f"{gate_type} is not an AIG node type; run the circuit through "
+            "repro.circuit.aig.to_aig first"
+        )
+    vec = np.zeros(ONE_HOT_DIM, dtype=np.float64)
+    vec[ONE_HOT_INDEX[gate_type]] = 1.0
+    return vec
+
+
+def eval_gate(gate_type: GateType, inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate a *combinational* gate on packed/boolean input words.
+
+    ``inputs`` holds one numpy array per fanin.  Arrays may be ``bool`` or any
+    unsigned integer dtype whose bits encode parallel simulation streams; the
+    bitwise operators used here are meaningful for both.  DFFs and PIs are
+    not functions of their fanins within a cycle and are rejected.
+    """
+    n = len(inputs)
+    if gate_type is GateType.AND:
+        _require_min(gate_type, n, 2)
+        return _reduce_and(inputs)
+    if gate_type is GateType.NOT:
+        _require_exact(gate_type, n, 1)
+        return ~inputs[0]
+    if gate_type is GateType.BUF:
+        _require_exact(gate_type, n, 1)
+        return inputs[0].copy()
+    if gate_type is GateType.OR:
+        _require_min(gate_type, n, 2)
+        return _reduce_or(inputs)
+    if gate_type is GateType.NAND:
+        _require_min(gate_type, n, 2)
+        return ~_reduce_and(inputs)
+    if gate_type is GateType.NOR:
+        _require_min(gate_type, n, 2)
+        return ~_reduce_or(inputs)
+    if gate_type is GateType.XOR:
+        _require_min(gate_type, n, 2)
+        return _reduce_xor(inputs)
+    if gate_type is GateType.XNOR:
+        _require_min(gate_type, n, 2)
+        return ~_reduce_xor(inputs)
+    if gate_type is GateType.MUX:
+        # MUX(sel, a, b) = a when sel=0 else b.
+        _require_exact(gate_type, n, 3)
+        sel, a, b = inputs
+        return (a & ~sel) | (b & sel)
+    raise ValueError(f"{gate_type} is not combinationally evaluable")
+
+
+def gate_truth_table(gate_type: GateType, arity: int) -> np.ndarray:
+    """Return the output column of the gate's truth table.
+
+    The result has ``2**arity`` boolean entries; row ``i``'s input assignment
+    is the binary expansion of ``i`` with fanin 0 as the least-significant
+    bit.  Used by the Grannite baseline's truth-table-derived node features
+    and by tests that cross-check :func:`eval_gate`.
+    """
+    expected = FANIN_ARITY[gate_type]
+    if expected == 0:
+        if gate_type is GateType.CONST0:
+            return np.zeros(1, dtype=bool)
+        if gate_type is GateType.CONST1:
+            return np.ones(1, dtype=bool)
+        raise ValueError(f"{gate_type} has no truth table")
+    if expected is not None and arity != expected:
+        raise ValueError(f"{gate_type} requires arity {expected}, got {arity}")
+    if expected is None and arity < 2:
+        raise ValueError(f"{gate_type} requires arity >= 2, got {arity}")
+    rows = np.arange(2**arity, dtype=np.uint32)
+    columns = [((rows >> k) & 1).astype(bool) for k in range(arity)]
+    return eval_gate(gate_type, columns)
+
+
+def _reduce_and(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    out = inputs[0].copy()
+    for arr in inputs[1:]:
+        out &= arr
+    return out
+
+
+def _reduce_or(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    out = inputs[0].copy()
+    for arr in inputs[1:]:
+        out |= arr
+    return out
+
+
+def _reduce_xor(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    out = inputs[0].copy()
+    for arr in inputs[1:]:
+        out ^= arr
+    return out
+
+
+def _require_exact(gate_type: GateType, n: int, expected: int) -> None:
+    if n != expected:
+        raise ValueError(f"{gate_type} requires {expected} fanin(s), got {n}")
+
+
+def _require_min(gate_type: GateType, n: int, minimum: int) -> None:
+    if n < minimum:
+        raise ValueError(f"{gate_type} requires >= {minimum} fanins, got {n}")

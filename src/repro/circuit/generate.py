@@ -1,0 +1,188 @@
+"""Random sequential netlist generation.
+
+The paper trains on 10,534 sub-circuits (150–300 nodes) cut from ISCAS'89,
+ITC'99 and OpenCores designs.  Those RTL sources are not shipped here, so the
+dataset substrate is a deterministic pseudo-random circuit generator whose
+outputs match the salient *structural* properties the learning problem cares
+about: levelized combinational logic over PIs and flip-flop outputs,
+sequential feedback loops through DFFs, reconvergent fanout, and a size
+range of 150–300 nodes.  (Real ``.bench`` files can be dropped in through
+:mod:`repro.circuit.bench` at any time; everything downstream only consumes
+:class:`~repro.circuit.netlist.Netlist`.)
+
+Generation is seed-deterministic: the same :class:`GeneratorConfig` and seed
+always produce the identical netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+
+__all__ = ["GeneratorConfig", "random_sequential_netlist"]
+
+#: Size of the "recent signals" window used for local wiring.
+_LOCAL_WINDOW = 24
+
+#: Gate kinds the random generator may draw, with default mixture weights
+#: loosely following gate histograms of the ISCAS'89 suite.
+_DEFAULT_GATE_MIX: dict[GateType, float] = {
+    GateType.AND: 0.28,
+    GateType.NAND: 0.22,
+    GateType.OR: 0.14,
+    GateType.NOR: 0.12,
+    GateType.NOT: 0.14,
+    GateType.XOR: 0.05,
+    GateType.BUF: 0.03,
+    GateType.MUX: 0.02,
+}
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the random sequential netlist generator.
+
+    Attributes:
+        n_pis: number of primary inputs.
+        n_dffs: number of D flip-flops (0 gives a combinational circuit).
+        n_gates: number of combinational gates to place.
+        gate_mix: mixture over gate types; defaults to an ISCAS-like mix.
+            Use ``{GateType.AND: .5, GateType.NOT: .5}`` for pure-AIG output.
+        max_fanin: cap on the fanin of n-ary gates (>= 2).
+        locality: in (0, 1]; larger values bias gate fanins toward recently
+            created nodes, producing deeper, narrower circuits (real netlists
+            are locally wired, unlike uniform random DAGs).
+        reconvergence_bias: probability that a 2-input gate reuses one
+            neighbourhood node for both fanins' transitive sources,
+            encouraging reconvergent fanout (the structure probabilistic
+            methods get wrong — central to Tables V/VII).
+        n_pos: number of primary outputs to mark (sampled from sinks first).
+    """
+
+    n_pis: int = 8
+    n_dffs: int = 8
+    n_gates: int = 120
+    gate_mix: dict[GateType, float] = field(
+        default_factory=lambda: dict(_DEFAULT_GATE_MIX)
+    )
+    max_fanin: int = 3
+    locality: float = 0.6
+    reconvergence_bias: float = 0.25
+    n_pos: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_pis < 1:
+            raise ValueError("need at least one PI")
+        if self.n_gates < 1:
+            raise ValueError("need at least one gate")
+        if self.max_fanin < 2:
+            raise ValueError("max_fanin must be >= 2")
+        if not 0.0 < self.locality <= 1.0:
+            raise ValueError("locality must be in (0, 1]")
+        total = sum(self.gate_mix.values())
+        if total <= 0:
+            raise ValueError("gate_mix weights must sum to a positive value")
+
+
+def random_sequential_netlist(
+    config: GeneratorConfig, seed: int, name: str | None = None
+) -> Netlist:
+    """Generate one random, validated sequential netlist.
+
+    The construction: create PIs and DFF shells; grow ``n_gates``
+    combinational gates one at a time, drawing each fanin from the already
+    available signals with a locality-weighted distribution; finally wire
+    every DFF's data input to a random combinational gate (closing the
+    sequential loops) and mark POs.
+    """
+    rng = np.random.default_rng(seed)
+    nl = Netlist(name or f"rand_s{seed}")
+
+    pis = [nl.add_pi(f"pi{i}") for i in range(config.n_pis)]
+    dffs = [nl.add_dff(None, f"ff{i}") for i in range(config.n_dffs)]
+
+    types = list(config.gate_mix.keys())
+    weights = np.array([config.gate_mix[t] for t in types], dtype=np.float64)
+    weights /= weights.sum()
+
+    available: list[int] = pis + dffs
+    gates: list[int] = []
+    for g in range(config.n_gates):
+        gate_type = types[int(rng.choice(len(types), p=weights))]
+        fanins = _draw_fanins(rng, available, gate_type, config)
+        node = nl.add_gate(gate_type, fanins, f"g{g}")
+        gates.append(node)
+        available.append(node)
+
+    # Close sequential loops: each DFF samples a combinational gate (or, for
+    # tiny circuits, any available signal that is not the DFF itself).
+    for ff in dffs:
+        pool = gates if gates else [s for s in available if s != ff]
+        nl.set_fanins(ff, [int(rng.choice(pool))])
+
+    _mark_pos(rng, nl, gates, config.n_pos)
+    nl.validate()
+    return nl
+
+
+def _draw_fanins(
+    rng: np.random.Generator,
+    available: list[int],
+    gate_type: GateType,
+    config: GeneratorConfig,
+) -> list[int]:
+    if gate_type in (GateType.NOT, GateType.BUF):
+        arity = 1
+    elif gate_type is GateType.MUX:
+        arity = 3
+    elif gate_type is GateType.XOR:
+        arity = 2
+    else:
+        arity = int(rng.integers(2, config.max_fanin + 1))
+
+    n = len(available)
+
+    def draw_one() -> int:
+        # Locality: with probability `locality`, wire from a recent window
+        # (local routing, realistic depth); otherwise from anywhere.  A pure
+        # geometric bias toward the very latest node degenerates into a
+        # single deep chain — real netlists have logic depth ~O(tens).
+        if rng.random() < config.locality:
+            window = min(n, _LOCAL_WINDOW)
+            return int(rng.integers(n - window, n))
+        return int(rng.integers(0, n))
+
+    picks: list[int] = [draw_one()]
+    first = picks[0]
+    while len(picks) < arity:
+        if (
+            len(picks) == 1
+            and n >= 4
+            and rng.random() < config.reconvergence_bias
+        ):
+            # Reconvergence: pick a second fanin from the close neighbourhood
+            # of the first so both cones share sources.
+            lo = max(0, first - 4)
+            hi = min(n, first + 5)
+            cand = int(rng.integers(lo, hi))
+        else:
+            cand = draw_one()
+        if cand not in picks or n < arity:
+            picks.append(cand)
+    return [available[p] for p in picks]
+
+
+def _mark_pos(
+    rng: np.random.Generator, nl: Netlist, gates: list[int], n_pos: int
+) -> None:
+    fanout = nl.fanouts()
+    sinks = [g for g in gates if not fanout[g]]
+    pool = sinks if sinks else gates
+    count = min(max(1, n_pos), len(pool))
+    chosen = rng.choice(len(pool), size=count, replace=False)
+    for c in chosen:
+        nl.add_po(pool[int(c)])

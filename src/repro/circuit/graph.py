@@ -1,0 +1,186 @@
+"""The learning-graph view of a sequential AIG.
+
+:class:`CircuitGraph` freezes an AIG netlist into the numpy arrays the GNN
+models and the logic simulator consume:
+
+* node features (one-hot gate type, paper: 4-d);
+* compact fanin arrays (AIGs have <= 2 fanins per node);
+* forward/reverse level batches of the cut graph (DFF fan-in edges removed);
+* per-batch flat edge lists for vectorized attention aggregation, in both
+  the forward direction (messages from predecessors) and the reverse
+  direction (messages from successors);
+* the DFF update map used by step 4 of the customized propagation (copy the
+  representation of each DFF's data predecessor onto the DFF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gates import AIG_TYPES, ONE_HOT_INDEX, GateType
+from repro.circuit.levelize import Levelization, levelize
+from repro.circuit.netlist import Netlist, NetlistError
+
+__all__ = ["EdgeBatch", "CircuitGraph"]
+
+
+@dataclass
+class EdgeBatch:
+    """Flat edge list for one level batch of the GNN propagation.
+
+    ``nodes`` are the gate ids updated by this batch.  ``src`` holds, for
+    every incoming message, the global id of the neighbour it comes from;
+    ``dst_local`` maps the message to the *position* of its target inside
+    ``nodes`` (segment id for segment-softmax / segment-sum).
+    """
+
+    nodes: np.ndarray
+    src: np.ndarray
+    dst_local: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.nodes.size)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+
+class CircuitGraph:
+    """Immutable array view of a sequential AIG used by models & simulator.
+
+    Args:
+        netlist: a validated sequential AIG (``netlist.is_aig()`` true).
+
+    Attributes:
+        netlist: the source netlist (kept for names/POs).
+        num_nodes: node count.
+        type_index: (N,) int8 — index into ``AIG_TYPES`` (0 PI, 1 AND,
+            2 NOT, 3 DFF).
+        features: (N, 4) float64 one-hot node features.
+        fanin0 / fanin1: (N,) int32 fanin ids; -1 when absent.  DFFs store
+            their data predecessor in ``fanin0`` even though the learning
+            graph cuts that edge.
+        level / reverse_level: logic levels of the cut graph.
+        forward_batches: per forward level, an :class:`EdgeBatch` of the
+            combinational gates updated at that level with their
+            predecessor edge lists.
+        reverse_batches: per reverse level, an :class:`EdgeBatch` with
+            *successor* edge lists (reverse propagation).
+        pi_ids / and_ids / not_ids / dff_ids: node ids per type.
+        dff_src: (num_dffs,) data predecessor per DFF (step-4 copy map).
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        if not netlist.is_aig():
+            raise NetlistError(
+                "CircuitGraph requires an AIG netlist; lower with "
+                "repro.circuit.aig.to_aig first"
+            )
+        netlist.validate()
+        self.netlist = netlist
+        n = len(netlist)
+        self.num_nodes = n
+
+        self.type_index = np.empty(n, dtype=np.int8)
+        for i in netlist.nodes():
+            self.type_index[i] = ONE_HOT_INDEX[netlist.gate_type(i)]
+        self.features = np.zeros((n, len(AIG_TYPES)), dtype=np.float64)
+        self.features[np.arange(n), self.type_index] = 1.0
+
+        self.fanin0 = np.full(n, -1, dtype=np.int32)
+        self.fanin1 = np.full(n, -1, dtype=np.int32)
+        for i in netlist.nodes():
+            fs = netlist.fanins(i)
+            if len(fs) >= 1:
+                self.fanin0[i] = fs[0]
+            if len(fs) == 2:
+                self.fanin1[i] = fs[1]
+
+        self.pi_ids = np.array(netlist.pis, dtype=np.int64)
+        self.dff_ids = np.array(netlist.dffs, dtype=np.int64)
+        self.and_ids = np.array(netlist.nodes_of_type(GateType.AND), dtype=np.int64)
+        self.not_ids = np.array(netlist.nodes_of_type(GateType.NOT), dtype=np.int64)
+        self.po_ids = np.array(netlist.pos, dtype=np.int64)
+        self.dff_src = self.fanin0[self.dff_ids].astype(np.int64)
+
+        lv: Levelization = levelize(netlist)
+        self.level = lv.level
+        self.reverse_level = lv.reverse_level
+        self.num_levels = lv.num_levels
+
+        fanouts = netlist.fanouts()
+        self.forward_batches = self._build_forward_batches(lv)
+        self.reverse_batches = self._build_reverse_batches(lv, fanouts)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pis(self) -> int:
+        return int(self.pi_ids.size)
+
+    @property
+    def num_dffs(self) -> int:
+        return int(self.dff_ids.size)
+
+    @property
+    def state_ids(self) -> np.ndarray:
+        """Nodes holding workload-independent state at cycle boundaries
+        (the DFFs) — the circuit's state vector."""
+        return self.dff_ids
+
+    def _build_forward_batches(self, lv: Levelization) -> list[EdgeBatch]:
+        batches: list[EdgeBatch] = []
+        for nodes in lv.comb_forward:
+            src: list[int] = []
+            dst_local: list[int] = []
+            for pos, node in enumerate(nodes):
+                f0 = self.fanin0[node]
+                f1 = self.fanin1[node]
+                src.append(int(f0))
+                dst_local.append(pos)
+                if f1 >= 0:
+                    src.append(int(f1))
+                    dst_local.append(pos)
+            batches.append(
+                EdgeBatch(
+                    nodes=nodes.astype(np.int64),
+                    src=np.asarray(src, dtype=np.int64),
+                    dst_local=np.asarray(dst_local, dtype=np.int64),
+                )
+            )
+        return batches
+
+    def _build_reverse_batches(
+        self, lv: Levelization, fanouts: list[list[int]]
+    ) -> list[EdgeBatch]:
+        # In the cut graph a DFF's fan-in edge is removed, so its data
+        # predecessor must not receive a reverse message from the DFF.
+        dff_set = set(int(d) for d in self.dff_ids)
+        batches: list[EdgeBatch] = []
+        for nodes in lv.comb_reverse:
+            src: list[int] = []
+            dst_local: list[int] = []
+            for pos, node in enumerate(nodes):
+                for succ in fanouts[int(node)]:
+                    if succ in dff_set:
+                        continue
+                    src.append(int(succ))
+                    dst_local.append(pos)
+            batches.append(
+                EdgeBatch(
+                    nodes=nodes.astype(np.int64),
+                    src=np.asarray(src, dtype=np.int64),
+                    dst_local=np.asarray(dst_local, dtype=np.int64),
+                )
+            )
+        return batches
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitGraph({self.netlist.name!r}, nodes={self.num_nodes}, "
+            f"pis={self.num_pis}, dffs={self.num_dffs}, "
+            f"levels={self.num_levels})"
+        )

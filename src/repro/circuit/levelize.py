@@ -1,0 +1,176 @@
+"""Levelization and topological ordering of sequential netlists.
+
+Step 1 of DeepSeq's customized propagation removes every DFF's incoming edge,
+turning flip-flops into pseudo primary inputs and the cyclic circuit graph
+into a DAG (paper Fig. 2).  All ordering utilities here operate on that *cut
+graph*:
+
+* sources: PIs at logic level 0, DFFs at logic level 1 (the paper "move[s]
+  FFs to logic level 1");
+* combinational gates: ``1 + max(level of fanins)``;
+* reverse levels: the same construction on the edge-reversed cut graph,
+  giving the batches for the reverse propagation layer.
+
+Levels double as *topological batches* ([16]): all gates of one level have
+no mutual dependencies and are processed as one vectorized batch both in the
+logic simulator and in the GNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist, NetlistError
+
+__all__ = ["cut_fanins", "Levelization", "levelize"]
+
+
+def cut_fanins(nl: Netlist) -> list[tuple[int, ...]]:
+    """Fanin lists of the cut graph (DFF incoming edges removed)."""
+    out: list[tuple[int, ...]] = []
+    for node in nl.nodes():
+        if nl.gate_type(node) is GateType.DFF:
+            out.append(())
+        else:
+            out.append(nl.fanins(node))
+    return out
+
+
+@dataclass
+class Levelization:
+    """Forward and reverse levelization of a sequential netlist's cut graph.
+
+    Attributes:
+        level: forward logic level per node (PI=0, DFF=1, gates >= 1).
+        reverse_level: level in the edge-reversed cut graph (sinks=0).
+        forward_order: one ``np.ndarray`` of node ids per forward level,
+            ascending; level arrays include *all* nodes at that level
+            (sources included, so ``forward_order[0]`` is the PIs).
+        reverse_order: per reverse level, ascending (entry 0 = sinks).
+        comb_forward: forward batches restricted to combinational gates
+            (AND/NOT and extended-library gates) — the nodes a forward GNN
+            layer actually updates.
+        comb_reverse: reverse batches restricted to combinational gates.
+    """
+
+    level: np.ndarray
+    reverse_level: np.ndarray
+    forward_order: list[np.ndarray]
+    reverse_order: list[np.ndarray]
+    comb_forward: list[np.ndarray]
+    comb_reverse: list[np.ndarray]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.forward_order)
+
+    @property
+    def max_level(self) -> int:
+        return int(self.level.max()) if self.level.size else 0
+
+
+def levelize(nl: Netlist) -> Levelization:
+    """Compute the full forward/reverse levelization of ``nl``'s cut graph."""
+    n = len(nl)
+    fanins = cut_fanins(nl)
+    level = _forward_levels(nl, fanins)
+    reverse_level = _reverse_levels(nl, fanins, n)
+
+    is_comb = np.fromiter(
+        (
+            nl.gate_type(i) not in (GateType.PI, GateType.DFF)
+            for i in range(n)
+        ),
+        dtype=bool,
+        count=n,
+    )
+    forward_order = _group_by_level(level)
+    reverse_order = _group_by_level(reverse_level)
+    comb_forward = [lvl[is_comb[lvl]] for lvl in forward_order]
+    comb_forward = [lvl for lvl in comb_forward if lvl.size]
+    comb_reverse = [lvl[is_comb[lvl]] for lvl in reverse_order]
+    comb_reverse = [lvl for lvl in comb_reverse if lvl.size]
+    return Levelization(
+        level=level,
+        reverse_level=reverse_level,
+        forward_order=forward_order,
+        reverse_order=reverse_order,
+        comb_forward=comb_forward,
+        comb_reverse=comb_reverse,
+    )
+
+
+def _forward_levels(nl: Netlist, fanins: list[tuple[int, ...]]) -> np.ndarray:
+    n = len(nl)
+    level = np.full(n, -1, dtype=np.int32)
+    indeg = np.zeros(n, dtype=np.int64)
+    fanout: list[list[int]] = [[] for _ in range(n)]
+    for i, fs in enumerate(fanins):
+        indeg[i] = len(fs)
+        for f in fs:
+            fanout[f].append(i)
+    queue: list[int] = []
+    for i in range(n):
+        if indeg[i] == 0:
+            # PIs sit at level 0; DFFs are "moved to logic level 1".
+            level[i] = 1 if nl.gate_type(i) is GateType.DFF else 0
+            queue.append(i)
+    head = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        for w in fanout[v]:
+            level[w] = max(level[w], level[v] + 1)
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                queue.append(w)
+    if (level < 0).any():
+        raise NetlistError("cut graph is cyclic — netlist invalid")
+    return level
+
+
+def _reverse_levels(
+    nl: Netlist, fanins: list[tuple[int, ...]], n: int
+) -> np.ndarray:
+    rlevel = np.zeros(n, dtype=np.int32)
+    outdeg = np.zeros(n, dtype=np.int64)
+    for fs in fanins:
+        for f in fs:
+            outdeg[f] += 1
+    queue = [i for i in range(n) if outdeg[i] == 0]
+    head = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        for f in fanins[v]:
+            rlevel[f] = max(rlevel[f], rlevel[v] + 1)
+            outdeg[f] -= 1
+            if outdeg[f] == 0:
+                queue.append(f)
+    return rlevel
+
+
+def _group_by_level(level: np.ndarray) -> list[np.ndarray]:
+    order = np.argsort(level, kind="stable").astype(np.int64)
+    sorted_levels = level[order]
+    groups: list[np.ndarray] = []
+    start = 0
+    for pos in range(1, len(order) + 1):
+        if pos == len(order) or sorted_levels[pos] != sorted_levels[start]:
+            groups.append(np.sort(order[start:pos]))
+            start = pos
+    # Guarantee density: fill in empty levels (possible when DFDs occupy
+    # level 1 exclusively and level 0 has no PIs, etc.).
+    dense: list[np.ndarray] = []
+    next_expected = 0
+    for grp in groups:
+        lvl = int(level[grp[0]])
+        while next_expected < lvl:
+            dense.append(np.empty(0, dtype=np.int64))
+            next_expected += 1
+        dense.append(grp)
+        next_expected = lvl + 1
+    return dense

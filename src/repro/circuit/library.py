@@ -1,0 +1,155 @@
+"""A small library of classic hand-written sequential circuits.
+
+These are fixed, human-auditable netlists (in ``.bench`` source form) used
+throughout the test-suite and the documentation examples — small enough to
+reason about by hand, yet exercising every structure the learning stack
+must handle: sequential feedback, reconvergent fanout, enable gating and
+multi-bit state.
+
+``s27`` is the classic ISCAS'89 benchmark (public domain, Brglez et al.
+1989); the others are original but written in the same style.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.bench import parse_bench
+from repro.circuit.netlist import Netlist
+
+__all__ = ["LIBRARY", "library_circuit", "library_names"]
+
+#: The ISCAS'89 s27 benchmark, verbatim structure.
+_S27 = """
+# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+"""
+
+#: Two-bit saturating up/down counter with enable.
+_UPDOWN2 = """
+# 2-bit up/down counter: up, en inputs
+INPUT(up)
+INPUT(en)
+OUTPUT(q0)
+OUTPUT(q1)
+q0 = DFF(d0)
+q1 = DFF(d1)
+nq0 = NOT(q0)
+nq1 = NOT(q1)
+nup = NOT(up)
+tog1_up = AND(q0, up)
+tog1_dn = AND(nq0, nup)
+tog1 = OR(tog1_up, tog1_dn)
+d1_raw = XOR(q1, tog1)
+d0_raw = NOT(q0)
+d0 = MUX(en, q0, d0_raw)
+d1 = MUX(en, q1, d1_raw)
+"""
+
+#: Traffic-light controller: one-hot 3-state ring with a timer.
+_TRAFFIC = """
+# traffic light: 3 one-hot states advanced by a 2-bit timer
+INPUT(rst)
+OUTPUT(red)
+OUTPUT(yellow)
+OUTPUT(green)
+red = DFF(d_red)
+yellow = DFF(d_yel)
+green = DFF(d_grn)
+t0 = DFF(dt0)
+t1 = DFF(dt1)
+dt0 = NOT(t0)
+dt1 = XOR(t1, t0)
+tick = AND(t0, t1)
+ntick = NOT(tick)
+nrst = NOT(rst)
+hold_red = AND(red, ntick)
+adv_red = AND(yellow, tick)
+d_red_raw = OR(hold_red, adv_red)
+d_red = OR(d_red_raw, rst)
+hold_grn = AND(green, ntick)
+adv_grn = AND(red, tick)
+d_grn_raw = OR(hold_grn, adv_grn)
+d_grn = AND(d_grn_raw, nrst)
+hold_yel = AND(yellow, ntick)
+adv_yel = AND(green, tick)
+d_yel_raw = OR(hold_yel, adv_yel)
+d_yel = AND(d_yel_raw, nrst)
+"""
+
+#: Serial parity accumulator with a reconvergent check output.
+_PARITY_ACC = """
+# serial parity accumulator
+INPUT(bit)
+INPUT(clear)
+OUTPUT(parity)
+OUTPUT(check)
+parity = DFF(d)
+step = XOR(parity, bit)
+nclear = NOT(clear)
+d = AND(step, nclear)
+npar = NOT(parity)
+check_a = AND(parity, bit)
+check_b = AND(npar, bit)
+check = OR(check_a, check_b)
+"""
+
+#: Gray-code counter (3 bits) — every transition flips exactly one bit.
+_GRAY3 = """
+# 3-bit gray code counter
+OUTPUT(g0)
+OUTPUT(g1)
+OUTPUT(g2)
+b0 = DFF(db0)
+b1 = DFF(db1)
+b2 = DFF(db2)
+db0 = NOT(b0)
+db1 = XOR(b1, b0)
+c1 = AND(b0, b1)
+db2 = XOR(b2, c1)
+g2 = BUF(b2)
+g1 = XOR(b2, b1)
+g0 = XOR(b1, b0)
+"""
+
+_SOURCES: dict[str, str] = {
+    "s27": _S27,
+    "updown2": _UPDOWN2,
+    "traffic": _TRAFFIC,
+    "parity_acc": _PARITY_ACC,
+    "gray3": _GRAY3,
+}
+
+#: Parsed library, built lazily on first access.
+LIBRARY: dict[str, str] = dict(_SOURCES)
+
+
+def library_names() -> list[str]:
+    """Names of the available library circuits."""
+    return sorted(_SOURCES)
+
+
+def library_circuit(name: str) -> Netlist:
+    """Parse and return a fresh copy of a library circuit by name."""
+    try:
+        source = _SOURCES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown library circuit {name!r}; choose from {library_names()}"
+        ) from None
+    return parse_bench(source, name=name)

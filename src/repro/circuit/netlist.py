@@ -1,0 +1,345 @@
+"""The netlist intermediate representation.
+
+A :class:`Netlist` is a flat, index-addressed container of gates plus fanin
+lists — the common currency every other subsystem consumes (simulator, AIG
+lowering, graph engine, models).  It intentionally stays close to a
+structural ``.bench`` view of a circuit:
+
+* nodes are integers ``0..n-1`` with a :class:`~repro.circuit.gates.GateType`
+  and an optional name;
+* edges are stored as per-node fanin tuples (ordered — MUX cares);
+* primary outputs are an explicit subset of nodes;
+* DFF fan-in edges are the only legal way to close a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.circuit.gates import FANIN_ARITY, AIG_TYPES, GateType
+
+__all__ = ["Netlist", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlists or invalid edits."""
+
+
+@dataclass
+class _Node:
+    gate_type: GateType
+    fanins: tuple[int, ...]
+    name: str
+
+
+class Netlist:
+    """A gate-level sequential netlist.
+
+    Gates are added through :meth:`add_gate` (or the :meth:`add_pi` /
+    :meth:`add_dff` conveniences) and referred to by their integer id.
+    Fanins may reference not-yet-added ids only for DFFs (sequential loops);
+    :meth:`validate` checks every structural invariant at once.
+
+    Example:
+        >>> nl = Netlist(name="toggle")
+        >>> a = nl.add_pi("a")
+        >>> ff = nl.add_dff(fanin=None, name="state")   # fanin patched below
+        >>> inv = nl.add_gate(GateType.NOT, [ff], "n1")
+        >>> g = nl.add_gate(GateType.AND, [a, inv], "g1")
+        >>> nl.set_fanins(ff, [g])
+        >>> nl.add_po(g)
+        >>> nl.validate()
+    """
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._nodes: list[_Node] = []
+        self._pos: list[int] = []
+        self._names: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_gate(
+        self,
+        gate_type: GateType,
+        fanins: Sequence[int] = (),
+        name: str | None = None,
+    ) -> int:
+        """Append a gate and return its id."""
+        idx = len(self._nodes)
+        resolved = name if name is not None else f"n{idx}"
+        if resolved in self._names:
+            raise NetlistError(f"duplicate node name {resolved!r}")
+        node = _Node(gate_type, tuple(int(f) for f in fanins), resolved)
+        self._check_arity(node)
+        self._nodes.append(node)
+        self._names[resolved] = idx
+        return idx
+
+    def add_pi(self, name: str | None = None) -> int:
+        """Append a primary input."""
+        return self.add_gate(GateType.PI, (), name)
+
+    def add_dff(self, fanin: int | None, name: str | None = None) -> int:
+        """Append a D flip-flop.
+
+        ``fanin=None`` leaves the data input dangling so forward references
+        in sequential loops can be patched later via :meth:`set_fanins`.
+        """
+        fanins: tuple[int, ...] = () if fanin is None else (int(fanin),)
+        idx = len(self._nodes)
+        resolved = name if name is not None else f"n{idx}"
+        if resolved in self._names:
+            raise NetlistError(f"duplicate node name {resolved!r}")
+        self._nodes.append(_Node(GateType.DFF, fanins, resolved))
+        self._names[resolved] = idx
+        return idx
+
+    def set_fanins(self, node: int, fanins: Sequence[int]) -> None:
+        """Replace a node's fanin tuple (used to close sequential loops)."""
+        entry = self._nodes[node]
+        updated = _Node(entry.gate_type, tuple(int(f) for f in fanins), entry.name)
+        self._check_arity(updated)
+        self._nodes[node] = updated
+
+    def add_po(self, node: int) -> None:
+        """Mark an existing node as a primary output."""
+        if not 0 <= node < len(self._nodes):
+            raise NetlistError(f"PO references unknown node {node}")
+        if node not in self._pos:
+            self._pos.append(node)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(n.fanins) for n in self._nodes)
+
+    def gate_type(self, node: int) -> GateType:
+        return self._nodes[node].gate_type
+
+    def fanins(self, node: int) -> tuple[int, ...]:
+        return self._nodes[node].fanins
+
+    def node_name(self, node: int) -> str:
+        return self._nodes[node].name
+
+    def node_by_name(self, name: str) -> int:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise NetlistError(f"no node named {name!r}") from None
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(len(self._nodes)))
+
+    def nodes_of_type(self, *types: GateType) -> list[int]:
+        wanted = frozenset(types)
+        return [i for i, n in enumerate(self._nodes) if n.gate_type in wanted]
+
+    @property
+    def pis(self) -> list[int]:
+        return self.nodes_of_type(GateType.PI)
+
+    @property
+    def dffs(self) -> list[int]:
+        return self.nodes_of_type(GateType.DFF)
+
+    @property
+    def pos(self) -> list[int]:
+        return list(self._pos)
+
+    def fanouts(self) -> list[list[int]]:
+        """Compute fanout adjacency (successors) for every node."""
+        out: list[list[int]] = [[] for _ in self._nodes]
+        for i, node in enumerate(self._nodes):
+            for f in node.fanins:
+                out[f].append(i)
+        return out
+
+    def is_aig(self) -> bool:
+        """True when every node belongs to the sequential-AIG alphabet with
+        strict 2-input ANDs."""
+        for node in self._nodes:
+            if node.gate_type not in AIG_TYPES:
+                return False
+            if node.gate_type is GateType.AND and len(node.fanins) != 2:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check all structural invariants; raise :class:`NetlistError`.
+
+        Invariants: fanin ids in range; arity respects the gate library;
+        no dangling DFF inputs; every combinational cycle passes through at
+        least one DFF (i.e. the graph with DFF fan-in edges removed is
+        acyclic); at least one PI or constant source exists.
+        """
+        n = len(self._nodes)
+        if n == 0:
+            raise NetlistError("empty netlist")
+        for i, node in enumerate(self._nodes):
+            for f in node.fanins:
+                if not 0 <= f < n:
+                    raise NetlistError(
+                        f"node {i} ({node.name}) has out-of-range fanin {f}"
+                    )
+            if node.gate_type is GateType.DFF and len(node.fanins) != 1:
+                raise NetlistError(
+                    f"DFF {i} ({node.name}) has dangling/extra data input"
+                )
+            self._check_arity(node, node_id=i, strict=True)
+        for po in self._pos:
+            if not 0 <= po < n:
+                raise NetlistError(f"PO references unknown node {po}")
+        self._check_combinational_acyclic()
+
+    def _check_arity(
+        self, node: _Node, node_id: int | None = None, strict: bool = False
+    ) -> None:
+        # Non-strict mode (add_gate / set_fanins) accepts an empty fanin
+        # tuple as "not wired yet" so two-pass construction — required for
+        # sequential loops and forward references in .bench files — works;
+        # validate() re-checks everything strictly.
+        expected = FANIN_ARITY[node.gate_type]
+        where = f"node {node_id} " if node_id is not None else ""
+        if node.gate_type is GateType.DFF:
+            if len(node.fanins) > 1:
+                raise NetlistError(f"{where}DFF takes exactly one fanin")
+            return
+        if not node.fanins and not strict:
+            return
+        if expected is None:
+            if len(node.fanins) < 2:
+                raise NetlistError(
+                    f"{where}{node.gate_type.value} requires >= 2 fanins, "
+                    f"got {len(node.fanins)}"
+                )
+        elif len(node.fanins) != expected:
+            raise NetlistError(
+                f"{where}{node.gate_type.value} requires {expected} fanins, "
+                f"got {len(node.fanins)}"
+            )
+
+    def _check_combinational_acyclic(self) -> None:
+        # Kahn's algorithm over the graph with DFF fan-in edges cut.  Any
+        # node never reaching in-degree zero sits on a combinational cycle.
+        n = len(self._nodes)
+        indeg = [0] * n
+        fanout: list[list[int]] = [[] for _ in range(n)]
+        for i, node in enumerate(self._nodes):
+            if node.gate_type is GateType.DFF:
+                continue  # cut: DFF consumes its fanin at the clock edge
+            for f in node.fanins:
+                indeg[i] += 1
+                fanout[f].append(i)
+        queue = [i for i in range(n) if indeg[i] == 0]
+        seen = 0
+        while queue:
+            v = queue.pop()
+            seen += 1
+            for w in fanout[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        if seen != n:
+            bad = [i for i in range(n) if indeg[i] > 0]
+            raise NetlistError(
+                f"combinational cycle through nodes {bad[:8]}"
+                f"{'...' if len(bad) > 8 else ''}"
+            )
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Netlist":
+        dup = Netlist(name or self.name)
+        dup._nodes = [_Node(n.gate_type, n.fanins, n.name) for n in self._nodes]
+        dup._pos = list(self._pos)
+        dup._names = dict(self._names)
+        return dup
+
+    def subcircuit(self, keep: Iterable[int], name: str | None = None) -> "Netlist":
+        """Extract the induced subcircuit on ``keep`` (plus renumbering).
+
+        Fanins pointing outside ``keep`` are replaced by fresh PIs so the
+        result is self-contained; kept nodes that originally fed dropped
+        nodes or were POs become POs of the extraction.
+        """
+        keep_list = sorted(set(int(k) for k in keep))
+        keep_set = set(keep_list)
+        sub = Netlist(name or f"{self.name}_sub")
+        mapping: dict[int, int] = {}
+        # First pass: create all kept nodes with placeholder fanins (fanins
+        # may reference kept nodes appearing later because of DFF loops).
+        for old in keep_list:
+            node = self._nodes[old]
+            if node.gate_type is GateType.PI:
+                mapping[old] = sub.add_pi(node.name)
+            elif node.gate_type is GateType.DFF:
+                mapping[old] = sub.add_dff(None, node.name)
+            else:
+                mapping[old] = sub.add_gate(node.gate_type, (), node.name)
+        # Second pass: wire fanins, synthesizing boundary PIs on demand.
+        boundary: dict[int, int] = {}
+
+        def resolve(old_fanin: int) -> int:
+            if old_fanin in keep_set:
+                return mapping[old_fanin]
+            if old_fanin not in boundary:
+                boundary[old_fanin] = sub.add_pi(
+                    f"cut_{self._nodes[old_fanin].name}"
+                )
+            return boundary[old_fanin]
+
+        for old in keep_list:
+            node = self._nodes[old]
+            if node.gate_type is GateType.PI:
+                continue
+            sub.set_fanins(mapping[old], [resolve(f) for f in node.fanins])
+        # POs: original POs plus nodes whose fanout was cut away.
+        fanout = self.fanouts()
+        for old in keep_list:
+            was_po = old in self._pos
+            feeds_outside = any(s not in keep_set for s in fanout[old])
+            if was_po or feeds_outside:
+                if self._nodes[old].gate_type is not GateType.PI:
+                    sub.add_po(mapping[old])
+        if not sub._pos:
+            # Guarantee at least one observable point.
+            for old in reversed(keep_list):
+                if self._nodes[old].gate_type is not GateType.PI:
+                    sub.add_po(mapping[old])
+                    break
+        return sub
+
+    # ------------------------------------------------------------------
+    # stats / dunder
+    # ------------------------------------------------------------------
+    def type_counts(self) -> dict[GateType, int]:
+        counts: dict[GateType, int] = {}
+        for node in self._nodes:
+            counts[node.gate_type] = counts.get(node.gate_type, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        c = self.type_counts()
+        pis = c.get(GateType.PI, 0)
+        ffs = c.get(GateType.DFF, 0)
+        return (
+            f"Netlist({self.name!r}, nodes={len(self)}, pis={pis}, "
+            f"dffs={ffs}, pos={len(self._pos)})"
+        )

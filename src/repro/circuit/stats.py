@@ -1,0 +1,68 @@
+"""Dataset statistics (Tables I and IV of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+
+__all__ = ["CorpusStats", "corpus_stats", "netlist_summary"]
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Summary of one benchmark family, matching Table I's columns."""
+
+    name: str
+    num_circuits: int
+    mean_nodes: float
+    std_nodes: float
+    mean_dffs: float
+    mean_pis: float
+    mean_levels: float
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<12} {self.num_circuits:>12} "
+            f"{self.mean_nodes:>9.2f} ± {self.std_nodes:<8.2f}"
+        )
+
+
+def corpus_stats(name: str, circuits: list[Netlist]) -> CorpusStats:
+    """Compute Table I-style statistics over a list of netlists."""
+    if not circuits:
+        raise ValueError("empty corpus")
+    from repro.circuit.levelize import levelize
+
+    sizes = np.array([len(c) for c in circuits], dtype=np.float64)
+    dffs = np.array([len(c.dffs) for c in circuits], dtype=np.float64)
+    pis = np.array([len(c.pis) for c in circuits], dtype=np.float64)
+    levels = np.array(
+        [levelize(c).max_level for c in circuits], dtype=np.float64
+    )
+    return CorpusStats(
+        name=name,
+        num_circuits=len(circuits),
+        mean_nodes=float(sizes.mean()),
+        std_nodes=float(sizes.std()),
+        mean_dffs=float(dffs.mean()),
+        mean_pis=float(pis.mean()),
+        mean_levels=float(levels.mean()),
+    )
+
+
+def netlist_summary(nl: Netlist) -> dict[str, int]:
+    """Per-design counters used by the Table IV regenerator."""
+    counts = nl.type_counts()
+    return {
+        "nodes": len(nl),
+        "pis": counts.get(GateType.PI, 0),
+        "dffs": counts.get(GateType.DFF, 0),
+        "ands": counts.get(GateType.AND, 0),
+        "nots": counts.get(GateType.NOT, 0),
+        "pos": len(nl.pos),
+        "edges": nl.num_edges,
+    }

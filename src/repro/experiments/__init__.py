@@ -1,0 +1,38 @@
+"""Experiment drivers: one module per paper table."""
+
+from repro.experiments.config import PAPER, QUICK, ExperimentScale, get_scale
+from repro.experiments.reporting import TextTable
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import PAPER_TABLE2, Table2Result, run_table2
+from repro.experiments.table3 import PAPER_TABLE3, Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+from repro.experiments.table5 import PAPER_TABLE5, Table5Result, run_table5
+from repro.experiments.table6 import PAPER_TABLE6, Table6Result, run_table6
+from repro.experiments.table7 import PAPER_TABLE7, Table7Result, run_table7
+
+__all__ = [
+    "PAPER",
+    "QUICK",
+    "ExperimentScale",
+    "get_scale",
+    "TextTable",
+    "Table1Result",
+    "run_table1",
+    "PAPER_TABLE2",
+    "Table2Result",
+    "run_table2",
+    "PAPER_TABLE3",
+    "Table3Result",
+    "run_table3",
+    "Table4Result",
+    "run_table4",
+    "PAPER_TABLE5",
+    "Table5Result",
+    "run_table5",
+    "PAPER_TABLE6",
+    "Table6Result",
+    "run_table6",
+    "PAPER_TABLE7",
+    "Table7Result",
+    "run_table7",
+]

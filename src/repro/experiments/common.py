@@ -1,0 +1,72 @@
+"""Shared plumbing of the experiment drivers."""
+
+from __future__ import annotations
+
+from repro.circuit.benchmarks import training_corpus
+from repro.circuit.netlist import Netlist
+from repro.experiments.config import ExperimentScale
+from repro.models.base import ModelConfig, RecurrentDagGnn
+from repro.models.registry import make_model
+from repro.sim.logicsim import SimConfig
+from repro.train.dataset import CircuitSample, build_dataset
+from repro.train.trainer import TrainConfig, Trainer
+
+__all__ = [
+    "sim_config",
+    "model_config",
+    "training_circuits",
+    "training_dataset",
+    "pretrain",
+]
+
+
+def sim_config(scale: ExperimentScale) -> SimConfig:
+    return SimConfig(
+        cycles=scale.sim_cycles,
+        streams=scale.sim_streams,
+        seed=scale.seed + 1,
+    )
+
+
+def model_config(scale: ExperimentScale, aggregator: str = "dual_attention") -> ModelConfig:
+    return ModelConfig(
+        hidden=scale.hidden,
+        iterations=scale.iterations,
+        aggregator=aggregator,
+        mlp_hidden=scale.hidden,
+        seed=scale.seed,
+    )
+
+
+def training_circuits(scale: ExperimentScale) -> dict[str, list[Netlist]]:
+    """Generate the per-family training corpus at this scale."""
+    return training_corpus(counts=scale.family_counts, seed=scale.seed)
+
+
+def training_dataset(scale: ExperimentScale) -> list[CircuitSample]:
+    """Corpus + simulated labels, flattened across families."""
+    corpus = training_circuits(scale)
+    circuits = [nl for fam in sorted(corpus) for nl in corpus[fam]]
+    return build_dataset(circuits, sim_config(scale), seed=scale.seed)
+
+
+def pretrain(
+    name: str,
+    aggregator: str,
+    scale: ExperimentScale,
+    dataset: list[CircuitSample],
+    verbose: bool = False,
+) -> RecurrentDagGnn:
+    """Train one model with the scale's schedule; returns the trained model."""
+    model = make_model(name, model_config(scale, aggregator))
+    trainer = Trainer(
+        TrainConfig(
+            epochs=scale.epochs,
+            lr=scale.lr,
+            batch_size=scale.batch_size,
+            seed=scale.seed,
+            verbose=verbose,
+        )
+    )
+    trainer.train(model, dataset)
+    return model

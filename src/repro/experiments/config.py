@@ -1,0 +1,101 @@
+"""Experiment scaling: "quick" (CPU-minutes) vs "paper" (full-scale) modes.
+
+Training a recurrent DAG-GNN in pure numpy runs ~2 orders of magnitude
+slower than the paper's GPU/PyG setup, so every experiment driver accepts
+an :class:`ExperimentScale`.  ``QUICK`` reproduces the *shape* of every
+table (model ranking, relative improvements, crossovers) within a few
+minutes on a laptop CPU; ``PAPER`` uses the publication's parameters
+(10,534 circuits, 10,000-cycle workloads, 50 epochs, T=10, d=64, 1,000
+fine-tuning workloads) and is what you run when you have the hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ExperimentScale", "QUICK", "PAPER", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs an experiment driver needs, in one bundle.
+
+    Attributes:
+        name: scale label used in report headers.
+        family_counts: training sub-circuits per benchmark family.
+        sim_cycles / sim_streams: simulated cycles per stream and parallel
+            bit lanes; effective sample count is their product (the paper's
+            10,000-cycle single-stream workload = 64 lanes x 157 cycles).
+        hidden / iterations: model width d and recurrence depth T.
+        epochs / lr / batch_size: pre-training schedule.  The quick mode
+            compensates for few epochs with a larger learning rate.
+        design_scale: node-count multiplier for the six large test designs
+            during *training-bearing* experiments (Tables V-VII quick mode
+            uses 1/8-scale stand-ins; Table IV always reports full scale).
+        finetune_workloads / finetune_epochs: per-design fine-tuning.
+        table6_workloads: workload count for the ac97_ctrl sweep.
+        reliability_circuits: circuits used for the reliability fine-tune.
+        seed: global seed; every derived seed mixes this.
+    """
+
+    name: str
+    family_counts: dict[str, int] = field(
+        default_factory=lambda: {"iscas89": 6, "itc99": 6, "opencores": 12}
+    )
+    sim_cycles: int = 120
+    sim_streams: int = 64
+    hidden: int = 32
+    iterations: int = 4
+    epochs: int = 30
+    lr: float = 5e-3
+    batch_size: int = 4
+    design_scale: float = 0.0625
+    finetune_workloads: int = 8
+    finetune_epochs: int = 6
+    finetune_lr: float = 5e-3
+    #: PI activity of fine-tuning/testing workloads on the large designs.
+    #: Real testbenches exercise the design; fully-parked workloads leave
+    #: GT power near zero and make relative errors meaningless.
+    workload_activity: float = 0.55
+    table6_workloads: int = 5
+    reliability_circuits: int = 10
+    seed: int = 0
+
+    @property
+    def effective_samples(self) -> int:
+        return self.sim_cycles * self.sim_streams
+
+
+QUICK = ExperimentScale(name="quick")
+
+PAPER = ExperimentScale(
+    name="paper",
+    family_counts={"iscas89": 1159, "itc99": 1691, "opencores": 7684},
+    sim_cycles=157,
+    sim_streams=64,  # 157 x 64 ~ 10,000 effective cycles
+    hidden=64,
+    iterations=10,
+    epochs=50,
+    lr=1e-4,
+    batch_size=4,
+    design_scale=1.0,
+    finetune_workloads=1000,
+    finetune_epochs=50,
+    finetune_lr=1e-4,
+    table6_workloads=5,
+    reliability_circuits=200,
+    workload_activity=0.55,
+)
+
+_SCALES = {"quick": QUICK, "paper": PAPER}
+
+
+def get_scale(name: str = "quick", **overrides) -> ExperimentScale:
+    """Look up a scale by name, optionally overriding fields."""
+    try:
+        scale = _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
+        ) from None
+    return replace(scale, **overrides) if overrides else scale

@@ -1,0 +1,59 @@
+"""Plain-text table rendering shared by the experiment drivers.
+
+Every driver produces the same rows/columns the paper prints, so the
+regenerated tables can be eyeballed against the publication directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TextTable"]
+
+
+@dataclass
+class TextTable:
+    """Fixed-width table with a title, header and footer rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    footer: list[str] | None = None
+
+    def add(self, *cells) -> None:
+        self.rows.append([_fmt(c) for c in cells])
+
+    def set_footer(self, *cells) -> None:
+        self.footer = [_fmt(c) for c in cells]
+
+    def render(self) -> str:
+        all_rows = [self.headers] + self.rows + (
+            [self.footer] if self.footer else []
+        )
+        widths = [
+            max(len(str(row[i])) for row in all_rows if i < len(row))
+            for i in range(len(self.headers))
+        ]
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(
+                str(c).ljust(w) if i == 0 else str(c).rjust(w)
+                for i, (c, w) in enumerate(zip(cells, widths))
+            )
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, sep, line(self.headers), sep]
+        out += [line(r) for r in self.rows]
+        if self.footer:
+            out += [sep, line(self.footer)]
+        out.append(sep)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,154 @@
+"""Table V — power estimation on the six large designs.
+
+Paper averages: probabilistic 16.35 % error, Grannite 8.48 %, DeepSeq
+3.19 %.  Expected shape: probabilistic worst on average, Grannite in
+between, DeepSeq best; an individual circuit may flip between Grannite and
+DeepSeq (paper: mem_ctrl).
+
+Flow per design (Fig. 3): pre-train DeepSeq and Grannite on the Table I
+corpus; fine-tune each on the design with a suite of workloads; evaluate
+on a held-out testing workload; translate everyone's transition
+probabilities into SAIF; run the power analyzer; compare against the
+simulated ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.benchmarks import LARGE_DESIGN_SPECS, large_design
+from repro.experiments.common import (
+    model_config,
+    pretrain,
+    sim_config,
+    training_dataset,
+)
+from repro.experiments.config import ExperimentScale, QUICK
+from repro.experiments.reporting import TextTable
+from repro.models.grannite import Grannite
+from repro.sim.workload import testbench_workload
+from repro.tasks.power.pipeline import PowerComparison, run_power_pipeline
+from repro.train.finetune import (
+    FinetuneConfig,
+    finetune_grannite,
+    finetune_on_workloads,
+)
+
+__all__ = ["Table5Result", "PAPER_TABLE5", "run_table5"]
+
+#: Published per-design errors (probabilistic %, grannite %, deepseq %).
+PAPER_TABLE5: dict[str, tuple[float, float, float]] = {
+    "noc_router": (6.58, 1.85, 1.53),
+    "pll": (19.12, 11.41, 2.56),
+    "ptc": (25.55, 10.20, 3.24),
+    "rtcclock": (12.84, 5.72, 4.54),
+    "ac97_ctrl": (26.22, 17.60, 2.74),
+    "mem_ctrl": (7.77, 4.10, 4.54),
+}
+
+
+@dataclass
+class Table5Result:
+    comparisons: dict[str, PowerComparison]
+    table: TextTable
+
+    @property
+    def text(self) -> str:
+        return self.table.render()
+
+    def avg_error(self, method: str) -> float:
+        errs = [c.method(method).error_pct for c in self.comparisons.values()]
+        return sum(errs) / len(errs)
+
+
+def run_table5(
+    scale: ExperimentScale = QUICK,
+    designs: tuple[str, ...] | None = None,
+) -> Table5Result:
+    """Run the full power-estimation comparison."""
+    designs = designs or tuple(LARGE_DESIGN_SPECS)
+    dataset = training_dataset(scale)
+    deepseq_pre = pretrain("deepseq", "dual_attention", scale, dataset)
+    grannite_pre_state = None
+
+    table = TextTable(
+        title=f"Table V - power estimation ({scale.name} scale)",
+        headers=[
+            "Design",
+            "GT (mW)",
+            "Prob (mW)",
+            "Err%",
+            "Grannite (mW)",
+            "Err%",
+            "DeepSeq (mW)",
+            "Err%",
+        ],
+    )
+    sim = sim_config(scale)
+    ft = FinetuneConfig(
+        num_workloads=scale.finetune_workloads,
+        epochs=scale.finetune_epochs,
+        lr=scale.finetune_lr,
+        seed=scale.seed + 3,
+        sim=sim,
+        workload_activity=scale.workload_activity,
+    )
+    comparisons: dict[str, PowerComparison] = {}
+    pretrained_state = deepseq_pre.state_dict()
+    for name in designs:
+        nl = large_design(name, seed=scale.seed + 7, scale=scale.design_scale)
+        nl.name = name
+
+        deepseq = _clone_deepseq(scale, pretrained_state)
+        finetune_on_workloads(deepseq, nl, ft)
+
+        grannite = Grannite(model_config(scale, "attention"))
+        if grannite_pre_state is not None:
+            grannite.load_state_dict(grannite_pre_state)
+        finetune_grannite(grannite, nl, ft)
+
+        test_wl = testbench_workload(
+            nl, seed=scale.seed + 911, name="test",
+            active_fraction=scale.workload_activity,
+        )
+        cmp = run_power_pipeline(
+            nl, test_wl, deepseq=deepseq, grannite=grannite, sim_config=sim
+        )
+        comparisons[name] = cmp
+        prob = cmp.method("probabilistic")
+        gra = cmp.method("grannite")
+        dee = cmp.method("deepseq")
+        table.add(
+            name,
+            cmp.gt_mw,
+            prob.power_mw,
+            f"{prob.error_pct:.2f}",
+            gra.power_mw,
+            f"{gra.error_pct:.2f}",
+            dee.power_mw,
+            f"{dee.error_pct:.2f}",
+        )
+    result = Table5Result(comparisons=comparisons, table=table)
+    table.set_footer(
+        "Avg.",
+        "",
+        "",
+        f"{result.avg_error('probabilistic'):.2f}",
+        "",
+        f"{result.avg_error('grannite'):.2f}",
+        "",
+        f"{result.avg_error('deepseq'):.2f}",
+    )
+    return result
+
+
+def _clone_deepseq(scale: ExperimentScale, state: dict):
+    from repro.models.deepseq import DeepSeq
+
+    model = DeepSeq(model_config(scale, "dual_attention"))
+    model.load_state_dict(state)
+    return model
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table5().text)

@@ -1,0 +1,124 @@
+"""Table VI — power estimation on ac97_ctrl under five workloads W0–W4.
+
+Paper averages: probabilistic 15.51 %, Grannite 7.42 %, DeepSeq 2.57 %.
+Expected shape: after fine-tuning once, DeepSeq stays accurate across all
+five unseen workloads and beats both baselines on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.benchmarks import large_design
+from repro.experiments.common import model_config, pretrain, sim_config, training_dataset
+from repro.experiments.config import ExperimentScale, QUICK
+from repro.experiments.reporting import TextTable
+from repro.models.grannite import Grannite
+from repro.sim.workload import testbench_workload
+from repro.tasks.power.pipeline import PowerComparison, run_power_pipeline
+from repro.train.finetune import (
+    FinetuneConfig,
+    finetune_grannite,
+    finetune_on_workloads,
+)
+
+__all__ = ["Table6Result", "PAPER_TABLE6", "run_table6"]
+
+#: Published per-workload errors (probabilistic %, grannite %, deepseq %).
+PAPER_TABLE6: dict[str, tuple[float, float, float]] = {
+    "W0": (26.22, 17.60, 2.74),
+    "W1": (7.97, 6.93, 3.88),
+    "W2": (17.73, 2.47, 2.21),
+    "W3": (13.15, 6.62, 2.69),
+    "W4": (12.49, 3.49, 1.33),
+}
+
+
+@dataclass
+class Table6Result:
+    comparisons: dict[str, PowerComparison]
+    table: TextTable
+
+    @property
+    def text(self) -> str:
+        return self.table.render()
+
+    def avg_error(self, method: str) -> float:
+        errs = [c.method(method).error_pct for c in self.comparisons.values()]
+        return sum(errs) / len(errs)
+
+
+def run_table6(
+    scale: ExperimentScale = QUICK, design: str = "ac97_ctrl"
+) -> Table6Result:
+    """Fine-tune once on the design; evaluate five unseen workloads."""
+    dataset = training_dataset(scale)
+    deepseq = pretrain("deepseq", "dual_attention", scale, dataset)
+    grannite = Grannite(model_config(scale, "attention"))
+
+    nl = large_design(design, seed=scale.seed + 7, scale=scale.design_scale)
+    nl.name = design
+    sim = sim_config(scale)
+    ft = FinetuneConfig(
+        num_workloads=scale.finetune_workloads,
+        epochs=scale.finetune_epochs,
+        lr=scale.finetune_lr,
+        seed=scale.seed + 3,
+        sim=sim,
+        workload_activity=scale.workload_activity,
+    )
+    finetune_on_workloads(deepseq, nl, ft)
+    finetune_grannite(grannite, nl, ft)
+
+    table = TextTable(
+        title=f"Table VI - {design} under different workloads ({scale.name} scale)",
+        headers=[
+            "Workload",
+            "GT (mW)",
+            "Prob (mW)",
+            "Err%",
+            "Grannite (mW)",
+            "Err%",
+            "DeepSeq (mW)",
+            "Err%",
+        ],
+    )
+    comparisons: dict[str, PowerComparison] = {}
+    for k in range(scale.table6_workloads):
+        wl = testbench_workload(
+            nl, seed=scale.seed + 2000 + 31 * k, name=f"W{k}",
+            active_fraction=scale.workload_activity,
+        )
+        cmp = run_power_pipeline(
+            nl, wl, deepseq=deepseq, grannite=grannite, sim_config=sim
+        )
+        comparisons[wl.name] = cmp
+        prob = cmp.method("probabilistic")
+        gra = cmp.method("grannite")
+        dee = cmp.method("deepseq")
+        table.add(
+            wl.name,
+            cmp.gt_mw,
+            prob.power_mw,
+            f"{prob.error_pct:.2f}",
+            gra.power_mw,
+            f"{gra.error_pct:.2f}",
+            dee.power_mw,
+            f"{dee.error_pct:.2f}",
+        )
+    result = Table6Result(comparisons=comparisons, table=table)
+    table.set_footer(
+        "Avg.",
+        "",
+        "",
+        f"{result.avg_error('probabilistic'):.2f}",
+        "",
+        f"{result.avg_error('grannite'):.2f}",
+        "",
+        f"{result.avg_error('deepseq'):.2f}",
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table6().text)

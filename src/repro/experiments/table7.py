@@ -1,0 +1,139 @@
+"""Table VII — reliability analysis on the six large designs.
+
+Paper averages: analytical baseline 2.66 % error, DeepSeq 0.31 %.
+Expected shape: both reliabilities near 0.97–1.0, the analytical method
+off by percents (pessimistic at reconvergence/FF feedback), fine-tuned
+DeepSeq an order of magnitude closer to ground truth.
+
+Flow (Section V-B1): pre-train DeepSeq, fine-tune it on Table I circuits
+relabelled with Monte-Carlo error probabilities (0.05 % rate, 100-cycle
+patterns), then infer per-node error probabilities on each test design and
+reduce them to circuit reliability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.benchmarks import LARGE_DESIGN_SPECS, large_design
+from repro.experiments.common import (
+    pretrain,
+    sim_config,
+    training_circuits,
+    training_dataset,
+)
+from repro.experiments.config import ExperimentScale, QUICK
+from repro.experiments.reporting import TextTable
+from repro.sim.faults import FaultConfig
+from repro.sim.workload import testbench_workload
+from repro.tasks.reliability.pipeline import (
+    ReliabilityComparison,
+    run_reliability_pipeline,
+)
+from repro.train.finetune import FinetuneConfig, finetune_for_reliability
+
+__all__ = ["Table7Result", "PAPER_TABLE7", "run_table7"]
+
+#: Published values: (GT, probabilistic, prob err %, deepseq err %).
+PAPER_TABLE7: dict[str, tuple[float, float, float, float]] = {
+    "noc_router": (0.9876, 0.9607, 2.72, 0.63),
+    "pll": (0.9792, 0.9501, 3.95, 0.35),
+    "ptc": (0.9970, 0.9656, 3.15, 0.42),
+    "rtcclock": (0.9985, 0.9812, 1.73, 0.16),
+    "ac97_ctrl": (0.9953, 0.9704, 2.50, 0.10),
+    "mem_ctrl": (0.9958, 0.9767, 1.92, 0.22),
+}
+
+
+@dataclass
+class Table7Result:
+    comparisons: dict[str, ReliabilityComparison]
+    table: TextTable
+
+    @property
+    def text(self) -> str:
+        return self.table.render()
+
+    def avg_error(self, which: str) -> float:
+        if which == "analytical":
+            errs = [c.analytical_error_pct for c in self.comparisons.values()]
+        else:
+            errs = [c.deepseq_error_pct for c in self.comparisons.values()]
+        return sum(errs) / len(errs)
+
+
+def run_table7(
+    scale: ExperimentScale = QUICK,
+    designs: tuple[str, ...] | None = None,
+) -> Table7Result:
+    """Run the reliability comparison across the test designs."""
+    designs = designs or tuple(LARGE_DESIGN_SPECS)
+    fault_config = FaultConfig(seed=scale.seed + 5)
+    sim = sim_config(scale)
+
+    # Pre-train on the standard objective, then fine-tune for reliability.
+    dataset = training_dataset(scale)
+    model = pretrain("deepseq", "dual_attention", scale, dataset)
+    corpus = training_circuits(scale)
+    ft_circuits = [nl for fam in sorted(corpus) for nl in corpus[fam]]
+    ft_circuits = ft_circuits[: scale.reliability_circuits]
+    ft_config = FinetuneConfig(
+        epochs=scale.finetune_epochs,
+        lr=scale.finetune_lr,
+        seed=scale.seed + 11,
+        sim=sim,
+    )
+    finetune_for_reliability(
+        model, ft_circuits, ft_config, fault_config=fault_config
+    )
+
+    table = TextTable(
+        title=f"Table VII - reliability analysis ({scale.name} scale)",
+        headers=[
+            "Design",
+            "GT",
+            "Probabilistic",
+            "Err%",
+            "DeepSeq",
+            "Err%",
+        ],
+    )
+    comparisons: dict[str, ReliabilityComparison] = {}
+    for name in designs:
+        nl = large_design(name, seed=scale.seed + 7, scale=scale.design_scale)
+        nl.name = name
+        wl = testbench_workload(
+            nl, seed=scale.seed + 500, name="test",
+            active_fraction=scale.workload_activity,
+        )
+        cmp = run_reliability_pipeline(
+            nl,
+            wl,
+            deepseq=model,
+            sim_config=sim,
+            fault_config=fault_config,
+            error_scale=ft_config.target_scale,
+        )
+        comparisons[name] = cmp
+        table.add(
+            name,
+            f"{cmp.gt:.4f}",
+            f"{cmp.analytical:.4f}",
+            f"{cmp.analytical_error_pct:.2f}",
+            f"{cmp.deepseq:.4f}",
+            f"{cmp.deepseq_error_pct:.2f}",
+        )
+    result = Table7Result(comparisons=comparisons, table=table)
+    table.set_footer(
+        "Avg.",
+        "",
+        "",
+        f"{result.avg_error('analytical'):.2f}",
+        "",
+        f"{result.avg_error('deepseq'):.2f}",
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table7().text)

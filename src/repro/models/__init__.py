@@ -1,0 +1,38 @@
+"""GNN models: DeepSeq, DAG-GNN baselines, Grannite."""
+
+from repro.models.aggregators import (
+    Aggregator,
+    AttentionAggregator,
+    ConvSumAggregator,
+    DualAttentionAggregator,
+    make_aggregator,
+)
+from repro.models.base import (
+    ModelConfig,
+    Prediction,
+    RecurrentDagGnn,
+    baseline_batches,
+)
+from repro.models.baselines import DagConvGnn, DagRecGnn
+from repro.models.deepseq import DeepSeq
+from repro.models.grannite import Grannite, SourceActivity
+from repro.models.registry import MODEL_NAMES, make_model
+
+__all__ = [
+    "Aggregator",
+    "AttentionAggregator",
+    "ConvSumAggregator",
+    "DualAttentionAggregator",
+    "make_aggregator",
+    "ModelConfig",
+    "Prediction",
+    "RecurrentDagGnn",
+    "baseline_batches",
+    "DagConvGnn",
+    "DagRecGnn",
+    "DeepSeq",
+    "Grannite",
+    "SourceActivity",
+    "MODEL_NAMES",
+    "make_model",
+]

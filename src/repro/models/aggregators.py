@@ -1,0 +1,138 @@
+"""Aggregation functions: conv-sum, additive attention, and dual attention.
+
+These instantiate the ``Aggregate`` of Eq. (4).  All three share one calling
+convention: given the current hidden states ``h_cur`` (already updated for
+lower levels of this pass), the pass-start states ``h_prev`` (the paper's
+``h^{t-1}_v``) and an :class:`~repro.circuit.graph.EdgeBatch`, they return
+one aggregated message row per batch node.
+
+* :class:`ConvSumAggregator` — GCN-style linear + sum over predecessors
+  ([12] in the paper); message width = hidden.
+* :class:`AttentionAggregator` — the additive attention of Eq. (5)
+  ([14], [16]); message width = hidden.
+* :class:`DualAttentionAggregator` — the paper's contribution: Eq. (5)
+  produces the logic message ``m_LG``; Eq. (6) gates it against the node's
+  previous state producing the transition message ``m_TR``; the final
+  message is their concatenation (Eq. (7)), width = 2 x hidden.
+
+Note on Eq. (6): the paper writes a softmax over a *single* logit, which is
+identically 1; following the additive-attention reading we implement the
+gate as a sigmoid of the same score — the standard single-query attention
+degeneration (recorded as a documented deviation in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.graph import EdgeBatch
+from repro.nn.functional import segment_softmax
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Aggregator",
+    "ConvSumAggregator",
+    "AttentionAggregator",
+    "DualAttentionAggregator",
+    "make_aggregator",
+]
+
+
+class Aggregator(Module):
+    """Interface: aggregators map (h_cur, h_prev, batch) -> messages."""
+
+    #: width of the produced message, as a multiple of the hidden size.
+    out_multiplier: int = 1
+
+    def __init__(self, hidden: int) -> None:
+        super().__init__()
+        self.hidden = hidden
+
+    @property
+    def out_features(self) -> int:
+        return self.hidden * self.out_multiplier
+
+    def forward(self, h_cur: Tensor, h_prev: Tensor, batch: EdgeBatch) -> Tensor:
+        raise NotImplementedError
+
+
+class ConvSumAggregator(Aggregator):
+    """m_v = sum over predecessors of W h_u  (convolutional sum)."""
+
+    def __init__(self, hidden: int, seed: int = 0) -> None:
+        super().__init__(hidden)
+        self.proj = Linear(hidden, hidden, seed=seed)
+
+    def forward(self, h_cur: Tensor, h_prev: Tensor, batch: EdgeBatch) -> Tensor:
+        msgs = self.proj(h_cur.gather_rows(batch.src))
+        return msgs.segment_sum(batch.dst_local, batch.num_nodes)
+
+
+class AttentionAggregator(Aggregator):
+    """Additive attention over predecessors (Eq. 5).
+
+    score(u -> v) = w1^T h_v^{t-1} + w2^T h_u^t, softmax within each v.
+    """
+
+    def __init__(self, hidden: int, seed: int = 0) -> None:
+        super().__init__(hidden)
+        self.w1 = Linear(hidden, 1, bias=False, seed=seed)
+        self.w2 = Linear(hidden, 1, bias=False, seed=seed + 1)
+
+    def forward(self, h_cur: Tensor, h_prev: Tensor, batch: EdgeBatch) -> Tensor:
+        h_src = h_cur.gather_rows(batch.src)
+        dst_scores = self.w1(h_prev.gather_rows(batch.nodes))  # (m, 1)
+        scores = dst_scores.gather_rows(batch.dst_local) + self.w2(h_src)
+        alpha = segment_softmax(scores, batch.dst_local, batch.num_nodes)
+        return (h_src * alpha).segment_sum(batch.dst_local, batch.num_nodes)
+
+
+class DualAttentionAggregator(Aggregator):
+    """The paper's dual attention (Eqs. 5-7): m_v = m_TR || m_LG."""
+
+    out_multiplier = 2
+
+    def __init__(self, hidden: int, seed: int = 0) -> None:
+        super().__init__(hidden)
+        # Eq. (5) parameters (logic attention).
+        self.w1 = Linear(hidden, 1, bias=False, seed=seed)
+        self.w2 = Linear(hidden, 1, bias=False, seed=seed + 1)
+        # Eq. (6) parameters (transition gate); the paper reuses the symbols
+        # w1/w2 but the operands differ (h^{t-1}_v vs m_LG), so independent
+        # weights are the faithful reading.
+        self.w3 = Linear(hidden, 1, bias=False, seed=seed + 2)
+        self.w4 = Linear(hidden, 1, bias=False, seed=seed + 3)
+
+    def forward(self, h_cur: Tensor, h_prev: Tensor, batch: EdgeBatch) -> Tensor:
+        h_src = h_cur.gather_rows(batch.src)
+        h_dst_prev = h_prev.gather_rows(batch.nodes)  # (m, d)
+        # Eq. (5): logic message.
+        scores = self.w1(h_dst_prev).gather_rows(batch.dst_local) + self.w2(h_src)
+        alpha = segment_softmax(scores, batch.dst_local, batch.num_nodes)
+        m_lg = (h_src * alpha).segment_sum(batch.dst_local, batch.num_nodes)
+        # Eq. (6): transition message — gate m_LG against the previous state
+        # (transition probability depends on current vs previous state).
+        gate = (self.w3(h_dst_prev) + self.w4(m_lg)).sigmoid()
+        m_tr = m_lg * gate
+        # Eq. (7): concatenate.
+        return Tensor.concat([m_tr, m_lg], axis=1)
+
+
+_AGGREGATORS = {
+    "conv_sum": ConvSumAggregator,
+    "attention": AttentionAggregator,
+    "dual_attention": DualAttentionAggregator,
+}
+
+
+def make_aggregator(kind: str, hidden: int, seed: int = 0) -> Aggregator:
+    """Factory: ``conv_sum`` | ``attention`` | ``dual_attention``."""
+    try:
+        cls = _AGGREGATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregator {kind!r}; choose from {sorted(_AGGREGATORS)}"
+        ) from None
+    return cls(hidden, seed=seed)

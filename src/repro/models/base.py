@@ -1,0 +1,256 @@
+"""Shared machinery of all DAG-GNN models.
+
+Both DeepSeq and the baselines are *recurrent levelized DAG-GNNs*: per
+iteration they run a forward pass over level batches (aggregate from
+predecessors, combine with a GRU), a reverse pass over reverse-level
+batches, and optionally the DFF copy step; after T iterations two MLP heads
+regress per-node transition and logic probabilities.  The differences are
+confined to (a) which nodes each pass updates, (b) which edges deliver
+messages, and (c) the aggregation function — all expressed as data here.
+
+Workload conditioning follows the paper exactly: the embedding of every PI
+is initialized to its workload logic-1 probability broadcast across all
+dimensions and *held fixed*; all other embeddings start random and update
+during propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gates import ONE_HOT_DIM
+from repro.circuit.graph import CircuitGraph, EdgeBatch
+from repro.nn.layers import MLP
+from repro.nn.module import Module
+from repro.nn.recurrent import GRUCell
+from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.models.aggregators import Aggregator, make_aggregator
+from repro.sim.workload import Workload
+
+__all__ = ["ModelConfig", "Prediction", "RecurrentDagGnn", "baseline_batches"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters shared by every model (paper Section IV-A3)."""
+
+    hidden: int = 64
+    iterations: int = 10
+    aggregator: str = "dual_attention"
+    mlp_hidden: int = 64
+    mlp_layers: int = 3
+    seed: int = 0
+
+
+@dataclass
+class Prediction:
+    """Per-node outputs of a model forward pass."""
+
+    tr: np.ndarray  # (N, 2) [p01, p10]
+    lg: np.ndarray  # (N,)
+
+    @property
+    def toggle_rate(self) -> np.ndarray:
+        return self.tr.sum(axis=1)
+
+
+def baseline_batches(graph: CircuitGraph) -> tuple[list[EdgeBatch], list[EdgeBatch]]:
+    """Level batches for the *simple* propagation of the baseline models.
+
+    Unlike DeepSeq's customized scheme, the baselines treat flip-flops as
+    ordinary nodes: the forward pass updates DFFs from their data edge and
+    the reverse pass lets gates hear from the DFFs they feed.  (Cycles are
+    still broken by levelization — a DFF sits at level 1 and simply reads
+    its predecessor's state from the previous sweep.)
+    """
+    nl = graph.netlist
+    fanouts = nl.fanouts()
+    forward: list[EdgeBatch] = []
+    for batch in graph.forward_batches:
+        forward.append(batch)
+    # Insert DFF updates as a dedicated level-1 batch (they are pseudo-PIs
+    # in the cut levelization, so no comb batch contains them).
+    if graph.dff_ids.size:
+        dff_batch = EdgeBatch(
+            nodes=graph.dff_ids.copy(),
+            src=graph.dff_src.copy(),
+            dst_local=np.arange(graph.dff_ids.size, dtype=np.int64),
+        )
+        forward = [dff_batch] + forward
+    reverse: list[EdgeBatch] = []
+    for batch in graph.reverse_batches:
+        # Re-derive successor edges *including* DFD consumers.
+        src: list[int] = []
+        dst_local: list[int] = []
+        for pos, node in enumerate(batch.nodes):
+            for succ in fanouts[int(node)]:
+                src.append(int(succ))
+                dst_local.append(pos)
+        reverse.append(
+            EdgeBatch(
+                nodes=batch.nodes,
+                src=np.asarray(src, dtype=np.int64),
+                dst_local=np.asarray(dst_local, dtype=np.int64),
+            )
+        )
+    return forward, reverse
+
+
+class RecurrentDagGnn(Module):
+    """Recurrent levelized DAG-GNN with forward and reverse layers.
+
+    Subclasses configure the propagation through three hooks:
+    :meth:`batches_for` (which EdgeBatches each pass visits),
+    ``dff_copy_step`` (DeepSeq's step 4) and ``config.iterations``.
+
+    Args:
+        config: shared hyper-parameters.
+        dff_copy_step: after each iteration copy every DFF's predecessor
+            embedding onto the DFF (customized propagation step 4).
+        use_custom_batches: use DeepSeq's cut-graph batches (True) or the
+            baseline batches including DFF updates (False).
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        dff_copy_step: bool,
+        use_custom_batches: bool,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.dff_copy_step = dff_copy_step
+        self.use_custom_batches = use_custom_batches
+        d = config.hidden
+        seed = config.seed
+        self.forward_agg: Aggregator = make_aggregator(
+            config.aggregator, d, seed=seed
+        )
+        self.reverse_agg: Aggregator = make_aggregator(
+            config.aggregator, d, seed=seed + 10
+        )
+        gru_in = self.forward_agg.out_features + ONE_HOT_DIM
+        self.forward_gru = GRUCell(gru_in, d, seed=seed + 20)
+        self.reverse_gru = GRUCell(gru_in, d, seed=seed + 30)
+        self.head_tr = MLP(
+            d, config.mlp_hidden, 2, num_layers=config.mlp_layers,
+            sigmoid_out=True, seed=seed + 40,
+        )
+        self.head_lg = MLP(
+            d, config.mlp_hidden, 1, num_layers=config.mlp_layers,
+            sigmoid_out=True, seed=seed + 50,
+        )
+        self._batch_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def batches_for(self, graph: CircuitGraph) -> tuple[list[EdgeBatch], list[EdgeBatch]]:
+        # Keyed by id() but the cached entry pins the graph object, so the
+        # id cannot be recycled while the entry lives.
+        key = id(graph)
+        entry = self._batch_cache.get(key)
+        if entry is None or entry[0] is not graph:
+            if self.use_custom_batches:
+                batches = (graph.forward_batches, graph.reverse_batches)
+            else:
+                batches = baseline_batches(graph)
+            self._batch_cache[key] = (graph, batches)
+            if len(self._batch_cache) > 64:  # bound the cache
+                self._batch_cache.pop(next(iter(self._batch_cache)))
+            return batches
+        return entry[1]
+
+    def initial_hidden(self, graph: CircuitGraph, workload: Workload) -> Tensor:
+        """Paper init: PI rows = workload prob broadcast; rest random.
+
+        The random part is drawn from a *fixed* seed (mixed with the graph
+        size only) so that a model's predictions are fully determined by
+        its parameters — loading a checkpoint into a model constructed with
+        any seed reproduces identical outputs.
+        """
+        d = self.config.hidden
+        rng = np.random.default_rng(0xD5EC + graph.num_nodes)
+        h0 = rng.uniform(-1.0, 1.0, size=(graph.num_nodes, d)) / np.sqrt(d)
+        if workload.num_pis != graph.num_pis:
+            raise ValueError(
+                f"workload has {workload.num_pis} PIs, graph has {graph.num_pis}"
+            )
+        h0[graph.pi_ids] = workload.pi_probs[:, None]
+        return Tensor(h0)
+
+    def _run_pass(
+        self,
+        h: Tensor,
+        features: Tensor,
+        batches: list[EdgeBatch],
+        agg: Aggregator,
+        gru: GRUCell,
+    ) -> Tensor:
+        """One levelized sweep; returns the updated hidden-state tensor."""
+        h_start = h
+        inplace = not is_grad_enabled()
+        for batch in batches:
+            if batch.num_nodes == 0 or batch.num_edges == 0:
+                continue
+            m = agg(h, h_start, batch)
+            x = features.gather_rows(batch.nodes)
+            gru_in = Tensor.concat([m, x], axis=1)
+            h_rows = gru(gru_in, h_start.gather_rows(batch.nodes))
+            if inplace:
+                h.data[batch.nodes] = h_rows.data
+            else:
+                h = h.row_update(batch.nodes, h_rows)
+        return h
+
+    def embed(self, graph: CircuitGraph, workload: Workload) -> Tensor:
+        """Run the full T-iteration propagation; returns final (N, d) states."""
+        h = self.initial_hidden(graph, workload)
+        features = Tensor(graph.features)
+        fwd_batches, rev_batches = self.batches_for(graph)
+        inplace = not is_grad_enabled()
+        for _ in range(self.config.iterations):
+            h = self._run_pass(h, features, fwd_batches, self.forward_agg, self.forward_gru)
+            h = self._run_pass(h, features, rev_batches, self.reverse_agg, self.reverse_gru)
+            if self.dff_copy_step and graph.dff_ids.size:
+                rows = h.gather_rows(graph.dff_src)
+                if inplace:
+                    h.data[graph.dff_ids] = rows.data
+                else:
+                    h = h.row_update(graph.dff_ids, rows)
+        return h
+
+    def forward(self, graph: CircuitGraph, workload: Workload) -> tuple[Tensor, Tensor]:
+        """Differentiable forward: returns (pred_tr (N,2), pred_lg (N,1))."""
+        h = self.embed(graph, workload)
+        return self.head_tr(h), self.head_lg(h)
+
+    def predict(self, graph: CircuitGraph, workload: Workload) -> Prediction:
+        """Inference helper (no autograd, in-place propagation)."""
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            pred_tr, pred_lg = self.forward(graph, workload)
+        return Prediction(tr=pred_tr.data.copy(), lg=pred_lg.data[:, 0].copy())
+
+    def readout(
+        self, graph: CircuitGraph, workload: Workload, mode: str = "mean"
+    ) -> np.ndarray:
+        """Graph-level embedding (Eq. 2's Readout over final node states).
+
+        The paper trains node-level objectives only; this readout is the
+        natural graph-level summary for downstream classification /
+        retrieval use-cases (see ``examples/family_classification.py``).
+        ``mode``: ``mean`` | ``max`` | ``meanmax`` (concatenation).
+        """
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            h = self.embed(graph, workload).data
+        if mode == "mean":
+            return h.mean(axis=0)
+        if mode == "max":
+            return h.max(axis=0)
+        if mode == "meanmax":
+            return np.concatenate([h.mean(axis=0), h.max(axis=0)])
+        raise ValueError(f"unknown readout mode {mode!r}")

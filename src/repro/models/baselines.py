@@ -1,0 +1,41 @@
+"""Baseline models: DAG-ConvGNN [15], [16] and DAG-RecGNN [17].
+
+Both use the *simple* propagation scheme — flip-flops are ordinary nodes
+updated in place from their data edge, no clock-edge copy step — with one
+forward and one reverse layer (paper Section IV-A2).  DAG-ConvGNN applies
+the layers once; DAG-RecGNN applies them recursively T times.  Either can
+use convolutional-sum or additive-attention aggregation; the combine
+function is a GRU in both (following [15]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.models.base import ModelConfig, RecurrentDagGnn
+
+__all__ = ["DagConvGnn", "DagRecGnn"]
+
+
+class DagConvGnn(RecurrentDagGnn):
+    """Non-recursive DAG-GNN: one forward + one reverse sweep (T = 1)."""
+
+    def __init__(self, config: ModelConfig | None = None) -> None:
+        config = config or ModelConfig(aggregator="conv_sum")
+        super().__init__(
+            replace(config, iterations=1),
+            dff_copy_step=False,
+            use_custom_batches=False,
+        )
+
+
+class DagRecGnn(RecurrentDagGnn):
+    """Recursive DAG-GNN: the forward/reverse sweeps repeat T times."""
+
+    def __init__(self, config: ModelConfig | None = None) -> None:
+        config = config or ModelConfig(aggregator="attention")
+        super().__init__(
+            config,
+            dff_copy_step=False,
+            use_custom_batches=False,
+        )

@@ -1,0 +1,48 @@
+"""Model factory keyed by the names used in the paper's tables."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.models.base import ModelConfig, RecurrentDagGnn
+from repro.models.baselines import DagConvGnn, DagRecGnn
+from repro.models.deepseq import DeepSeq
+
+__all__ = ["MODEL_NAMES", "make_model"]
+
+#: (model, aggregator) combinations appearing in Tables II and III.
+MODEL_NAMES: tuple[tuple[str, str], ...] = (
+    ("dag_convgnn", "conv_sum"),
+    ("dag_convgnn", "attention"),
+    ("dag_recgnn", "conv_sum"),
+    ("dag_recgnn", "attention"),
+    ("deepseq", "attention"),
+    ("deepseq", "dual_attention"),
+)
+
+
+def make_model(
+    name: str, config: ModelConfig | None = None, aggregator: str | None = None
+) -> RecurrentDagGnn:
+    """Instantiate a model by table name.
+
+    Args:
+        name: ``dag_convgnn`` | ``dag_recgnn`` | ``deepseq``.
+        config: base hyper-parameters (aggregator field may be overridden).
+        aggregator: ``conv_sum`` | ``attention`` | ``dual_attention``.
+    """
+    config = config or ModelConfig()
+    if aggregator is not None:
+        config = replace(config, aggregator=aggregator)
+    classes = {
+        "dag_convgnn": DagConvGnn,
+        "dag_recgnn": DagRecGnn,
+        "deepseq": DeepSeq,
+    }
+    try:
+        cls = classes[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {sorted(classes)}"
+        ) from None
+    return cls(config)

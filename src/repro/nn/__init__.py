@@ -1,0 +1,47 @@
+"""Neural-network substrate: autograd tensors, layers, optimizers."""
+
+from repro.nn.functional import (
+    clip01,
+    l1_loss,
+    mse_loss,
+    segment_mean,
+    segment_softmax,
+    softmax,
+)
+from repro.nn.init import orthogonal, uniform, xavier_uniform
+from repro.nn.layers import MLP, Linear, ReLU, Sequential, Sigmoid
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.recurrent import GRUCell
+from repro.nn.serialize import load_module, load_state, save_module, save_state
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "clip01",
+    "l1_loss",
+    "mse_loss",
+    "segment_mean",
+    "segment_softmax",
+    "softmax",
+    "orthogonal",
+    "uniform",
+    "xavier_uniform",
+    "MLP",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Module",
+    "Parameter",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "GRUCell",
+    "load_module",
+    "load_state",
+    "save_module",
+    "save_state",
+    "Tensor",
+    "is_grad_enabled",
+    "no_grad",
+]

@@ -1,0 +1,85 @@
+"""Composite differentiable operations built on :class:`~repro.nn.tensor.Tensor`.
+
+Includes the segment-softmax that powers attention over variable-size
+predecessor sets: DAG-GNN aggregation computes one score per edge and
+normalizes within each destination node's segment (paper Eq. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "segment_softmax",
+    "segment_mean",
+    "l1_loss",
+    "mse_loss",
+    "clip01",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x.data, axis=axis, keepdims=True)  # constant shift
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def segment_softmax(
+    scores: Tensor, segment_ids: np.ndarray, num_segments: int
+) -> Tensor:
+    """Softmax of per-edge ``scores`` within destination segments.
+
+    Args:
+        scores: shape ``(E,)`` or ``(E, 1)`` edge scores.
+        segment_ids: shape ``(E,)`` destination segment of each edge.
+        num_segments: number of destinations.
+
+    Returns:
+        Tensor of the same shape as ``scores`` holding attention weights
+        that sum to 1 inside every non-empty segment.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    flat = scores if scores.ndim == 1 else scores.reshape(scores.shape[0])
+    # Subtract the segment max (a constant w.r.t. gradients) for stability.
+    seg_max = np.full(num_segments, -np.inf, dtype=np.float64)
+    np.maximum.at(seg_max, segment_ids, flat.data)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    shifted = flat - seg_max[segment_ids]
+    e = shifted.exp()
+    denom = e.segment_sum(segment_ids, num_segments)
+    weights = e / denom.gather_rows(segment_ids)
+    return weights if scores.ndim == 1 else weights.reshape(scores.shape[0], 1)
+
+
+def segment_mean(
+    values: Tensor, segment_ids: np.ndarray, num_segments: int
+) -> Tensor:
+    """Mean of rows within each segment (empty segments give zero rows)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    sums = values.segment_sum(segment_ids, num_segments)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    shape = (num_segments,) + (1,) * (values.ndim - 1)
+    return sums * Tensor(1.0 / counts.reshape(shape))
+
+
+def l1_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean absolute error — the paper's training loss (Eq. 3 summands)."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    return (pred - target_t).abs().mean()
+
+
+def mse_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error (used by some ablation configurations)."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target_t
+    return (diff * diff).mean()
+
+
+def clip01(x: np.ndarray) -> np.ndarray:
+    """Clamp raw predictions into the valid probability range."""
+    return np.clip(x, 0.0, 1.0)

@@ -1,0 +1,31 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "uniform", "orthogonal"]
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, int]) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in+fan_out))."""
+    fan_out, fan_in = shape
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], bound: float
+) -> np.ndarray:
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, shape: tuple[int, int]) -> np.ndarray:
+    """Orthogonal init (rows orthonormal) — helps recurrent stability."""
+    rows, cols = shape
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols]

@@ -1,0 +1,55 @@
+"""Gated recurrent unit cell — the Combine function of every model (Eq. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["GRUCell"]
+
+
+class GRUCell(Module):
+    """Standard GRU cell: ``h' = (1-z) * n + z * h``.
+
+    Gates::
+
+        r = sigmoid(x W_ir^T + h W_hr^T + b_r)
+        z = sigmoid(x W_iz^T + h W_hz^T + b_z)
+        n = tanh(x W_in^T + r * (h W_hn^T) + b_n)
+
+    Args:
+        input_size: width of the aggregated message input.
+        hidden_size: embedding width (paper: 64).
+        seed: initialization seed; input weights Xavier, recurrent weights
+            orthogonal.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, seed: int = 0) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        rng = np.random.default_rng(seed)
+        self.w_ih = Parameter(xavier_uniform(rng, (3 * hidden_size, input_size)))
+        self.w_hh = Parameter(
+            np.concatenate(
+                [orthogonal(rng, (hidden_size, hidden_size)) for _ in range(3)]
+            )
+        )
+        self.b_ih = Parameter(np.zeros(3 * hidden_size))
+        self.b_hh = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step: ``x`` is (B, input_size), ``h`` is (B, hidden_size)."""
+        gi = x @ self.w_ih.T + self.b_ih
+        gh = h @ self.w_hh.T + self.b_hh
+        hs = self.hidden_size
+        i_r, i_z, i_n = (gi.narrow(1, k * hs, hs) for k in range(3))
+        h_r, h_z, h_n = (gh.narrow(1, k * hs, hs) for k in range(3))
+        r = (i_r + h_r).sigmoid()
+        z = (i_z + h_z).sigmoid()
+        n = (i_n + r * h_n).tanh()
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * n + z * h

@@ -1,0 +1,31 @@
+"""Checkpoint (de)serialization for Module state dicts (npz on disk)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path) -> None:
+    """Write a state dict to an ``.npz`` file (keys escaped for npz)."""
+    np.savez(Path(path), **{k.replace(".", "__"): v for k, v in state.items()})
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state`."""
+    with np.load(Path(path)) as data:
+        return {k.replace("__", "."): data[k].copy() for k in data.files}
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    module.load_state_dict(load_state(path))
+    return module

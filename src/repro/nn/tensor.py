@@ -1,0 +1,479 @@
+"""A reverse-mode automatic-differentiation tensor on numpy.
+
+The paper implements DeepSeq in PyTorch Geometric; this environment has no
+deep-learning framework, so the reproduction carries its own: a small,
+well-tested autograd engine exposing exactly the operators the DAG-GNN
+models need — elementwise arithmetic with broadcasting, matmul,
+activations, reductions, concatenation, row gather/scatter (for levelized
+message passing) and segment sums (for attention softmax over variable-size
+predecessor sets).
+
+Design choices:
+
+* ``float64`` everywhere — training sets are small, and double precision
+  makes gradient checking against finite differences tight.
+* Graphs are built eagerly; :meth:`Tensor.backward` runs a topological
+  sweep.  No tape reuse, no in-place ops (functional ``row_update`` instead)
+  — simplicity and correctness over micro-optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        self._prev = _GRAD_ENABLED[0]
+        _GRAD_ENABLED[0] = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _GRAD_ENABLED[0] = self._prev
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED[0]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along broadcast (size-1) axes.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array plus an optional autograd node.
+
+    Args:
+        data: array-like; coerced to ``float64``.
+        requires_grad: track gradients for this leaf.
+    """
+
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_saved_grads",
+    )
+    __array_priority__ = 100  # make numpy defer to our __r*__ operators
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy); treat as read-only."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError(f"item() needs a single element, have {self.data.size}")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad})"
+
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED[0] and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor (defaults to d(self)/d(self)=1)."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor without grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() without grad needs a scalar")
+            grad = np.ones_like(self.data)
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in seen:
+                    stack.append((p, False))
+        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=np.float64)}
+        for node in reversed(order):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is None:
+                node._accumulate(g)
+                continue
+            node._saved_grads = grads  # type: ignore[attr-defined]
+            node._backward(g)
+            del node._saved_grads  # type: ignore[attr-defined]
+
+    # Helper used inside backward closures to push gradient to a parent.
+    def _push(self, parent: "Tensor", grad: np.ndarray) -> None:
+        if not parent.requires_grad:
+            return
+        store: dict[int, np.ndarray] = self._saved_grads  # type: ignore[attr-defined]
+        if parent._backward is None and not parent._parents:
+            parent._accumulate(grad)
+            return
+        key = id(parent)
+        if key in store:
+            store[key] += grad
+        else:
+            store[key] = grad.copy()
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, _unbroadcast(g, self.data.shape))
+            out._push(other, _unbroadcast(g, other.data.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, _unbroadcast(g, self.data.shape))
+            out._push(other, _unbroadcast(-g, other.data.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor._lift(other).__sub__(self)
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, -g)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, _unbroadcast(g * other.data, self.data.shape))
+            out._push(other, _unbroadcast(g * self.data, other.data.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, _unbroadcast(g / other.data, self.data.shape))
+            out._push(
+                other,
+                _unbroadcast(-g * self.data / other.data**2, other.data.shape),
+            )
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor._lift(other).__truediv__(self)
+
+    def pow(self, exponent: float) -> "Tensor":
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g * exponent * self.data ** (exponent - 1))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    __pow__ = pow
+
+    # ------------------------------------------------------------------
+    # nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g * out_data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g / self.data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, 0.0)
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g * mask)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g * out_data * (1.0 - out_data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g * (1.0 - out_data**2))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g * sign)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # linear algebra / shape
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g @ other.data.T)
+            out._push(other, self.data.T @ g)
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __matmul__ = matmul
+
+    @property
+    def T(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g.T)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def reshape(self, *shape: int) -> "Tensor":
+        out_data = self.data.reshape(*shape)
+        orig = self.data.shape
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g.reshape(orig))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if axis is None:
+                grad = np.broadcast_to(g, self.data.shape)
+            else:
+                g_exp = g if keepdims else np.expand_dims(g, axis)
+                grad = np.broadcast_to(g_exp, self.data.shape)
+            out._push(self, np.ascontiguousarray(grad))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = (
+            self.data.size
+            if axis is None
+            else self.data.shape[axis]
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def narrow(self, axis: int, start: int, length: int) -> "Tensor":
+        """Slice ``[start, start+length)`` along ``axis`` (differentiable)."""
+        index = [slice(None)] * self.data.ndim
+        index[axis] = slice(start, start + length)
+        index_t = tuple(index)
+        out_data = self.data[index_t]
+
+        def backward(g: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            full[index_t] = g
+            out._push(self, full)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # gather / scatter (message passing primitives)
+    # ------------------------------------------------------------------
+    def gather_rows(self, index: np.ndarray) -> "Tensor":
+        """Select rows: ``out[i] = self[index[i]]`` (first axis)."""
+        index = np.asarray(index, dtype=np.int64)
+        out_data = self.data[index]
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, g)
+            out._push(self, grad)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def row_update(self, index: np.ndarray, rows: "Tensor") -> "Tensor":
+        """Functional scatter: copy of self with ``out[index] = rows``.
+
+        Rows listed multiple times in ``index`` keep the *last* write, like
+        numpy assignment; gradients flow to ``rows`` for the surviving write
+        and to ``self`` everywhere untouched.
+        """
+        index = np.asarray(index, dtype=np.int64)
+        rows = Tensor._lift(rows)
+        out_data = self.data.copy()
+        out_data[index] = rows.data
+        overwritten = np.zeros(self.data.shape[0], dtype=bool)
+        overwritten[index] = True
+        # Winner of duplicate writes: numpy keeps the last occurrence.
+        last_write = {int(ix): pos for pos, ix in enumerate(index)}
+
+        def backward(g: np.ndarray) -> None:
+            g_self = g.copy()
+            g_self[overwritten] = 0.0
+            out._push(self, g_self)
+            g_rows = np.zeros_like(rows.data)
+            for ix, pos in last_write.items():
+                g_rows[pos] = g[ix]
+            out._push(rows, g_rows)
+
+        out = Tensor._make(out_data, (self, rows), backward)
+        return out
+
+    def segment_sum(self, segment_ids: np.ndarray, num_segments: int) -> "Tensor":
+        """Sum rows into segments: ``out[s] = sum over i with seg[i]==s``."""
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        out_shape = (num_segments,) + self.data.shape[1:]
+        out_data = np.zeros(out_shape, dtype=np.float64)
+        np.add.at(out_data, segment_ids, self.data)
+
+        def backward(g: np.ndarray) -> None:
+            out._push(self, g[segment_ids])
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = -1) -> "Tensor":
+        parts = [Tensor._lift(t) for t in tensors]
+        out_data = np.concatenate([p.data for p in parts], axis=axis)
+        sizes = [p.data.shape[axis] for p in parts]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(g: np.ndarray) -> None:
+            for part, lo, hi in zip(parts, offsets[:-1], offsets[1:]):
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(lo, hi)
+                out._push(part, g[tuple(index)])
+
+        out = Tensor._make(out_data, tuple(parts), backward)
+        return out

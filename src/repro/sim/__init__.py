@@ -1,0 +1,70 @@
+"""Simulation substrate: logic simulation, workloads, faults, SAIF."""
+
+from repro.sim.bitvec import (
+    WORD_BITS,
+    biased_words,
+    pack_bits,
+    popcount,
+    unpack_bits,
+    words_for,
+)
+from repro.sim.faults import FaultConfig, FaultSimResult, simulate_with_faults
+from repro.sim.logicsim import (
+    ActivityCounter,
+    CompiledCircuit,
+    SimConfig,
+    SimResult,
+    Simulator,
+    compile_netlist,
+    simulate,
+)
+from repro.sim.coverage import ToggleCoverage, coverage_of_suite, toggle_coverage
+from repro.sim.testbench import Phase, StimulusProgram, workload_from_program
+from repro.sim.vcd import VcdTracer, trace_simulation
+from repro.sim.saif import (
+    SaifDocument,
+    SignalActivity,
+    activity_from_probs,
+    parse_saif,
+)
+from repro.sim.workload import (
+    PatternSource,
+    Workload,
+    random_workload,
+    testbench_workload,
+)
+
+__all__ = [
+    "WORD_BITS",
+    "biased_words",
+    "pack_bits",
+    "popcount",
+    "unpack_bits",
+    "words_for",
+    "FaultConfig",
+    "FaultSimResult",
+    "simulate_with_faults",
+    "ActivityCounter",
+    "CompiledCircuit",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "compile_netlist",
+    "simulate",
+    "ToggleCoverage",
+    "coverage_of_suite",
+    "toggle_coverage",
+    "Phase",
+    "StimulusProgram",
+    "workload_from_program",
+    "VcdTracer",
+    "trace_simulation",
+    "SaifDocument",
+    "SignalActivity",
+    "activity_from_probs",
+    "parse_saif",
+    "PatternSource",
+    "Workload",
+    "random_workload",
+    "testbench_workload",
+]

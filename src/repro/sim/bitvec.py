@@ -1,0 +1,84 @@
+"""Packed bit-vector utilities for bit-parallel logic simulation.
+
+The simulator evaluates W = 64·``words`` independent simulation streams at
+once by packing one bit per stream into ``uint64`` words — the classic
+bit-parallel trick that makes pure-Python logic simulation fast enough for
+10,000-cycle workloads on 18k-node netlists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "words_for",
+    "popcount",
+    "biased_words",
+    "unpack_bits",
+    "pack_bits",
+]
+
+#: Bits per machine word.
+WORD_BITS = 64
+
+_BYTE_POPCOUNT = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint64
+)
+
+
+def words_for(streams: int) -> int:
+    """Number of uint64 words needed to hold ``streams`` bits."""
+    if streams < 1:
+        raise ValueError("need at least one stream")
+    return -(-streams // WORD_BITS)
+
+
+def popcount(words: np.ndarray, axis=None) -> np.ndarray:
+    """Population count of a uint64 array, summed over ``axis``.
+
+    Implemented via a byte lookup table (no Python-level loops).
+    """
+    if words.dtype != np.uint64:
+        raise TypeError(f"expected uint64 words, got {words.dtype}")
+    as_bytes = words.view(np.uint8)
+    counts = _BYTE_POPCOUNT[as_bytes]
+    if axis is None:
+        return counts.sum()
+    # The byte view splits the last axis into 8x more entries; reduce it
+    # back first, then over the requested axis.
+    counts = counts.reshape(words.shape + (8,)).sum(axis=-1)
+    return counts.sum(axis=axis)
+
+
+def biased_words(
+    rng: np.random.Generator, shape: tuple[int, ...], prob: float | np.ndarray
+) -> np.ndarray:
+    """Random uint64 words whose bits are 1 with probability ``prob``.
+
+    ``prob`` may be a scalar or an array broadcastable to ``shape`` (one
+    probability per word position — every bit inside a word shares it; use
+    this for per-PI workload probabilities where each word holds parallel
+    streams of the same signal).
+    """
+    prob_arr = np.broadcast_to(np.asarray(prob, dtype=np.float64), shape)
+    floats = rng.random(shape + (WORD_BITS,))
+    bits = floats < prob_arr[..., None]
+    return pack_bits(bits)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean array whose last axis has length 64 into uint64."""
+    if bits.shape[-1] != WORD_BITS:
+        raise ValueError(f"last axis must be {WORD_BITS}, got {bits.shape[-1]}")
+    packed_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    return packed_bytes.view(np.uint64).reshape(bits.shape[:-1])
+
+
+def unpack_bits(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: uint64 -> bool with a new last axis 64."""
+    if words.dtype != np.uint64:
+        raise TypeError(f"expected uint64 words, got {words.dtype}")
+    as_bytes = words.reshape(words.shape + (1,)).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits.astype(bool)

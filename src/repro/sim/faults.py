@@ -1,0 +1,197 @@
+"""Monte-Carlo transient-fault simulation for reliability ground truth.
+
+The paper's recipe (Section V-B1): simulate each circuit fault-free, then
+again with the *same* patterns under a Monte-Carlo fault model where every
+combinational gate output flips with probability ``fault_rate`` (0.05 %)
+each cycle, and record per node the conditional error probabilities
+
+* ``err01[v] = P(faulty(v) = 1 | golden(v) = 0)``  — 0→1 error probability,
+* ``err10[v] = P(faulty(v) = 0 | golden(v) = 1)``  — 1→0 error probability.
+
+Circuit *reliability* is summarized as the probability that all primary
+outputs are correct, estimated over all observed (cycle, stream) samples.
+
+Both simulators run in lockstep sharing a single :class:`PatternSource`
+replay, so stimulus is identical bit-for-bit; only the injected flips (and
+their propagation through logic and flip-flop state) differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.sim.bitvec import popcount
+from repro.sim.logicsim import CompiledCircuit, SimConfig, Simulator, compile_netlist
+from repro.sim.workload import PatternSource, Workload
+
+__all__ = ["FaultConfig", "FaultSimResult", "simulate_with_faults"]
+
+
+@dataclass
+class FaultConfig:
+    """Fault-injection parameters (paper defaults).
+
+    The paper's ground truth uses 1,000 sequential patterns of 100 cycles
+    each: both simulators restart from the reset state at every pattern
+    boundary, which bounds how far the faulty machine's state can diverge.
+    ``episode_cycles`` is that pattern length; the total observed cycle
+    count still comes from ``SimConfig.cycles`` (episodes =
+    ceil(cycles / episode_cycles), with parallel bit streams multiplying
+    the effective pattern count).
+    """
+
+    fault_rate: float = 5e-4  # 0.05 %
+    episode_cycles: int = 100
+    per_pattern: bool = True
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must lie in [0, 1]")
+        if self.episode_cycles < 2:
+            raise ValueError("episode_cycles must be >= 2")
+
+    @property
+    def effective_cycle_rate(self) -> float:
+        """Per-gate, per-cycle flip probability actually injected.
+
+        With ``per_pattern`` (default) the 0.05 % rate is interpreted per
+        100-cycle pattern — a gate suffers a transient with probability
+        ``fault_rate`` somewhere within each pattern — which is the only
+        reading consistent with the paper's measured reliabilities
+        (0.979–0.997 on designs of 2k–18k gates; a per-cycle 0.05 % rate
+        would give ~9 simultaneous faults every cycle on ac97_ctrl and
+        reliability near zero).
+        """
+        if self.per_pattern:
+            return self.fault_rate / self.episode_cycles
+        return self.fault_rate
+
+
+@dataclass
+class FaultSimResult:
+    """Per-node error probabilities plus circuit-level reliability."""
+
+    err01: np.ndarray
+    err10: np.ndarray
+    reliability: float
+    observed0: np.ndarray
+    observed1: np.ndarray
+    netlist: Netlist = field(repr=False)
+
+    @property
+    def error_prob(self) -> np.ndarray:
+        """Per-node 2-d supervision vector [err01, err10], shape (N, 2)."""
+        return np.stack([self.err01, self.err10], axis=1)
+
+
+class _FaultInjector:
+    """Generates per-group flip masks with ~fault_rate bit density.
+
+    Exact per-bit Bernoulli masks would need 64 random floats per node per
+    cycle; instead we AND ``k`` uniform random words, giving density
+    ``2**-k``, and mix two adjacent ``k`` values so the *expected* density
+    equals ``fault_rate`` exactly.
+    """
+
+    def __init__(self, rate: float, words: int, rng: np.random.Generator):
+        self.words = words
+        self.rng = rng
+        if rate <= 0.0:
+            self.k_lo = None
+            return
+        k = max(1.0, -np.log2(rate))
+        self.k_lo = int(np.floor(k))
+        self.k_hi = self.k_lo + 1
+        p_lo, p_hi = 2.0**-self.k_lo, 2.0**-self.k_hi
+        # mix: w * p_lo + (1-w) * p_hi = rate
+        self.w_lo = (rate - p_hi) / (p_lo - p_hi)
+
+    def mask(self, cycle: int, nodes: np.ndarray) -> np.ndarray:
+        shape = (nodes.size, self.words)
+        if self.k_lo is None:
+            return np.zeros(shape, dtype=np.uint64)
+        k = self.k_lo if self.rng.random() < self.w_lo else self.k_hi
+        out = self.rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        for _ in range(k - 1):
+            out &= self.rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        return out
+
+
+def simulate_with_faults(
+    circuit: Netlist | CompiledCircuit,
+    workload: Workload,
+    sim_config: SimConfig | None = None,
+    fault_config: FaultConfig | None = None,
+) -> FaultSimResult:
+    """Run golden and faulty simulations in lockstep; collect error stats."""
+    sim_config = sim_config or SimConfig()
+    fault_config = fault_config or FaultConfig()
+    compiled = (
+        circuit if isinstance(circuit, CompiledCircuit) else compile_netlist(circuit)
+    )
+    golden = Simulator(compiled, streams=sim_config.streams)
+    faulty = Simulator(compiled, streams=sim_config.streams)
+    injector = _FaultInjector(
+        fault_config.effective_cycle_rate,
+        golden.words,
+        np.random.default_rng(fault_config.seed),
+    )
+    source = PatternSource(workload, streams=sim_config.streams, seed=sim_config.seed)
+
+    n = compiled.num_nodes
+    obs0 = np.zeros(n, dtype=np.int64)
+    obs1 = np.zeros(n, dtype=np.int64)
+    e01 = np.zeros(n, dtype=np.int64)
+    e10 = np.zeros(n, dtype=np.int64)
+    po_ok = 0
+    po_total = 0
+    po_ids = np.asarray(compiled.netlist.pos, dtype=np.int64)
+
+    episodes = max(1, -(-sim_config.cycles // fault_config.episode_cycles))
+    remaining = sim_config.cycles
+    cycle = 0
+    for episode in range(episodes):
+        # Pattern boundary: both machines restart from the reset state.
+        init_rng = np.random.default_rng(sim_config.seed + episode)
+        golden.reset(sim_config.init_state, init_rng)
+        faulty.reset(
+            sim_config.init_state, np.random.default_rng(sim_config.seed + episode)
+        )
+        observe = min(fault_config.episode_cycles, remaining)
+        remaining -= observe
+        for k in range(sim_config.warmup + observe):
+            pi_words = source.next_cycle()
+            gv = golden.step(pi_words, cycle)
+            fv = faulty.step(pi_words, cycle, fault_hook=injector.mask)
+            cycle += 1
+            if k >= sim_config.warmup:
+                zeros = ~gv
+                obs0 += popcount(zeros, axis=1).astype(np.int64)
+                obs1 += popcount(gv, axis=1).astype(np.int64)
+                e01 += popcount(zeros & fv, axis=1).astype(np.int64)
+                e10 += popcount(gv & ~fv, axis=1).astype(np.int64)
+                if po_ids.size:
+                    mismatch = gv[po_ids] ^ fv[po_ids]
+                    any_bad = np.zeros(golden.words, dtype=np.uint64)
+                    for row in mismatch:
+                        any_bad |= row
+                    po_total += golden.streams
+                    po_ok += golden.streams - int(popcount(any_bad))
+            golden.latch()
+            faulty.latch()
+
+    err01 = np.divide(e01, np.maximum(obs0, 1), dtype=np.float64)
+    err10 = np.divide(e10, np.maximum(obs1, 1), dtype=np.float64)
+    reliability = po_ok / po_total if po_total else 1.0
+    return FaultSimResult(
+        err01=err01,
+        err10=err10,
+        reliability=float(reliability),
+        observed0=obs0,
+        observed1=obs1,
+        netlist=compiled.netlist,
+    )

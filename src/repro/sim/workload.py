@@ -1,0 +1,134 @@
+"""Workload definitions and sequential pattern generation.
+
+A *workload* for a sequential netlist is "defined in terms of PIs' behavior"
+(paper Section III-B): each primary input carries a logic-1 probability, and
+the applied stimulus is a long random pattern drawn from those
+probabilities.  Two flavours:
+
+* :func:`random_workload` — the pre-training recipe: logic-1 probabilities
+  drawn uniformly from (0, 1) per PI.
+* :func:`testbench_workload` — the test-circuit recipe ("we parse their
+  corresponding testbench files and collect the transition probability and
+  logic probability of each PI"): we have no RTL testbenches, so this
+  synthesizes testbench-like PI statistics — control inputs parked near 0 or
+  1 (resets, enables, mode pins) with a minority of data pins toggling —
+  using a bimodal Beta mixture.  This is what produces the realistic
+  "only a few modules active" behaviour on the large designs.
+
+:class:`PatternSource` turns a workload into the packed word stream the
+simulator consumes, deterministically from its seed, so fault-free and
+faulty simulations can replay identical stimuli.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.sim.bitvec import biased_words, words_for
+
+__all__ = ["Workload", "random_workload", "testbench_workload", "PatternSource"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """PI stimulus statistics for one netlist.
+
+    Attributes:
+        pi_probs: logic-1 probability per PI, aligned with ``netlist.pis``.
+        name: label used in reports (e.g. ``"W0"``).
+        seed: seed for pattern generation; two workloads with equal probs
+            but different seeds produce different concrete pattern streams.
+    """
+
+    pi_probs: np.ndarray
+    name: str = "workload"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        probs = np.asarray(self.pi_probs, dtype=np.float64)
+        if probs.ndim != 1:
+            raise ValueError("pi_probs must be 1-d")
+        if ((probs < 0.0) | (probs > 1.0)).any():
+            raise ValueError("pi_probs must lie in [0, 1]")
+        object.__setattr__(self, "pi_probs", probs)
+
+    @property
+    def num_pis(self) -> int:
+        return int(self.pi_probs.size)
+
+
+def random_workload(nl: Netlist, seed: int, name: str | None = None) -> Workload:
+    """The paper's pre-training workload: uniform(0,1) logic-1 prob per PI."""
+    rng = np.random.default_rng(seed)
+    probs = rng.random(len(nl.pis))
+    return Workload(probs, name or f"rand{seed}", seed=seed)
+
+
+def testbench_workload(
+    nl: Netlist,
+    seed: int,
+    name: str | None = None,
+    active_fraction: float = 0.35,
+) -> Workload:
+    """Synthesize testbench-like PI statistics for a test circuit.
+
+    A fraction ``active_fraction`` of PIs behave like data pins
+    (Beta(2, 2): mid-range activity); the rest behave like control pins
+    parked near a rail (Beta(0.5, 8) mirrored with probability .5 — mostly
+    0 or mostly 1, rare toggles).
+    """
+    rng = np.random.default_rng(seed)
+    n = len(nl.pis)
+    probs = np.empty(n, dtype=np.float64)
+    is_data = rng.random(n) < active_fraction
+    n_data = int(is_data.sum())
+    probs[is_data] = rng.beta(2.0, 2.0, size=n_data)
+    parked = rng.beta(0.5, 8.0, size=n - n_data)
+    flip = rng.random(n - n_data) < 0.5
+    parked[flip] = 1.0 - parked[flip]
+    probs[~is_data] = parked
+    return Workload(probs, name or f"tb{seed}", seed=seed)
+
+
+@dataclass
+class PatternSource:
+    """Deterministic stream of packed PI stimulus words.
+
+    Args:
+        workload: PI statistics.
+        streams: number of parallel simulation streams (bit lanes).
+        seed: overrides the workload's seed when given.
+
+    Each :meth:`next_cycle` call returns a ``(num_pis, words)`` uint64 array
+    for one clock cycle.  :meth:`reset` rewinds to cycle 0 reproducibly.
+    """
+
+    workload: Workload
+    streams: int = 64
+    seed: int | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.words = words_for(self.streams)
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(
+            self.workload.seed if self.seed is None else self.seed
+        )
+
+    def next_cycle(self) -> np.ndarray:
+        shape = (self.workload.num_pis, self.words)
+        return biased_words(
+            self._rng, shape, self.workload.pi_probs[:, None]
+        )
+
+    def next_block(self, cycles: int) -> np.ndarray:
+        """Generate ``cycles`` cycles at once: (cycles, num_pis, words)."""
+        shape = (cycles, self.workload.num_pis, self.words)
+        return biased_words(
+            self._rng, shape, self.workload.pi_probs[None, :, None]
+        )

@@ -1,0 +1,5 @@
+"""Downstream tasks: power estimation and reliability analysis."""
+
+from repro.tasks import power, reliability
+
+__all__ = ["power", "reliability"]

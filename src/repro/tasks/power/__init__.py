@@ -1,0 +1,40 @@
+"""Power-estimation task (paper Section V-A)."""
+
+from repro.tasks.power.analysis import PowerAnalyzer, PowerReport
+from repro.tasks.power.celllib import TSMC90_LIKE, CellLibrary, CellParams
+from repro.tasks.power.pipeline import (
+    MethodPower,
+    PowerComparison,
+    run_power_pipeline,
+)
+from repro.tasks.power.report import (
+    NodePower,
+    compare_reports,
+    group_power,
+    power_per_node,
+    top_consumers,
+)
+from repro.tasks.power.probabilistic import (
+    ProbabilisticConfig,
+    ProbabilisticEstimate,
+    estimate_probabilities,
+)
+
+__all__ = [
+    "PowerAnalyzer",
+    "PowerReport",
+    "TSMC90_LIKE",
+    "CellLibrary",
+    "CellParams",
+    "MethodPower",
+    "PowerComparison",
+    "run_power_pipeline",
+    "NodePower",
+    "compare_reports",
+    "group_power",
+    "power_per_node",
+    "top_consumers",
+    "ProbabilisticConfig",
+    "ProbabilisticEstimate",
+    "estimate_probabilities",
+]

@@ -1,0 +1,21 @@
+"""Reliability-analysis task (paper Section V-B)."""
+
+from repro.tasks.reliability.analytical import (
+    AnalyticalConfig,
+    ReliabilityEstimate,
+    estimate_reliability,
+    reliability_from_node_errors,
+)
+from repro.tasks.reliability.pipeline import (
+    ReliabilityComparison,
+    run_reliability_pipeline,
+)
+
+__all__ = [
+    "AnalyticalConfig",
+    "ReliabilityEstimate",
+    "estimate_reliability",
+    "reliability_from_node_errors",
+    "ReliabilityComparison",
+    "run_reliability_pipeline",
+]

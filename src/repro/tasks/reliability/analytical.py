@@ -1,0 +1,178 @@
+"""Analytical reliability baseline ([32]: Jahanirad-style gate-level method).
+
+Propagates per-node conditional error probabilities through the netlist
+under the independence assumption:
+
+* every combinational gate fails intrinsically with probability ``eps``
+  (matching the Monte-Carlo injection rate of the ground truth);
+* input errors propagate when the other inputs sit at sensitizing values,
+  whose probabilities come from the probabilistic signal estimate;
+* flip-flops relay their data input's error probabilities; sequential
+  feedback iterates to a fixed point.
+
+Like all analytical methods it mishandles correlated signals (reconvergent
+fanout re-counts the same upstream error twice), which is the documented
+source of its pessimism in Table VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gates import GateType
+from repro.circuit.levelize import levelize
+from repro.circuit.netlist import Netlist
+from repro.sim.workload import Workload
+from repro.tasks.power.probabilistic import estimate_probabilities
+
+__all__ = ["AnalyticalConfig", "ReliabilityEstimate", "estimate_reliability"]
+
+
+@dataclass(frozen=True)
+class AnalyticalConfig:
+    """Parameters of the analytical propagation.
+
+    ``window`` bounds the sequential unrolling: each round propagates error
+    probabilities through the combinational logic once and relays them
+    through the flip-flops.  Analytical methods cannot model the logic
+    masking that flushes diverged state in a real (simulated) run, so an
+    unbounded fixed point drives every error probability to 1; the standard
+    steady-state approximation unrolls for the *mean fault exposure* — a
+    transient arriving uniformly within a 100-cycle pattern is live for 50
+    cycles on average, hence the default.  The missing masking makes the
+    method pessimistic on cyclic FF structures, which is exactly the
+    inaccuracy the paper attributes to it (Table VII).
+    """
+
+    eps: float = 5e-4  # intrinsic per-gate failure probability
+    window: int = 50
+    tolerance: float = 1e-10
+
+
+@dataclass
+class ReliabilityEstimate:
+    """Per-node error probabilities plus the circuit-level reliability."""
+
+    err01: np.ndarray
+    err10: np.ndarray
+    logic_prob: np.ndarray
+    reliability: float
+
+    @property
+    def error_prob(self) -> np.ndarray:
+        return np.stack([self.err01, self.err10], axis=1)
+
+
+def reliability_from_node_errors(
+    nl: Netlist,
+    err01: np.ndarray,
+    err10: np.ndarray,
+    logic_prob: np.ndarray,
+) -> float:
+    """Circuit reliability = P(all POs correct), PO errors independent.
+
+    Used both by this baseline and to summarize DeepSeq's per-node
+    predictions into the single reliability figure of Table VII.
+    """
+    rel = 1.0
+    for po in nl.pos:
+        p1 = float(np.clip(logic_prob[po], 0.0, 1.0))
+        e = (1.0 - p1) * float(np.clip(err01[po], 0.0, 1.0)) + p1 * float(
+            np.clip(err10[po], 0.0, 1.0)
+        )
+        rel *= 1.0 - e
+    return rel
+
+
+def _compose(*probs: float) -> float:
+    """P(at least one of several independent error events)."""
+    ok = 1.0
+    for p in probs:
+        ok *= 1.0 - min(1.0, max(0.0, p))
+    return 1.0 - ok
+
+
+def _and_error(
+    p: list[float], e0: list[float], e1: list[float], eps: float
+) -> tuple[float, float]:
+    """Conditional error probabilities of a 2-input AND output."""
+    pa, pb = p
+    # correct output 1 <=> both inputs 1; flips if either input flips or
+    # the gate itself fails (independent events).
+    out_e1 = _compose(e1[0], e1[1], eps)
+    # correct output 0: weight input combinations by their probability.
+    p00 = (1 - pa) * (1 - pb)
+    p10 = pa * (1 - pb)
+    p01 = (1 - pa) * pb
+    z = p00 + p10 + p01
+    if z <= 0.0:
+        return eps, out_e1
+    flip = (
+        p00 * e0[0] * e0[1]  # both must rise
+        + p10 * e0[1]  # only b at 0: b must rise
+        + p01 * e0[0]
+    ) / z
+    return _compose(flip, eps), out_e1
+
+
+def estimate_reliability(
+    nl: Netlist,
+    workload: Workload,
+    config: AnalyticalConfig | None = None,
+) -> ReliabilityEstimate:
+    """Run the analytical reliability estimation (AIG netlists)."""
+    config = config or AnalyticalConfig()
+    n = len(nl)
+    signal = estimate_probabilities(nl, workload)
+    prob = signal.logic_prob
+
+    err0 = np.zeros(n, dtype=np.float64)  # P(flips | correct 0)
+    err1 = np.zeros(n, dtype=np.float64)  # P(flips | correct 1)
+    lv = levelize(nl)
+    comb_order = [int(v) for batch in lv.comb_forward for v in batch]
+    dffs = nl.dffs
+
+    for _ in range(config.window):
+        for v in comb_order:
+            gt = nl.gate_type(v)
+            fs = list(nl.fanins(v))
+            if gt is GateType.AND:
+                err0[v], err1[v] = _and_error(
+                    [prob[f] for f in fs],
+                    [err0[f] for f in fs],
+                    [err1[f] for f in fs],
+                    config.eps,
+                )
+            elif gt is GateType.NOT:
+                (f,) = fs
+                err0[v] = _compose(err1[f], config.eps)
+                err1[v] = _compose(err0[f], config.eps)
+            elif gt is GateType.BUF:
+                (f,) = fs
+                err0[v] = _compose(err0[f], config.eps)
+                err1[v] = _compose(err1[f], config.eps)
+            elif gt in (GateType.CONST0, GateType.CONST1):
+                err0[v] = err1[v] = config.eps
+            else:
+                # Extended gates: conservative independent composition.
+                err0[v] = _compose(*(err0[f] for f in fs), config.eps)
+                err1[v] = _compose(*(err1[f] for f in fs), config.eps)
+        if not dffs:
+            break
+        new0 = np.array([err0[nl.fanins(d)[0]] for d in dffs])
+        new1 = np.array([err1[nl.fanins(d)[0]] for d in dffs])
+        delta = max(
+            float(np.abs(new0 - err0[dffs]).max()),
+            float(np.abs(new1 - err1[dffs]).max()),
+        )
+        err0[dffs] = new0
+        err1[dffs] = new1
+        if delta < config.tolerance:
+            break
+
+    reliability = reliability_from_node_errors(nl, err0, err1, prob)
+    return ReliabilityEstimate(
+        err01=err0, err10=err1, logic_prob=prob, reliability=reliability
+    )

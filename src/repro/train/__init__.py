@@ -1,0 +1,47 @@
+"""Training infrastructure: datasets, trainer, metrics, fine-tuning."""
+
+from repro.train.analysis import (
+    ErrorBreakdown,
+    analyze_model,
+    calibration_curve,
+    error_by_gate_type,
+    error_by_level,
+)
+from repro.train.dataset import (
+    CircuitSample,
+    build_dataset,
+    build_reliability_dataset,
+    merge_samples,
+)
+from repro.train.finetune import (
+    FinetuneConfig,
+    finetune_for_reliability,
+    finetune_grannite,
+    finetune_on_workloads,
+    workload_suite,
+)
+from repro.train.metrics import EvalMetrics, avg_prediction_error
+from repro.train.trainer import EpochStats, TrainConfig, Trainer, evaluate
+
+__all__ = [
+    "ErrorBreakdown",
+    "analyze_model",
+    "calibration_curve",
+    "error_by_gate_type",
+    "error_by_level",
+    "CircuitSample",
+    "build_dataset",
+    "build_reliability_dataset",
+    "merge_samples",
+    "FinetuneConfig",
+    "finetune_for_reliability",
+    "finetune_grannite",
+    "finetune_on_workloads",
+    "workload_suite",
+    "EvalMetrics",
+    "avg_prediction_error",
+    "EpochStats",
+    "TrainConfig",
+    "Trainer",
+    "evaluate",
+]

@@ -1,0 +1,143 @@
+"""Prediction-quality analysis beyond the single Eq. 9 number.
+
+The paper reports one average prediction error per task; when iterating on
+a model you want to know *where* the error lives: which gate types, which
+logic depths, how well-calibrated the probabilities are, and whether the
+model degrades toward the sequential feedback the architecture is supposed
+to handle.  These utilities produce those breakdowns for any model exposing
+``predict(graph, workload)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gates import AIG_TYPES
+from repro.train.dataset import CircuitSample
+
+__all__ = [
+    "ErrorBreakdown",
+    "error_by_gate_type",
+    "error_by_level",
+    "calibration_curve",
+    "analyze_model",
+]
+
+
+@dataclass(frozen=True)
+class ErrorBreakdown:
+    """Per-group mean absolute errors for both tasks."""
+
+    group_names: list[str]
+    pe_tr: np.ndarray
+    pe_lg: np.ndarray
+    counts: np.ndarray
+
+    def rows(self) -> list[str]:
+        return [
+            f"{name:<10} n={int(c):>6}  TTR {tr:.4f}  TLG {lg:.4f}"
+            for name, tr, lg, c in zip(
+                self.group_names, self.pe_tr, self.pe_lg, self.counts
+            )
+        ]
+
+
+def _per_node_errors(model, sample: CircuitSample):
+    pred = model.predict(sample.graph, sample.workload)
+    err_tr = np.abs(pred.tr - sample.target_tr).mean(axis=1)
+    err_lg = np.abs(pred.lg - sample.target_lg)
+    return err_tr, err_lg
+
+
+def error_by_gate_type(model, samples: list[CircuitSample]) -> ErrorBreakdown:
+    """Mean error per AIG node type (PI / AND / NOT / DFF)."""
+    k = len(AIG_TYPES)
+    sum_tr = np.zeros(k)
+    sum_lg = np.zeros(k)
+    counts = np.zeros(k)
+    for sample in samples:
+        err_tr, err_lg = _per_node_errors(model, sample)
+        types = sample.graph.type_index
+        for t in range(k):
+            mask = types == t
+            sum_tr[t] += err_tr[mask].sum()
+            sum_lg[t] += err_lg[mask].sum()
+            counts[t] += mask.sum()
+    safe = np.maximum(counts, 1)
+    return ErrorBreakdown(
+        group_names=[t.value for t in AIG_TYPES],
+        pe_tr=sum_tr / safe,
+        pe_lg=sum_lg / safe,
+        counts=counts,
+    )
+
+
+def error_by_level(
+    model, samples: list[CircuitSample], num_bins: int = 5
+) -> ErrorBreakdown:
+    """Mean error bucketed by relative logic depth (shallow -> deep)."""
+    sum_tr = np.zeros(num_bins)
+    sum_lg = np.zeros(num_bins)
+    counts = np.zeros(num_bins)
+    for sample in samples:
+        err_tr, err_lg = _per_node_errors(model, sample)
+        levels = sample.graph.level.astype(np.float64)
+        top = max(levels.max(), 1.0)
+        bins = np.minimum(
+            (levels / top * num_bins).astype(int), num_bins - 1
+        )
+        for b in range(num_bins):
+            mask = bins == b
+            sum_tr[b] += err_tr[mask].sum()
+            sum_lg[b] += err_lg[mask].sum()
+            counts[b] += mask.sum()
+    safe = np.maximum(counts, 1)
+    names = [f"depth{b}/{num_bins}" for b in range(num_bins)]
+    return ErrorBreakdown(
+        group_names=names, pe_tr=sum_tr / safe, pe_lg=sum_lg / safe, counts=counts
+    )
+
+
+def calibration_curve(
+    model, samples: list[CircuitSample], num_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reliability diagram data for the logic-probability head.
+
+    Returns (bin_centers, mean_predicted, mean_actual): a well-calibrated
+    model has mean_predicted ~ mean_actual in every occupied bin.
+    """
+    preds: list[np.ndarray] = []
+    actuals: list[np.ndarray] = []
+    for sample in samples:
+        pred = model.predict(sample.graph, sample.workload)
+        preds.append(pred.lg)
+        actuals.append(sample.target_lg)
+    pred_arr = np.concatenate(preds)
+    act_arr = np.concatenate(actuals)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    centers = (edges[:-1] + edges[1:]) / 2
+    mean_pred = np.full(num_bins, np.nan)
+    mean_act = np.full(num_bins, np.nan)
+    bins = np.minimum((pred_arr * num_bins).astype(int), num_bins - 1)
+    for b in range(num_bins):
+        mask = bins == b
+        if mask.any():
+            mean_pred[b] = pred_arr[mask].mean()
+            mean_act[b] = act_arr[mask].mean()
+    return centers, mean_pred, mean_act
+
+
+def analyze_model(model, samples: list[CircuitSample]) -> str:
+    """One-stop textual report: type breakdown, depth breakdown, calibration."""
+    lines = ["error by gate type:"]
+    lines += ["  " + r for r in error_by_gate_type(model, samples).rows()]
+    lines.append("error by relative depth:")
+    lines += ["  " + r for r in error_by_level(model, samples).rows()]
+    centers, mp, ma = calibration_curve(model, samples)
+    lines.append("logic-probability calibration (pred -> actual):")
+    for c, p, a in zip(centers, mp, ma):
+        if not np.isnan(p):
+            lines.append(f"  bin {c:.2f}: {p:.3f} -> {a:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Training datasets: circuits + workloads + simulated supervision.
+
+The paper's label pipeline (Section III-A): per circuit, draw one random
+workload, simulate it, and record each node's logic-1 probability and
+0→1 / 1→0 transition probabilities.  :func:`build_dataset` runs that
+pipeline; :func:`build_reliability_dataset` runs the fault-injection
+variant used for the reliability fine-tuning task (Section V-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.compose import disjoint_union
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.netlist import Netlist
+from repro.sim.faults import FaultConfig, simulate_with_faults
+from repro.sim.logicsim import SimConfig, simulate
+from repro.sim.workload import Workload, random_workload
+
+__all__ = [
+    "CircuitSample",
+    "build_dataset",
+    "build_reliability_dataset",
+    "merge_samples",
+]
+
+
+@dataclass
+class CircuitSample:
+    """One supervised training example.
+
+    Attributes:
+        graph: the circuit in learning-graph form.
+        workload: the PI stimulus the labels were collected under.
+        target_tr: (N, 2) transition-probability labels [p01, p10].
+        target_lg: (N,) logic-1 probability labels.
+        name: circuit identifier for reporting.
+    """
+
+    graph: CircuitGraph
+    workload: Workload
+    target_tr: np.ndarray
+    target_lg: np.ndarray
+    name: str = "sample"
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+
+def build_dataset(
+    circuits: list[Netlist],
+    sim_config: SimConfig | None = None,
+    seed: int = 0,
+    workloads: list[Workload] | None = None,
+) -> list[CircuitSample]:
+    """Simulate one (given or random) workload per circuit; label all nodes."""
+    sim_config = sim_config or SimConfig()
+    samples: list[CircuitSample] = []
+    for k, nl in enumerate(circuits):
+        wl = (
+            workloads[k]
+            if workloads is not None
+            else random_workload(nl, seed=seed * 100_003 + k)
+        )
+        result = simulate(nl, wl, sim_config)
+        samples.append(
+            CircuitSample(
+                graph=CircuitGraph(nl),
+                workload=wl,
+                target_tr=result.transition_prob,
+                target_lg=result.logic_prob,
+                name=nl.name,
+                extras={"sim": result},
+            )
+        )
+    return samples
+
+
+def build_reliability_dataset(
+    circuits: list[Netlist],
+    sim_config: SimConfig | None = None,
+    fault_config: FaultConfig | None = None,
+    seed: int = 0,
+) -> list[CircuitSample]:
+    """Label nodes with 0→1 / 1→0 *error* probabilities (fault injection).
+
+    ``target_tr`` carries the 2-d error-probability vector the paper
+    fine-tunes on; ``target_lg`` keeps the fault-free logic probability as
+    the auxiliary task.
+    """
+    sim_config = sim_config or SimConfig()
+    fault_config = fault_config or FaultConfig()
+    samples: list[CircuitSample] = []
+    for k, nl in enumerate(circuits):
+        wl = random_workload(nl, seed=seed * 100_003 + k)
+        fault_res = simulate_with_faults(nl, wl, sim_config, fault_config)
+        golden = simulate(nl, wl, sim_config)
+        samples.append(
+            CircuitSample(
+                graph=CircuitGraph(nl),
+                workload=wl,
+                target_tr=fault_res.error_prob,
+                target_lg=golden.logic_prob,
+                name=nl.name,
+                extras={"faults": fault_res},
+            )
+        )
+    return samples
+
+
+def merge_samples(samples: list[CircuitSample], name: str = "batch") -> CircuitSample:
+    """Topological batching: merge samples into one disjoint-union sample.
+
+    Levels of different member circuits align, so one levelized sweep
+    processes the whole batch — the speedup of [16] the paper adopts.
+    """
+    if len(samples) == 1:
+        return samples[0]
+    mapping = disjoint_union([s.graph.netlist for s in samples], name=name)
+    graph = CircuitGraph(mapping.union)
+    workload = Workload(
+        np.concatenate([s.workload.pi_probs for s in samples]),
+        name=name,
+        seed=samples[0].workload.seed,
+    )
+    return CircuitSample(
+        graph=graph,
+        workload=workload,
+        target_tr=np.concatenate([s.target_tr for s in samples], axis=0),
+        target_lg=np.concatenate([s.target_lg for s in samples]),
+        name=name,
+        extras={"members": [s.name for s in samples]},
+    )

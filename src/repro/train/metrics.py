@@ -1,0 +1,38 @@
+"""Evaluation metrics — the paper's average prediction error (Eq. 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["avg_prediction_error", "EvalMetrics"]
+
+
+def avg_prediction_error(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute difference between prediction and ground truth.
+
+    ``Avg. Prediction Error = 1/|V| * sum_v |y_v - yhat_v|`` (Eq. 9); for
+    2-d supervision (transition probabilities) the error averages over the
+    components as well, matching a per-node L1 mean.
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {target.shape}")
+    return float(np.abs(pred - target).mean())
+
+
+@dataclass(frozen=True)
+class EvalMetrics:
+    """Average prediction errors of one model over one dataset."""
+
+    pe_tr: float
+    pe_lg: float
+    num_circuits: int
+    num_nodes: int
+
+    def row(self, label: str) -> str:
+        return (
+            f"{label:<40} {self.pe_tr:>10.3f} {self.pe_lg:>10.3f}"
+        )

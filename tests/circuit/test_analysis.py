@@ -1,0 +1,133 @@
+"""Tests for structural netlist analysis (repro.circuit.analysis)."""
+
+import pytest
+
+from repro.circuit.analysis import (
+    fanout_histogram,
+    feedback_register_count,
+    logic_depth_histogram,
+    reconvergent_nodes,
+    sequential_sccs,
+    structural_profile,
+)
+from repro.circuit.gates import GateType
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.circuit.library import library_circuit
+from repro.circuit.netlist import Netlist
+
+
+def diamond() -> Netlist:
+    """x feeds two paths that reconverge at g."""
+    nl = Netlist("diamond")
+    x = nl.add_pi("x")
+    y = nl.add_pi("y")
+    a = nl.add_gate(GateType.NOT, [x], "a")
+    b = nl.add_gate(GateType.AND, [x, y], "b")
+    g = nl.add_gate(GateType.AND, [a, b], "g")
+    nl.add_po(g)
+    nl.validate()
+    return nl
+
+
+def tree() -> Netlist:
+    nl = Netlist("tree")
+    pis = [nl.add_pi(f"p{k}") for k in range(4)]
+    g1 = nl.add_gate(GateType.AND, pis[:2], "g1")
+    g2 = nl.add_gate(GateType.AND, pis[2:], "g2")
+    top = nl.add_gate(GateType.AND, [g1, g2], "top")
+    nl.add_po(top)
+    nl.validate()
+    return nl
+
+
+class TestReconvergence:
+    def test_diamond_detected(self):
+        nl = diamond()
+        reconv = reconvergent_nodes(nl)
+        assert nl.node_by_name("g") in reconv
+
+    def test_tree_clean(self):
+        assert reconvergent_nodes(tree()) == []
+
+    def test_dff_breaks_support(self):
+        """DFF outputs are fresh sources in the cut graph, so a path
+        through a DFF does not reconverge combinationally."""
+        nl = Netlist("ff_cut")
+        x = nl.add_pi("x")
+        ff = nl.add_dff(x, "ff")
+        g = nl.add_gate(GateType.AND, [x, ff], "g")
+        nl.add_po(g)
+        nl.validate()
+        assert reconvergent_nodes(nl) == []
+
+    def test_fraction_on_random_circuits(self):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=5, n_dffs=4, n_gates=60,
+                            reconvergence_bias=0.5),
+            seed=3,
+        )
+        profile = structural_profile(nl)
+        assert 0.0 < profile.reconvergent_fraction <= 1.0
+
+
+class TestSequentialSccs:
+    def test_toggle_loop_found(self):
+        nl = Netlist("t")
+        ff = nl.add_dff(None, "ff")
+        inv = nl.add_gate(GateType.NOT, [ff], "inv")
+        nl.set_fanins(ff, [inv])
+        nl.add_po(ff)
+        nl.validate()
+        sccs = sequential_sccs(nl)
+        assert sccs == [[ff, inv]]
+        assert feedback_register_count(nl) == 1
+
+    def test_feedforward_dff_no_scc(self):
+        nl = Netlist("ff_fwd")
+        x = nl.add_pi("x")
+        ff = nl.add_dff(x, "ff")
+        nl.add_po(ff)
+        nl.validate()
+        assert sequential_sccs(nl) == []
+        assert feedback_register_count(nl) == 0
+
+    def test_library_circuits_have_loops(self):
+        for name in ("s27", "gray3", "traffic"):
+            nl = library_circuit(name)
+            assert sequential_sccs(nl), name
+
+    def test_deep_circuit_no_recursion_error(self):
+        nl = Netlist("deep")
+        cur = nl.add_pi("a")
+        for k in range(3000):
+            cur = nl.add_gate(GateType.NOT, [cur], f"n{k}")
+        nl.add_po(cur)
+        nl.validate()
+        assert sequential_sccs(nl) == []
+
+
+class TestHistograms:
+    def test_depth_histogram_partitions(self):
+        nl = tree()
+        hist = logic_depth_histogram(nl)
+        assert sum(hist.values()) == len(nl)
+        assert hist[0] == 4  # the PIs
+
+    def test_fanout_histogram_partitions(self):
+        nl = diamond()
+        hist = fanout_histogram(nl)
+        assert sum(hist.values()) == len(nl)
+        assert hist.get(2, 0) >= 1  # x drives two paths
+
+
+class TestProfile:
+    def test_profile_fields_consistent(self):
+        nl = library_circuit("s27")
+        p = structural_profile(nl)
+        assert p.nodes == len(nl)
+        assert p.pis == 4
+        assert p.dffs == 3
+        assert p.feedback_dffs <= p.dffs
+        assert p.max_fanout >= 1
+        assert "s27" not in p.row() or True
+        assert "reconv" in p.row()

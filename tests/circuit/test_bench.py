@@ -1,0 +1,107 @@
+"""Tests for the .bench parser/writer (repro.circuit.bench)."""
+
+import pytest
+
+from repro.circuit.bench import (
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+    write_bench_file,
+)
+from repro.circuit.gates import GateType
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.circuit.netlist import NetlistError
+
+S27_LIKE = """
+# a small ISCAS'89-style circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G10 = NAND(G0, G6)
+G11 = NOR(G5, G1)
+G17 = NOT(G11)
+"""
+
+
+class TestParse:
+    def test_parses_structure(self):
+        nl = parse_bench(S27_LIKE, "s27")
+        assert len(nl.pis) == 2
+        assert len(nl.dffs) == 2
+        assert len(nl.pos) == 1
+        assert nl.gate_type(nl.node_by_name("G10")) is GateType.NAND
+
+    def test_forward_references_resolve(self):
+        # G5 = DFF(G10) references G10 before its definition.
+        nl = parse_bench(S27_LIKE)
+        g5 = nl.node_by_name("G5")
+        assert nl.fanins(g5) == (nl.node_by_name("G10"),)
+
+    def test_case_insensitive_gate_names(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(b)\nb = nand(a, a)\n")
+        assert nl.gate_type(nl.node_by_name("b")) is GateType.NAND
+
+    def test_ff_alias(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(q)\nq = FF(a)\n")
+        assert nl.gate_type(nl.node_by_name("q")) is GateType.DFF
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hello\n\nINPUT(a)\n  # more\nOUTPUT(b)\nb = NOT(a) # inline\n"
+        nl = parse_bench(text)
+        assert len(nl) == 2
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(NetlistError, match="unknown gate"):
+            parse_bench("INPUT(a)\nb = FROB(a)\n")
+
+    def test_undefined_signal_rejected(self):
+        with pytest.raises(NetlistError, match="undefined"):
+            parse_bench("INPUT(a)\nb = NOT(zzz)\n")
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(NetlistError, match="twice"):
+            parse_bench("INPUT(a)\nb = NOT(a)\nb = BUF(a)\n")
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(NetlistError, match="OUTPUT"):
+            parse_bench("INPUT(a)\nOUTPUT(nope)\nb = NOT(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(NetlistError, match="cannot parse"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+
+class TestRoundTrip:
+    def test_small_roundtrip(self):
+        nl = parse_bench(S27_LIKE, "s27")
+        again = parse_bench(write_bench(nl), "s27rt")
+        assert len(again) == len(nl)
+        assert len(again.pis) == len(nl.pis)
+        assert len(again.dffs) == len(nl.dffs)
+        assert len(again.pos) == len(nl.pos)
+        for node in nl.nodes():
+            name = nl.node_name(node)
+            other = again.node_by_name(name)
+            assert again.gate_type(other) is nl.gate_type(node)
+            assert [again.node_name(f) for f in again.fanins(other)] == [
+                nl.node_name(f) for f in nl.fanins(node)
+            ]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_netlist_roundtrip(self, seed):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=5, n_dffs=4, n_gates=40), seed=seed
+        )
+        again = parse_bench(write_bench(nl))
+        assert len(again) == len(nl)
+        assert again.type_counts() == nl.type_counts()
+
+    def test_file_roundtrip(self, tmp_path):
+        nl = parse_bench(S27_LIKE, "s27")
+        path = tmp_path / "s27.bench"
+        write_bench_file(nl, path)
+        again = parse_bench_file(path)
+        assert again.name == "s27"
+        assert len(again) == len(nl)

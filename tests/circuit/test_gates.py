@@ -1,0 +1,145 @@
+"""Tests for gate semantics (repro.circuit.gates)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.gates import (
+    AIG_TYPES,
+    FANIN_ARITY,
+    ONE_HOT_DIM,
+    ONE_HOT_INDEX,
+    GateType,
+    eval_gate,
+    gate_truth_table,
+    one_hot,
+)
+
+BOOL_GATES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+PY_REFERENCE = {
+    GateType.AND: lambda ins: all(ins),
+    GateType.OR: lambda ins: any(ins),
+    GateType.NAND: lambda ins: not all(ins),
+    GateType.NOR: lambda ins: not any(ins),
+    GateType.XOR: lambda ins: sum(ins) % 2 == 1,
+    GateType.XNOR: lambda ins: sum(ins) % 2 == 0,
+}
+
+
+class TestEvalGate:
+    @pytest.mark.parametrize("gate", BOOL_GATES)
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_matches_python_reference(self, gate, arity):
+        rng = np.random.default_rng(0)
+        inputs = [rng.integers(0, 2, size=16).astype(bool) for _ in range(arity)]
+        out = eval_gate(gate, inputs)
+        for k in range(16):
+            expected = PY_REFERENCE[gate]([bool(x[k]) for x in inputs])
+            assert bool(out[k]) == expected, (gate, arity, k)
+
+    def test_not(self):
+        x = np.array([True, False, True])
+        assert (eval_gate(GateType.NOT, [x]) == ~x).all()
+
+    def test_buf_copies(self):
+        x = np.array([True, False])
+        out = eval_gate(GateType.BUF, [x])
+        assert (out == x).all()
+        out[0] = False
+        assert x[0], "BUF must not alias its input"
+
+    def test_mux_selects(self):
+        sel = np.array([False, False, True, True])
+        a = np.array([False, True, False, True])
+        b = np.array([True, False, True, False])
+        out = eval_gate(GateType.MUX, [sel, a, b])
+        assert out.tolist() == [False, True, True, False]
+
+    def test_works_on_packed_words(self):
+        a = np.array([0xF0F0F0F0F0F0F0F0], dtype=np.uint64)
+        b = np.array([0xFF00FF00FF00FF00], dtype=np.uint64)
+        assert eval_gate(GateType.AND, [a, b])[0] == a[0] & b[0]
+        assert eval_gate(GateType.XOR, [a, b])[0] == a[0] ^ b[0]
+
+    def test_rejects_wrong_arity(self):
+        x = np.zeros(4, dtype=bool)
+        with pytest.raises(ValueError):
+            eval_gate(GateType.NOT, [x, x])
+        with pytest.raises(ValueError):
+            eval_gate(GateType.AND, [x])
+        with pytest.raises(ValueError):
+            eval_gate(GateType.MUX, [x, x])
+
+    def test_rejects_non_functions(self):
+        with pytest.raises(ValueError):
+            eval_gate(GateType.PI, [])
+        with pytest.raises(ValueError):
+            eval_gate(GateType.DFF, [np.zeros(2, dtype=bool)])
+
+
+class TestTruthTable:
+    @pytest.mark.parametrize("gate", BOOL_GATES)
+    def test_agrees_with_eval(self, gate):
+        table = gate_truth_table(gate, 2)
+        assert table.shape == (4,)
+        for row in range(4):
+            ins = [bool((row >> k) & 1) for k in range(2)]
+            assert bool(table[row]) == PY_REFERENCE[gate](ins)
+
+    def test_not_table(self):
+        assert gate_truth_table(GateType.NOT, 1).tolist() == [True, False]
+
+    def test_consts(self):
+        assert gate_truth_table(GateType.CONST0, 0).tolist() == [False]
+        assert gate_truth_table(GateType.CONST1, 0).tolist() == [True]
+
+    def test_mux_table_size(self):
+        assert gate_truth_table(GateType.MUX, 3).shape == (8,)
+
+    def test_rejects_bad_arity(self):
+        with pytest.raises(ValueError):
+            gate_truth_table(GateType.NOT, 2)
+        with pytest.raises(ValueError):
+            gate_truth_table(GateType.AND, 1)
+        with pytest.raises(ValueError):
+            gate_truth_table(GateType.PI, 0)
+
+    @given(st.sampled_from(BOOL_GATES), st.integers(min_value=2, max_value=5))
+    def test_table_length_is_power_of_two(self, gate, arity):
+        assert gate_truth_table(gate, arity).shape == (2**arity,)
+
+
+class TestOneHot:
+    def test_each_aig_type_distinct(self):
+        vecs = [tuple(one_hot(t)) for t in AIG_TYPES]
+        assert len(set(vecs)) == len(AIG_TYPES)
+
+    def test_dimension(self):
+        assert ONE_HOT_DIM == 4
+        for t in AIG_TYPES:
+            v = one_hot(t)
+            assert v.shape == (4,)
+            assert v.sum() == 1.0
+            assert v[ONE_HOT_INDEX[t]] == 1.0
+
+    def test_rejects_extended_types(self):
+        with pytest.raises(ValueError):
+            one_hot(GateType.XOR)
+
+
+class TestArityTable:
+    def test_every_gate_has_arity_entry(self):
+        for t in GateType:
+            assert t in FANIN_ARITY
+
+    def test_sources_have_zero_arity(self):
+        assert FANIN_ARITY[GateType.PI] == 0
+        assert FANIN_ARITY[GateType.CONST0] == 0

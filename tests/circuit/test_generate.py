@@ -1,0 +1,96 @@
+"""Tests for the random netlist generator (repro.circuit.generate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.gates import GateType
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_pis": 0},
+            {"n_gates": 0},
+            {"max_fanin": 1},
+            {"locality": 0.0},
+            {"locality": 1.5},
+            {"gate_mix": {GateType.AND: 0.0}},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        cfg = GeneratorConfig(n_pis=5, n_dffs=4, n_gates=30)
+        a = random_sequential_netlist(cfg, seed=7)
+        b = random_sequential_netlist(cfg, seed=7)
+        assert len(a) == len(b)
+        for n in a.nodes():
+            assert a.gate_type(n) == b.gate_type(n)
+            assert a.fanins(n) == b.fanins(n)
+
+    def test_different_seeds_differ(self):
+        cfg = GeneratorConfig(n_pis=5, n_dffs=4, n_gates=30)
+        a = random_sequential_netlist(cfg, seed=1)
+        b = random_sequential_netlist(cfg, seed=2)
+        fanins_a = [a.fanins(n) for n in a.nodes()]
+        fanins_b = [b.fanins(n) for n in b.nodes()]
+        assert fanins_a != fanins_b
+
+    def test_requested_counts(self):
+        cfg = GeneratorConfig(n_pis=6, n_dffs=5, n_gates=33)
+        nl = random_sequential_netlist(cfg, seed=0)
+        assert len(nl.pis) == 6
+        assert len(nl.dffs) == 5
+        assert len(nl) == 6 + 5 + 33
+
+    def test_validates(self):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=4, n_dffs=3, n_gates=20), seed=3
+        )
+        nl.validate()  # raises on failure
+
+    def test_pure_aig_mix(self):
+        cfg = GeneratorConfig(
+            n_pis=4,
+            n_dffs=2,
+            n_gates=25,
+            gate_mix={GateType.AND: 0.6, GateType.NOT: 0.4},
+            max_fanin=2,
+        )
+        nl = random_sequential_netlist(cfg, seed=1)
+        assert nl.is_aig()
+
+    def test_combinational_when_no_dffs(self):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=4, n_dffs=0, n_gates=20), seed=5
+        )
+        assert not nl.dffs
+        nl.validate()
+
+    def test_pos_marked(self):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=4, n_dffs=2, n_gates=20, n_pos=3), seed=5
+        )
+        assert 1 <= len(nl.pos) <= 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        n_dffs=st.integers(min_value=0, max_value=8),
+        n_gates=st.integers(min_value=1, max_value=60),
+    )
+    def test_property_always_valid(self, seed, n_dffs, n_gates):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=3, n_dffs=n_dffs, n_gates=n_gates), seed=seed
+        )
+        nl.validate()
+        assert len(nl) == 3 + n_dffs + n_gates

@@ -1,0 +1,108 @@
+"""Tests for the learning-graph view (repro.circuit.graph)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.aig import to_aig
+from repro.circuit.gates import GateType
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.netlist import Netlist, NetlistError
+
+
+@pytest.fixture()
+def graph() -> CircuitGraph:
+    nl = random_sequential_netlist(
+        GeneratorConfig(n_pis=5, n_dffs=4, n_gates=40), seed=8
+    )
+    return CircuitGraph(to_aig(nl).aig)
+
+
+class TestConstruction:
+    def test_rejects_non_aig(self):
+        nl = Netlist()
+        a, b = nl.add_pi(), nl.add_pi()
+        nl.add_gate(GateType.OR, [a, b])
+        with pytest.raises(NetlistError, match="AIG"):
+            CircuitGraph(nl)
+
+    def test_features_one_hot(self, graph):
+        assert graph.features.shape == (graph.num_nodes, 4)
+        assert (graph.features.sum(axis=1) == 1.0).all()
+        assert (
+            graph.features[np.arange(graph.num_nodes), graph.type_index] == 1.0
+        ).all()
+
+    def test_fanin_arrays(self, graph):
+        nl = graph.netlist
+        for i in nl.nodes():
+            fs = nl.fanins(i)
+            if len(fs) >= 1:
+                assert graph.fanin0[i] == fs[0]
+            else:
+                assert graph.fanin0[i] == -1
+            if len(fs) == 2:
+                assert graph.fanin1[i] == fs[1]
+            else:
+                assert graph.fanin1[i] == -1
+
+    def test_dff_src_matches_netlist(self, graph):
+        nl = graph.netlist
+        for d, s in zip(graph.dff_ids, graph.dff_src):
+            assert nl.fanins(int(d)) == (int(s),)
+
+
+class TestForwardBatches:
+    def test_cover_all_comb_gates_once(self, graph):
+        nodes = np.concatenate([b.nodes for b in graph.forward_batches])
+        comb = np.concatenate([graph.and_ids, graph.not_ids])
+        assert sorted(nodes.tolist()) == sorted(comb.tolist())
+
+    def test_edges_match_fanins(self, graph):
+        for batch in graph.forward_batches:
+            for src, dst_local in zip(batch.src, batch.dst_local):
+                node = batch.nodes[dst_local]
+                assert src in graph.netlist.fanins(int(node))
+
+    def test_edge_counts(self, graph):
+        total = sum(b.num_edges for b in graph.forward_batches)
+        expected = 2 * graph.and_ids.size + graph.not_ids.size
+        assert total == expected
+
+    def test_sources_precede_batch(self, graph):
+        # Every message source lives at a strictly lower level.
+        for batch in graph.forward_batches:
+            for src, dst_local in zip(batch.src, batch.dst_local):
+                node = batch.nodes[dst_local]
+                assert graph.level[src] < graph.level[node]
+
+
+class TestReverseBatches:
+    def test_no_messages_from_dffs_to_data_sources(self, graph):
+        dffs = set(int(d) for d in graph.dff_ids)
+        for batch in graph.reverse_batches:
+            assert not (set(batch.src.tolist()) & dffs)
+
+    def test_edges_are_fanouts(self, graph):
+        fanouts = graph.netlist.fanouts()
+        for batch in graph.reverse_batches:
+            for src, dst_local in zip(batch.src, batch.dst_local):
+                node = int(batch.nodes[dst_local])
+                assert int(src) in fanouts[node]
+
+    def test_cover_all_comb_gates(self, graph):
+        nodes = np.concatenate([b.nodes for b in graph.reverse_batches])
+        comb = np.concatenate([graph.and_ids, graph.not_ids])
+        assert sorted(nodes.tolist()) == sorted(comb.tolist())
+
+
+class TestProperties:
+    def test_counts(self, graph):
+        nl = graph.netlist
+        assert graph.num_pis == len(nl.pis)
+        assert graph.num_dffs == len(nl.dffs)
+        assert graph.num_nodes == len(nl)
+        assert (graph.state_ids == graph.dff_ids).all()
+
+    def test_repr_mentions_name(self, graph):
+        assert graph.netlist.name in repr(graph)

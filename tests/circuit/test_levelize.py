@@ -1,0 +1,109 @@
+"""Tests for levelization (repro.circuit.levelize)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.gates import GateType
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.circuit.levelize import cut_fanins, levelize
+from repro.circuit.netlist import Netlist
+
+
+def small_seq() -> Netlist:
+    nl = Netlist("seq")
+    a = nl.add_pi("a")
+    ff = nl.add_dff(None, "ff")
+    g1 = nl.add_gate(GateType.AND, [a, ff], "g1")
+    g2 = nl.add_gate(GateType.NOT, [g1], "g2")
+    nl.set_fanins(ff, [g2])
+    nl.add_po(g2)
+    nl.validate()
+    return nl
+
+
+class TestCutFanins:
+    def test_dff_edges_removed(self):
+        nl = small_seq()
+        cut = cut_fanins(nl)
+        ff = nl.node_by_name("ff")
+        assert cut[ff] == ()
+        g1 = nl.node_by_name("g1")
+        assert cut[g1] == nl.fanins(g1)
+
+
+class TestLevels:
+    def test_pi_level_zero_dff_level_one(self):
+        nl = small_seq()
+        lv = levelize(nl)
+        assert lv.level[nl.node_by_name("a")] == 0
+        assert lv.level[nl.node_by_name("ff")] == 1
+
+    def test_gate_above_fanins(self):
+        nl = small_seq()
+        lv = levelize(nl)
+        cut = cut_fanins(nl)
+        for node in nl.nodes():
+            for f in cut[node]:
+                assert lv.level[node] > lv.level[f]
+
+    def test_reverse_levels_sinks_zero(self):
+        nl = small_seq()
+        lv = levelize(nl)
+        g2 = nl.node_by_name("g2")
+        # g2 feeds only the DFF, whose incoming edge is cut -> g2 is a sink.
+        assert lv.reverse_level[g2] == 0
+
+    def test_forward_order_partitions_nodes(self):
+        nl = small_seq()
+        lv = levelize(nl)
+        seen = np.concatenate(lv.forward_order)
+        assert sorted(seen.tolist()) == list(range(len(nl)))
+
+    def test_comb_batches_exclude_sources(self):
+        nl = small_seq()
+        lv = levelize(nl)
+        comb = np.concatenate(lv.comb_forward)
+        assert nl.node_by_name("a") not in comb
+        assert nl.node_by_name("ff") not in comb
+        assert nl.node_by_name("g1") in comb
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_levels_strictly_increase(self, seed):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=4, n_dffs=3, n_gates=25), seed=seed
+        )
+        lv = levelize(nl)
+        cut = cut_fanins(nl)
+        for node in nl.nodes():
+            for f in cut[node]:
+                assert lv.level[node] > lv.level[f]
+        # Reverse: every node with cut-graph fanout sits above its consumers.
+        for node in nl.nodes():
+            for f in cut[node]:
+                assert lv.reverse_level[f] > lv.reverse_level[node]
+
+    def test_comb_batches_cover_all_gates(self):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=5, n_dffs=4, n_gates=40), seed=1
+        )
+        lv = levelize(nl)
+        comb = np.concatenate(lv.comb_forward)
+        gates = [
+            n
+            for n in nl.nodes()
+            if nl.gate_type(n) not in (GateType.PI, GateType.DFF)
+        ]
+        assert sorted(comb.tolist()) == sorted(gates)
+        rev = np.concatenate(lv.comb_reverse)
+        assert sorted(rev.tolist()) == sorted(gates)
+
+    def test_purely_combinational_circuit(self):
+        nl = Netlist("comb")
+        a, b = nl.add_pi("a"), nl.add_pi("b")
+        g = nl.add_gate(GateType.AND, [a, b], "g")
+        nl.add_po(g)
+        lv = levelize(nl)
+        assert lv.max_level == 1
+        assert lv.level[g] == 1

@@ -1,0 +1,48 @@
+"""Tests for corpus statistics (repro.circuit.stats)."""
+
+import pytest
+
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.circuit.stats import corpus_stats, netlist_summary
+
+
+def make(seeds):
+    return [
+        random_sequential_netlist(
+            GeneratorConfig(n_pis=4, n_dffs=3, n_gates=10 + s), seed=s
+        )
+        for s in seeds
+    ]
+
+
+class TestCorpusStats:
+    def test_basic_fields(self):
+        circuits = make(range(4))
+        st = corpus_stats("fam", circuits)
+        assert st.num_circuits == 4
+        assert st.mean_nodes == pytest.approx(
+            sum(len(c) for c in circuits) / 4
+        )
+        assert st.mean_dffs == 3.0
+        assert st.mean_pis == 4.0
+        assert st.mean_levels > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_stats("fam", [])
+
+    def test_row_renders(self):
+        st = corpus_stats("fam", make([1]))
+        assert "fam" in st.row()
+
+
+class TestNetlistSummary:
+    def test_counts_consistent(self):
+        nl = make([5])[0]
+        s = netlist_summary(nl)
+        assert s["nodes"] == len(nl)
+        assert s["pis"] == 4
+        assert s["dffs"] == 3
+        assert s["pos"] == len(nl.pos)
+        assert s["edges"] == nl.num_edges
+        assert s["nodes"] >= s["ands"] + s["nots"]

@@ -1,0 +1,141 @@
+"""Tests for structural hashing (repro.circuit.aig.strash)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.aig import strash, to_aig
+from repro.circuit.gates import GateType
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.circuit.netlist import Netlist, NetlistError
+from repro.sim.logicsim import SimConfig, simulate
+from repro.sim.workload import Workload, random_workload
+
+
+class TestStrash:
+    def test_merges_identical_ands(self):
+        nl = Netlist("dup")
+        a, b = nl.add_pi("a"), nl.add_pi("b")
+        g1 = nl.add_gate(GateType.AND, [a, b], "g1")
+        g2 = nl.add_gate(GateType.AND, [a, b], "g2")
+        n1 = nl.add_gate(GateType.NOT, [g1], "n1")
+        n2 = nl.add_gate(GateType.NOT, [g2], "n2")
+        top = nl.add_gate(GateType.AND, [n1, n2], "top")
+        nl.add_po(top)
+        mapping = strash(nl)
+        # g1==g2 merge, then n1==n2 merge: 7 -> 5 nodes.
+        assert len(mapping.aig) == 5
+        assert mapping.fanout_of[g1] == mapping.fanout_of[g2]
+        assert mapping.fanout_of[n1] == mapping.fanout_of[n2]
+
+    def test_commutative_and_merged(self):
+        nl = Netlist("comm")
+        a, b = nl.add_pi("a"), nl.add_pi("b")
+        g1 = nl.add_gate(GateType.AND, [a, b], "g1")
+        g2 = nl.add_gate(GateType.AND, [b, a], "g2")
+        nl.add_po(g1)
+        nl.add_po(g2)
+        mapping = strash(nl)
+        assert mapping.fanout_of[g1] == mapping.fanout_of[g2]
+
+    def test_distinct_gates_kept(self):
+        nl = Netlist("distinct")
+        a, b, c = nl.add_pi("a"), nl.add_pi("b"), nl.add_pi("c")
+        g1 = nl.add_gate(GateType.AND, [a, b], "g1")
+        g2 = nl.add_gate(GateType.AND, [a, c], "g2")
+        nl.add_po(g1)
+        nl.add_po(g2)
+        mapping = strash(nl)
+        assert mapping.fanout_of[g1] != mapping.fanout_of[g2]
+
+    def test_rejects_non_aig(self):
+        nl = Netlist("bad")
+        a, b = nl.add_pi("a"), nl.add_pi("b")
+        nl.add_gate(GateType.OR, [a, b], "g")
+        with pytest.raises(NetlistError):
+            strash(nl)
+
+    def test_dffs_never_merged(self):
+        nl = Netlist("ffs")
+        a = nl.add_pi("a")
+        f1 = nl.add_dff(a, "f1")
+        f2 = nl.add_dff(a, "f2")
+        g = nl.add_gate(GateType.AND, [f1, f2], "g")
+        nl.add_po(g)
+        mapping = strash(nl)
+        assert mapping.fanout_of[f1] != mapping.fanout_of[f2]
+
+    def test_idempotent(self):
+        nl = to_aig(
+            random_sequential_netlist(
+                GeneratorConfig(n_pis=5, n_dffs=3, n_gates=30), seed=7
+            )
+        ).aig
+        once = strash(nl).aig
+        twice = strash(once).aig
+        assert len(twice) == len(once)
+
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_function_preserved(self, seed):
+        nl = to_aig(
+            random_sequential_netlist(
+                GeneratorConfig(n_pis=4, n_dffs=3, n_gates=30), seed=seed
+            )
+        ).aig
+        mapping = strash(nl)
+        assert len(mapping.aig) <= len(nl)
+        wl = random_workload(nl, seed)
+        cfg = SimConfig(cycles=50, seed=seed)
+        a = simulate(nl, wl, cfg)
+        b = simulate(mapping.aig, wl, cfg)
+        for old, new in mapping.fanout_of.items():
+            assert a.logic_prob[old] == b.logic_prob[new]
+            assert a.tr01_prob[old] == b.tr01_prob[new]
+
+    def test_pos_preserved(self):
+        nl = Netlist("po")
+        a, b = nl.add_pi("a"), nl.add_pi("b")
+        g1 = nl.add_gate(GateType.AND, [a, b], "g1")
+        g2 = nl.add_gate(GateType.AND, [a, b], "g2")
+        nl.add_po(g2)
+        mapping = strash(nl)
+        assert mapping.aig.pos == [mapping.fanout_of[g2]]
+
+
+class TestReadout:
+    def test_modes_and_shapes(self):
+        from repro.circuit.graph import CircuitGraph
+        from repro.models.base import ModelConfig
+        from repro.models.deepseq import DeepSeq
+
+        nl = to_aig(
+            random_sequential_netlist(
+                GeneratorConfig(n_pis=4, n_dffs=2, n_gates=15), seed=2
+            )
+        ).aig
+        graph = CircuitGraph(nl)
+        wl = random_workload(nl, 1)
+        model = DeepSeq(ModelConfig(hidden=8, iterations=2))
+        assert model.readout(graph, wl, "mean").shape == (8,)
+        assert model.readout(graph, wl, "max").shape == (8,)
+        assert model.readout(graph, wl, "meanmax").shape == (16,)
+        with pytest.raises(ValueError):
+            model.readout(graph, wl, "sum")
+
+    def test_readout_distinguishes_circuits(self):
+        from repro.circuit.graph import CircuitGraph
+        from repro.models.base import ModelConfig
+        from repro.models.deepseq import DeepSeq
+
+        model = DeepSeq(ModelConfig(hidden=8, iterations=2))
+        embeddings = []
+        for seed in (3, 4):
+            nl = to_aig(
+                random_sequential_netlist(
+                    GeneratorConfig(n_pis=4, n_dffs=2, n_gates=15), seed=seed
+                )
+            ).aig
+            graph = CircuitGraph(nl)
+            embeddings.append(
+                model.readout(graph, Workload(np.full(4, 0.5)), "mean")
+            )
+        assert not np.allclose(embeddings[0], embeddings[1])

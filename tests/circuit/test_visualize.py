@@ -1,0 +1,69 @@
+"""Tests for DOT export (repro.circuit.visualize)."""
+
+import re
+
+import pytest
+
+from repro.circuit.library import library_circuit
+from repro.circuit.visualize import levels_to_dot, to_dot
+
+
+@pytest.fixture(scope="module")
+def s27():
+    return library_circuit("s27")
+
+
+class TestToDot:
+    def test_every_node_declared(self, s27):
+        dot = to_dot(s27)
+        for node in s27.nodes():
+            assert f"n{node} [" in dot
+            assert s27.node_name(node) in dot
+
+    def test_every_edge_present(self, s27):
+        dot = to_dot(s27)
+        for node in s27.nodes():
+            for f in s27.fanins(node):
+                assert re.search(rf"n{f} -> n{node}\b", dot)
+
+    def test_sequential_edges_dashed(self, s27):
+        dot = to_dot(s27)
+        for dff in s27.dffs:
+            (src,) = s27.fanins(dff)
+            line = next(
+                l for l in dot.splitlines() if f"n{src} -> n{dff}" in l
+            )
+            assert "dashed" in line
+
+    def test_pos_double_circled(self, s27):
+        dot = to_dot(s27)
+        for po in s27.pos:
+            line = next(l for l in dot.splitlines() if f"n{po} [" in l)
+            assert "peripheries=2" in line
+
+    def test_valid_digraph_syntax(self, s27):
+        dot = to_dot(s27)
+        assert dot.startswith('digraph "s27" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+
+class TestLevelsToDot:
+    def test_rank_clusters_cover_all_nodes(self, s27):
+        dot = levels_to_dot(s27)
+        ranked = set(re.findall(r"n(\d+)(?=[;\s]+)",
+                     " ".join(re.findall(r"rank=same;([^}]*)", dot))))
+        assert {str(n) for n in s27.nodes()} <= ranked
+
+    def test_dff_edges_constraint_free(self, s27):
+        dot = levels_to_dot(s27)
+        for dff in s27.dffs:
+            (src,) = s27.fanins(dff)
+            line = next(
+                l for l in dot.splitlines() if f"n{src} -> n{dff}" in l
+            )
+            assert "constraint=false" in line
+
+    def test_balanced_braces(self, s27):
+        dot = levels_to_dot(s27)
+        assert dot.count("{") == dot.count("}")

@@ -1,0 +1,54 @@
+"""Tests for shared experiment plumbing (repro.experiments.common)."""
+
+import pytest
+
+from repro.experiments.common import (
+    model_config,
+    sim_config,
+    training_circuits,
+    training_dataset,
+)
+from repro.experiments.config import get_scale
+
+MICRO = get_scale(
+    "quick",
+    family_counts={"iscas89": 2, "opencores": 2},
+    sim_cycles=20,
+    hidden=8,
+    iterations=2,
+)
+
+
+class TestConfigs:
+    def test_sim_config_fields(self):
+        cfg = sim_config(MICRO)
+        assert cfg.cycles == 20
+        assert cfg.streams == MICRO.sim_streams
+
+    def test_model_config_fields(self):
+        cfg = model_config(MICRO, "attention")
+        assert cfg.hidden == 8
+        assert cfg.iterations == 2
+        assert cfg.aggregator == "attention"
+
+
+class TestDataset:
+    def test_training_circuits_per_family(self):
+        corpus = training_circuits(MICRO)
+        assert set(corpus) == {"iscas89", "opencores"}
+        assert len(corpus["iscas89"]) == 2
+
+    def test_training_dataset_flattens(self):
+        ds = training_dataset(MICRO)
+        assert len(ds) == 4
+        names = [s.name for s in ds]
+        assert any("iscas89" in n for n in names)
+        assert any("opencores" in n for n in names)
+
+    def test_dataset_deterministic(self):
+        a = training_dataset(MICRO)
+        b = training_dataset(MICRO)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert all(
+            (x.target_lg == y.target_lg).all() for x, y in zip(a, b)
+        )

@@ -1,0 +1,121 @@
+"""Smoke tests for every table driver at micro scale.
+
+The full quick-scale regenerations live in ``benchmarks/``; here each
+driver runs with tiny parameters to verify wiring, table structure and the
+invariants that do not require convergence.
+"""
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+from repro.experiments.table3 import ABLATION_ROWS, run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+
+MICRO = get_scale(
+    "quick",
+    family_counts={"iscas89": 2, "itc99": 2, "opencores": 4},
+    sim_cycles=30,
+    hidden=8,
+    iterations=2,
+    epochs=2,
+    lr=2e-3,
+    design_scale=0.04,
+    finetune_workloads=2,
+    finetune_epochs=1,
+    table6_workloads=2,
+    reliability_circuits=2,
+)
+
+
+class TestTable1:
+    def test_families_and_counts(self):
+        r = run_table1(MICRO)
+        assert set(r.stats) == {"iscas89", "itc99", "opencores"}
+        assert r.stats["opencores"].num_circuits == 4
+        assert "Table I" in r.text
+
+    def test_size_ordering(self):
+        r = run_table1(get_scale("quick", family_counts={
+            "iscas89": 8, "itc99": 8, "opencores": 8}))
+        assert (
+            r.stats["itc99"].mean_nodes > r.stats["iscas89"].mean_nodes
+        )
+
+
+class TestTable2:
+    def test_micro_run_structure(self):
+        r = run_table2(MICRO, include=(("dag_convgnn", "conv_sum"),
+                                       ("deepseq", "dual_attention")))
+        assert len(r.metrics) == 2
+        for ev in r.metrics.values():
+            assert 0 <= ev.pe_tr <= 1
+            assert 0 <= ev.pe_lg <= 1
+        assert "Table II" in r.text
+
+    def test_paper_reference_values_recorded(self):
+        assert PAPER_TABLE2[("deepseq", "dual_attention")] == (0.028, 0.080)
+        assert len(PAPER_TABLE2) == 5
+
+
+class TestTable3:
+    def test_rows(self):
+        assert [r[:2] for r in ABLATION_ROWS] == [
+            ("dag_recgnn", "attention"),
+            ("deepseq", "attention"),
+            ("deepseq", "dual_attention"),
+        ]
+
+    def test_micro_run(self):
+        r = run_table3(MICRO)
+        assert len(r.metrics) == 3
+        assert "Table III" in r.text
+
+
+class TestTable4:
+    def test_sizes_close_to_paper(self):
+        r = run_table4(MICRO)
+        from repro.circuit.benchmarks import LARGE_DESIGN_SPECS
+
+        for name, spec in LARGE_DESIGN_SPECS.items():
+            got = r.summaries[name]["nodes"]
+            assert abs(got - spec.paper_nodes) / spec.paper_nodes < 0.15, name
+
+    def test_all_designs_have_state(self):
+        r = run_table4(MICRO)
+        for name, summary in r.summaries.items():
+            assert summary["dffs"] > 0, name
+            assert summary["pos"] > 0, name
+
+
+class TestTable5:
+    def test_micro_power_comparison(self):
+        r = run_table5(MICRO, designs=("ptc",))
+        cmp = r.comparisons["ptc"]
+        assert cmp.gt_mw > 0
+        for method in ("probabilistic", "grannite", "deepseq"):
+            m = cmp.method(method)
+            assert m.power_mw >= 0
+            assert m.error_pct >= 0
+        assert "Table V" in r.text
+
+
+class TestTable6:
+    def test_micro_workload_sweep(self):
+        r = run_table6(MICRO, design="ptc")
+        assert len(r.comparisons) == 2
+        assert r.avg_error("probabilistic") >= 0
+        assert "Table VI" in r.text
+
+
+class TestTable7:
+    def test_micro_reliability(self):
+        r = run_table7(MICRO, designs=("ptc",))
+        cmp = r.comparisons["ptc"]
+        assert 0.5 < cmp.gt <= 1.0
+        assert cmp.deepseq is not None
+        assert "Table VII" in r.text

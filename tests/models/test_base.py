@@ -1,0 +1,161 @@
+"""Tests for the shared DAG-GNN machinery (repro.models.base)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.aig import to_aig
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.circuit.graph import CircuitGraph
+from repro.models.base import ModelConfig, baseline_batches
+from repro.models.deepseq import DeepSeq
+from repro.models.baselines import DagRecGnn
+from repro.sim.workload import random_workload
+
+
+CFG = ModelConfig(hidden=12, iterations=2, seed=0)
+
+
+@pytest.fixture()
+def setup():
+    nl = random_sequential_netlist(
+        GeneratorConfig(n_pis=5, n_dffs=4, n_gates=30), seed=3
+    )
+    aig = to_aig(nl).aig
+    graph = CircuitGraph(aig)
+    wl = random_workload(aig, seed=1)
+    return graph, wl
+
+
+class TestInitialHidden:
+    def test_pi_rows_broadcast_workload(self, setup):
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        h0 = model.initial_hidden(graph, wl)
+        for k, pi in enumerate(graph.pi_ids):
+            assert np.allclose(h0.numpy()[pi], wl.pi_probs[k])
+
+    def test_workload_size_mismatch_rejected(self, setup):
+        graph, _ = setup
+        from repro.sim.workload import Workload
+
+        model = DeepSeq(CFG)
+        with pytest.raises(ValueError):
+            model.initial_hidden(graph, Workload(np.array([0.5])))
+
+    def test_non_pi_rows_random(self, setup):
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        h0 = model.initial_hidden(graph, wl).numpy()
+        gate_rows = h0[graph.and_ids]
+        assert gate_rows.std() > 0.01
+
+
+class TestPropagation:
+    def test_pi_rows_never_change(self, setup):
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        h = model.embed(graph, wl)
+        for k, pi in enumerate(graph.pi_ids):
+            assert np.allclose(h.numpy()[pi], wl.pi_probs[k]), (
+                "PI embeddings must stay fixed at workload probabilities"
+            )
+
+    def test_dff_copy_step_applied(self, setup):
+        """After DeepSeq's step 4 the DFF rows equal their data
+        predecessors' rows."""
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        h = model.embed(graph, wl).numpy()
+        for d, s in zip(graph.dff_ids, graph.dff_src):
+            assert np.allclose(h[d], h[s])
+
+    def test_baseline_keeps_dffs_distinct(self, setup):
+        graph, wl = setup
+        model = DagRecGnn(CFG)
+        h = model.embed(graph, wl).numpy()
+        diffs = [
+            np.abs(h[d] - h[s]).max()
+            for d, s in zip(graph.dff_ids, graph.dff_src)
+        ]
+        assert max(diffs) > 1e-6, "baseline has no clock-edge copy step"
+
+    def test_inference_matches_training_forward(self, setup):
+        """The in-place (no_grad) path must agree with the functional
+        (autograd) path bit for bit."""
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        pred = model.predict(graph, wl)
+        pred_tr, pred_lg = model(graph, wl)
+        assert np.allclose(pred.tr, pred_tr.numpy(), atol=1e-12)
+        assert np.allclose(pred.lg, pred_lg.numpy()[:, 0], atol=1e-12)
+
+    def test_deterministic_predictions(self, setup):
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        a = model.predict(graph, wl)
+        b = model.predict(graph, wl)
+        assert (a.tr == b.tr).all()
+        assert (a.lg == b.lg).all()
+
+    def test_predictions_in_unit_interval(self, setup):
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        pred = model.predict(graph, wl)
+        assert (pred.tr >= 0).all() and (pred.tr <= 1).all()
+        assert (pred.lg >= 0).all() and (pred.lg <= 1).all()
+        assert pred.toggle_rate.shape == (graph.num_nodes,)
+
+    def test_workload_changes_predictions(self, setup):
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        a = model.predict(graph, wl)
+        wl2 = random_workload(graph.netlist, seed=77)
+        b = model.predict(graph, wl2)
+        assert not np.allclose(a.lg, b.lg), (
+            "workload conditioning must influence predictions"
+        )
+
+
+class TestBaselineBatches:
+    def test_forward_includes_dff_updates(self, setup):
+        graph, _ = setup
+        fwd, _rev = baseline_batches(graph)
+        covered = np.concatenate([b.nodes for b in fwd])
+        for d in graph.dff_ids:
+            assert d in covered
+
+    def test_dff_batch_uses_data_edge(self, setup):
+        graph, _ = setup
+        fwd, _ = baseline_batches(graph)
+        dff_batch = fwd[0]
+        assert (dff_batch.nodes == graph.dff_ids).all()
+        assert (dff_batch.src == graph.dff_src).all()
+
+    def test_reverse_includes_dff_consumers(self, setup):
+        graph, _ = setup
+        _, rev = baseline_batches(graph)
+        srcs = np.concatenate([b.src for b in rev if b.src.size])
+        dffs = set(int(d) for d in graph.dff_ids)
+        assert set(srcs.tolist()) & dffs, (
+            "baseline reverse pass should hear from DFD consumers"
+        )
+
+
+class TestGradientFlow:
+    def test_all_parameters_receive_gradient(self, setup):
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        pred_tr, pred_lg = model(graph, wl)
+        (pred_tr.sum() + pred_lg.sum()).backward()
+        missing = [
+            name for name, p in model.named_parameters() if p.grad is None
+        ]
+        assert not missing, f"no gradient for {missing}"
+
+    def test_gradients_finite(self, setup):
+        graph, wl = setup
+        model = DeepSeq(CFG)
+        pred_tr, pred_lg = model(graph, wl)
+        (pred_tr.sum() + pred_lg.sum()).backward()
+        for name, p in model.named_parameters():
+            assert np.isfinite(p.grad).all(), name

@@ -1,0 +1,45 @@
+"""Tests for weight initializers (repro.nn.init)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import orthogonal, uniform, xavier_uniform
+
+
+class TestXavier:
+    def test_bound(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform(rng, (30, 20))
+        bound = np.sqrt(6.0 / 50)
+        assert w.shape == (30, 20)
+        assert np.abs(w).max() <= bound
+
+    def test_deterministic_per_rng(self):
+        a = xavier_uniform(np.random.default_rng(1), (4, 4))
+        b = xavier_uniform(np.random.default_rng(1), (4, 4))
+        assert (a == b).all()
+
+
+class TestUniform:
+    def test_bound_respected(self):
+        w = uniform(np.random.default_rng(0), (100,), 0.3)
+        assert np.abs(w).max() <= 0.3
+
+
+class TestOrthogonal:
+    @pytest.mark.parametrize("shape", [(4, 4), (6, 3), (3, 6)])
+    def test_orthonormal_rows_or_cols(self, shape):
+        w = orthogonal(np.random.default_rng(0), shape)
+        assert w.shape == shape
+        rows, cols = shape
+        if rows <= cols:
+            gram = w @ w.T
+            assert np.allclose(gram, np.eye(rows), atol=1e-8)
+        else:
+            gram = w.T @ w
+            assert np.allclose(gram, np.eye(cols), atol=1e-8)
+
+    def test_norm_preserving_square(self):
+        w = orthogonal(np.random.default_rng(1), (5, 5))
+        x = np.random.default_rng(2).standard_normal(5)
+        assert np.linalg.norm(w @ x) == pytest.approx(np.linalg.norm(x))

@@ -1,0 +1,105 @@
+"""Tests for optimizers (repro.nn.optim) and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.serialize import load_module, load_state, save_module, save_state
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(p: Parameter):
+    # f(p) = ||p - 3||^2, minimum at 3.
+    diff = p - 3.0
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_skips_gradless_params(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no grad yet: no crash, no change
+        assert (p.data == 1.0).all()
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.full(3, 10.0))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        # First Adam step moves by ~lr regardless of gradient magnitude.
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.01)
+        opt.zero_grad()
+        (p * 1000.0).sum().backward()
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.05, weight_decay=1.0)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 5.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_zero_grad_helper(self):
+        p = Parameter(np.ones(1))
+        opt = Adam([p])
+        (p * 1.0).sum().backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSerialize:
+    def test_state_roundtrip(self, tmp_path):
+        state = {"a.b.weight": np.arange(6.0).reshape(2, 3), "c": np.zeros(2)}
+        path = tmp_path / "state.npz"
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == set(state)
+        for k in state:
+            assert (loaded[k] == state[k]).all()
+
+    def test_module_roundtrip(self, tmp_path):
+        a = Linear(3, 2, seed=1)
+        path = tmp_path / "lin.npz"
+        save_module(a, path)
+        b = Linear(3, 2, seed=9)
+        load_module(b, path)
+        x = Tensor(np.ones((1, 3)))
+        assert np.allclose(a(x).numpy(), b(x).numpy())

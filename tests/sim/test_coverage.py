@@ -1,0 +1,81 @@
+"""Tests for toggle coverage (repro.sim.coverage)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.benchmarks import large_design
+from repro.circuit.library import library_circuit
+from repro.sim.coverage import coverage_of_suite, toggle_coverage
+from repro.sim.logicsim import SimConfig, simulate
+from repro.sim.workload import Workload, random_workload
+
+
+class TestToggleCoverage:
+    def test_free_running_counter_fully_covered(self):
+        nl = library_circuit("gray3")
+        res = simulate(nl, Workload(np.zeros(0)), SimConfig(cycles=32))
+        cov = toggle_coverage(res)
+        assert cov.full_coverage == 1.0
+        assert cov.untoggled.size == 0
+
+    def test_dead_workload_low_coverage(self):
+        nl = large_design("ptc", scale=0.0625)
+        res = simulate(
+            nl, Workload(np.zeros(len(nl.pis))), SimConfig(cycles=32)
+        )
+        cov = toggle_coverage(res)
+        assert cov.full_coverage < 0.9
+        assert cov.untoggled.size > 0
+
+    def test_coverage_monotone_in_activity(self):
+        nl = large_design("ptc", scale=0.0625)
+        cfg = SimConfig(cycles=48)
+        quiet = toggle_coverage(
+            simulate(nl, Workload(np.full(len(nl.pis), 0.02)), cfg)
+        )
+        busy = toggle_coverage(
+            simulate(nl, Workload(np.full(len(nl.pis), 0.5)), cfg)
+        )
+        assert busy.full_coverage >= quiet.full_coverage
+
+    def test_row_renders(self):
+        nl = library_circuit("s27")
+        res = simulate(nl, random_workload(nl, 1), SimConfig(cycles=32))
+        assert "full" in toggle_coverage(res).row()
+
+    def test_rise_and_fall_close_on_long_runs(self):
+        nl = library_circuit("s27")
+        res = simulate(nl, random_workload(nl, 2), SimConfig(cycles=200))
+        cov = toggle_coverage(res)
+        # Anything that rises eventually falls in a long stationary run.
+        assert cov.rise_coverage == pytest.approx(cov.fall_coverage, abs=0.1)
+
+
+class TestSuiteCoverage:
+    def test_union_dominates_members(self):
+        nl = large_design("ptc", scale=0.0625)
+        cfg = SimConfig(cycles=32)
+        results = [
+            simulate(nl, random_workload(nl, s), cfg) for s in range(3)
+        ]
+        merged = coverage_of_suite(results)
+        for r in results:
+            assert merged.full_coverage >= toggle_coverage(r).full_coverage
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            coverage_of_suite([])
+
+    def test_mismatched_netlists_rejected(self):
+        a = simulate(
+            library_circuit("s27"),
+            random_workload(library_circuit("s27"), 0),
+            SimConfig(cycles=16),
+        )
+        b = simulate(
+            library_circuit("gray3"),
+            Workload(np.zeros(0)),
+            SimConfig(cycles=16),
+        )
+        with pytest.raises(ValueError):
+            coverage_of_suite([a, b])

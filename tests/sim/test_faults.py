@@ -1,0 +1,121 @@
+"""Tests for Monte-Carlo fault injection (repro.sim.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.circuit.netlist import Netlist
+from repro.sim.faults import FaultConfig, simulate_with_faults
+from repro.sim.logicsim import SimConfig
+from repro.sim.workload import Workload, random_workload
+
+
+@pytest.fixture()
+def circuit():
+    return random_sequential_netlist(
+        GeneratorConfig(n_pis=5, n_dffs=4, n_gates=40), seed=21
+    )
+
+
+@pytest.fixture()
+def workload(circuit):
+    return random_workload(circuit, seed=2)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(fault_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(episode_cycles=1)
+
+    def test_effective_rate_per_pattern(self):
+        fc = FaultConfig(fault_rate=5e-4, episode_cycles=100, per_pattern=True)
+        assert fc.effective_cycle_rate == pytest.approx(5e-6)
+
+    def test_effective_rate_per_cycle(self):
+        fc = FaultConfig(fault_rate=5e-4, per_pattern=False)
+        assert fc.effective_cycle_rate == pytest.approx(5e-4)
+
+
+class TestFaultFree:
+    def test_zero_rate_gives_perfect_reliability(self, circuit, workload):
+        res = simulate_with_faults(
+            circuit,
+            workload,
+            SimConfig(cycles=60, seed=3),
+            FaultConfig(fault_rate=0.0),
+        )
+        assert res.reliability == 1.0
+        assert res.err01.max() == 0.0
+        assert res.err10.max() == 0.0
+
+
+class TestFaulty:
+    def test_errors_increase_with_rate(self, circuit, workload):
+        cfg = SimConfig(cycles=100, seed=3)
+        low = simulate_with_faults(
+            circuit, workload, cfg, FaultConfig(fault_rate=1e-3, per_pattern=False)
+        )
+        high = simulate_with_faults(
+            circuit, workload, cfg, FaultConfig(fault_rate=3e-2, per_pattern=False)
+        )
+        assert high.err01.mean() > low.err01.mean()
+        assert high.reliability < low.reliability
+
+    def test_reliability_in_unit_interval(self, circuit, workload):
+        res = simulate_with_faults(
+            circuit, workload, SimConfig(cycles=80, seed=3), FaultConfig()
+        )
+        assert 0.0 <= res.reliability <= 1.0
+        assert (res.err01 >= 0).all() and (res.err01 <= 1).all()
+        assert (res.err10 >= 0).all() and (res.err10 <= 1).all()
+
+    def test_error_prob_shape(self, circuit, workload):
+        res = simulate_with_faults(
+            circuit, workload, SimConfig(cycles=40, seed=1), FaultConfig()
+        )
+        assert res.error_prob.shape == (len(circuit), 2)
+
+    def test_pis_never_err(self, circuit, workload):
+        """Faults hit combinational gates; PI values are stimulus."""
+        res = simulate_with_faults(
+            circuit,
+            workload,
+            SimConfig(cycles=60, seed=3),
+            FaultConfig(fault_rate=1e-2, per_pattern=False),
+        )
+        for pi in circuit.pis:
+            assert res.err01[pi] == 0.0
+            assert res.err10[pi] == 0.0
+
+    def test_deterministic(self, circuit, workload):
+        args = (circuit, workload, SimConfig(cycles=50, seed=9), FaultConfig(seed=4))
+        a = simulate_with_faults(*args)
+        b = simulate_with_faults(*args)
+        assert a.reliability == b.reliability
+        assert (a.err01 == b.err01).all()
+
+    def test_episode_reset_bounds_divergence(self):
+        """Short episodes must not let state divergence accumulate: the
+        same total cycle count split into shorter patterns yields equal or
+        higher reliability."""
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=4, n_dffs=6, n_gates=50), seed=31
+        )
+        wl = random_workload(nl, 5)
+        cfg = SimConfig(cycles=240, seed=7)
+        rate = FaultConfig(fault_rate=2e-2, per_pattern=False, episode_cycles=120)
+        long_ep = simulate_with_faults(nl, wl, cfg, rate)
+        short = FaultConfig(fault_rate=2e-2, per_pattern=False, episode_cycles=20)
+        short_ep = simulate_with_faults(nl, wl, cfg, short)
+        assert short_ep.reliability >= long_ep.reliability - 0.02
+
+
+class TestObservationCounts:
+    def test_observed_counts_partition_samples(self, circuit, workload):
+        cfg = SimConfig(cycles=50, seed=3)
+        res = simulate_with_faults(circuit, workload, cfg, FaultConfig())
+        total = res.observed0 + res.observed1
+        assert (total == total[0]).all(), "every node observed equally often"

@@ -1,0 +1,141 @@
+"""Tests for the SAIF writer/parser (repro.sim.saif)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.sim.logicsim import SimConfig, simulate
+from repro.sim.saif import SaifDocument, SignalActivity, activity_from_probs, parse_saif
+from repro.sim.workload import random_workload
+
+
+@pytest.fixture()
+def netlist():
+    return random_sequential_netlist(
+        GeneratorConfig(n_pis=4, n_dffs=3, n_gates=20), seed=17
+    )
+
+
+@pytest.fixture()
+def sim_result(netlist):
+    return simulate(netlist, random_workload(netlist, 1), SimConfig(cycles=60))
+
+
+class TestWriter:
+    def test_document_fields(self, netlist, sim_result):
+        doc = activity_from_probs(
+            netlist,
+            sim_result.logic_prob,
+            sim_result.tr01_prob,
+            sim_result.tr10_prob,
+            duration=1000,
+        )
+        assert doc.design == netlist.name
+        assert doc.duration == 1000
+        assert len(doc.signals) == len(netlist)
+
+    def test_t0_t1_sum_to_duration(self, netlist, sim_result):
+        doc = activity_from_probs(
+            netlist,
+            sim_result.logic_prob,
+            sim_result.tr01_prob,
+            sim_result.tr10_prob,
+            duration=777,
+        )
+        for s in doc.signals:
+            assert s.t0 + s.t1 == 777
+
+    def test_clips_out_of_range_predictions(self, netlist):
+        n = len(netlist)
+        doc = activity_from_probs(
+            netlist,
+            np.full(n, 1.7),
+            np.full(n, -0.2),
+            np.full(n, 0.5),
+            duration=100,
+        )
+        for s in doc.signals:
+            assert 0 <= s.t1 <= 100
+            assert s.tc >= 0
+
+    def test_length_mismatch_rejected(self, netlist):
+        with pytest.raises(ValueError):
+            activity_from_probs(
+                netlist, np.zeros(2), np.zeros(len(netlist)), np.zeros(len(netlist))
+            )
+
+    def test_dump_to_file(self, tmp_path, netlist, sim_result):
+        doc = activity_from_probs(
+            netlist,
+            sim_result.logic_prob,
+            sim_result.tr01_prob,
+            sim_result.tr10_prob,
+        )
+        path = tmp_path / "out.saif"
+        doc.dump(path)
+        parsed = parse_saif(path.read_text())
+        assert len(parsed.signals) == len(doc.signals)
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, netlist, sim_result):
+        doc = activity_from_probs(
+            netlist,
+            sim_result.logic_prob,
+            sim_result.tr01_prob,
+            sim_result.tr10_prob,
+            duration=5000,
+        )
+        parsed = parse_saif(doc.dumps())
+        assert parsed.design == doc.design
+        assert parsed.duration == doc.duration
+        for a, b in zip(doc.signals, parsed.signals):
+            assert a == b
+
+    def test_toggle_rate_recovered(self, netlist, sim_result):
+        duration = 10_000
+        doc = activity_from_probs(
+            netlist,
+            sim_result.logic_prob,
+            sim_result.tr01_prob,
+            sim_result.tr10_prob,
+            duration=duration,
+        )
+        rates = parse_saif(doc.dumps()).toggle_rate()
+        for i in netlist.nodes():
+            expected = sim_result.tr01_prob[i] + sim_result.tr10_prob[i]
+            assert rates[netlist.node_name(i)] == pytest.approx(
+                expected, abs=1.0 / (duration - 1)
+            )
+
+    def test_logic_prob_recovered(self, netlist, sim_result):
+        doc = activity_from_probs(
+            netlist,
+            sim_result.logic_prob,
+            sim_result.tr01_prob,
+            sim_result.tr10_prob,
+            duration=10_000,
+        )
+        probs = parse_saif(doc.dumps()).logic_prob()
+        for i in netlist.nodes():
+            assert probs[netlist.node_name(i)] == pytest.approx(
+                sim_result.logic_prob[i], abs=1e-4
+            )
+
+
+class TestParser:
+    def test_missing_duration_rejected(self):
+        with pytest.raises(ValueError, match="DURATION"):
+            parse_saif("(SAIFILE)")
+
+    def test_tolerates_unknown_design(self):
+        doc = parse_saif("(SAIFILE (DURATION 10) (net1 (T0 5) (T1 5) (TC 3)))")
+        assert doc.design == "unknown"
+        assert doc.signals[0] == SignalActivity("net1", 5, 5, 3)
+
+    def test_manual_document(self):
+        doc = SaifDocument(
+            design="d", duration=10, signals=[SignalActivity("x", 4, 6, 3)]
+        )
+        assert doc.toggle_rate()["x"] == pytest.approx(3 / 9)
+        assert doc.logic_prob()["x"] == pytest.approx(0.6)

@@ -1,0 +1,106 @@
+"""Tests for stimulus programs (repro.sim.testbench)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.library import library_circuit
+from repro.sim.bitvec import WORD_BITS, popcount
+from repro.sim.testbench import Phase, StimulusProgram, workload_from_program
+
+
+@pytest.fixture()
+def nl():
+    return library_circuit("updown2")  # PIs: up, en
+
+
+class TestPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Phase("bad", 0)
+        with pytest.raises(ValueError):
+            Phase("bad", 4, {"x": 1.5})
+
+
+class TestProgram:
+    def test_unknown_pin_rejected(self, nl):
+        with pytest.raises(ValueError, match="unknown PIs"):
+            StimulusProgram(nl, [Phase("p", 4, {"nope": 1.0})])
+
+    def test_empty_program_rejected(self, nl):
+        with pytest.raises(ValueError):
+            StimulusProgram(nl, [])
+
+    def test_total_cycles_with_repeat(self, nl):
+        prog = StimulusProgram(
+            nl, [Phase("a", 3), Phase("b", 5)], repeat=2
+        )
+        assert prog.total_cycles == 16
+
+    def test_prob_matrix_layout(self, nl):
+        prog = StimulusProgram(
+            nl,
+            [Phase("up_phase", 2, {"up": 1.0}), Phase("down", 3, {"up": 0.0})],
+            default_prob=0.25,
+        )
+        m = prog.prob_matrix()
+        assert m.shape == (5, 2)
+        up_col = [nl.node_name(p) for p in nl.pis].index("up")
+        assert (m[:2, up_col] == 1.0).all()
+        assert (m[2:, up_col] == 0.0).all()
+        en_col = 1 - up_col
+        assert (m[:, en_col] == 0.25).all()
+
+    def test_compiled_pinned_phases_exact(self, nl):
+        prog = StimulusProgram(
+            nl, [Phase("rst", 3, {"up": 1.0, "en": 0.0})]
+        )
+        words = prog.compile(streams=64, seed=0)
+        up_row = [nl.node_name(p) for p in nl.pis].index("up")
+        en_row = 1 - up_row
+        assert popcount(words[:, up_row]) == 3 * WORD_BITS
+        assert popcount(words[:, en_row]) == 0
+
+    def test_simulate_runs_counter(self, nl):
+        """Driving up=1, en=1 deterministically counts: q toggles."""
+        prog = StimulusProgram(
+            nl, [Phase("run", 40, {"up": 1.0, "en": 1.0})]
+        )
+        res = prog.simulate(sim_seed=0)
+        q0 = nl.node_by_name("q0")
+        assert res.logic_prob[q0] == pytest.approx(0.5, abs=0.03)
+        assert res.toggle_rate[q0] == pytest.approx(1.0, abs=0.06)
+
+    def test_phases_change_behaviour(self, nl):
+        idle = StimulusProgram(nl, [Phase("idle", 40, {"en": 0.0})])
+        busy = StimulusProgram(nl, [Phase("busy", 40, {"en": 1.0, "up": 1.0})])
+        r_idle = idle.simulate()
+        r_busy = busy.simulate()
+        q0 = nl.node_by_name("q0")
+        assert r_busy.toggle_rate[q0] > r_idle.toggle_rate[q0]
+
+
+class TestWorkloadFromProgram:
+    def test_time_average(self, nl):
+        prog = StimulusProgram(
+            nl,
+            [Phase("hi", 10, {"up": 1.0}), Phase("lo", 30, {"up": 0.0})],
+            default_prob=0.5,
+        )
+        wl = workload_from_program(prog)
+        up_ix = [nl.node_name(p) for p in nl.pis].index("up")
+        assert wl.pi_probs[up_ix] == pytest.approx(0.25)
+        assert wl.pi_probs[1 - up_ix] == pytest.approx(0.5)
+
+    def test_usable_by_models(self, nl):
+        from repro.circuit.aig import to_aig
+        from repro.circuit.graph import CircuitGraph
+        from repro.models.base import ModelConfig
+        from repro.models.deepseq import DeepSeq
+
+        prog = StimulusProgram(nl, [Phase("p", 8)])
+        mapping = to_aig(nl)
+        # PI order is preserved by lowering, so the workload carries over.
+        wl = workload_from_program(prog)
+        model = DeepSeq(ModelConfig(hidden=8, iterations=2))
+        pred = model.predict(CircuitGraph(mapping.aig), wl)
+        assert pred.lg.shape == (len(mapping.aig),)

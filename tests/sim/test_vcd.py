@@ -1,0 +1,85 @@
+"""Tests for the VCD waveform writer (repro.sim.vcd)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.library import library_circuit
+from repro.sim.vcd import VcdTracer, _identifier, trace_simulation
+from repro.sim.workload import Workload, random_workload
+
+
+class TestIdentifier:
+    def test_unique_and_printable(self):
+        ids = [_identifier(k) for k in range(500)]
+        assert len(set(ids)) == 500
+        for i in ids:
+            assert all(33 <= ord(c) <= 126 for c in i)
+
+    def test_compact(self):
+        assert len(_identifier(0)) == 1
+        assert len(_identifier(93)) == 1
+        assert len(_identifier(94)) == 2
+
+
+class TestTracer:
+    @pytest.fixture()
+    def traced(self):
+        nl = library_circuit("gray3")
+        tracer = trace_simulation(
+            nl, Workload(np.zeros(0), "none"), cycles=9, seed=0
+        )
+        return nl, tracer
+
+    def test_cycle_count(self, traced):
+        _, tracer = traced
+        assert tracer.cycles == 9
+
+    def test_header_declares_all_signals(self, traced):
+        nl, tracer = traced
+        text = tracer.dumps()
+        assert "$timescale 1 ns $end" in text
+        assert f"$scope module {nl.name} $end" in text
+        for node in nl.nodes():
+            assert f" {nl.node_name(node)} $end" in text
+
+    def test_timestamps_monotone(self, traced):
+        _, tracer = traced
+        stamps = [
+            int(line[1:])
+            for line in tracer.dumps().splitlines()
+            if line.startswith("#")
+        ]
+        assert stamps == sorted(stamps)
+        assert stamps[0] == 0
+        assert stamps[-1] == 9
+
+    def test_gray_counter_changes_every_cycle(self, traced):
+        nl, tracer = traced
+        text = tracer.dumps()
+        body = text.split("$enddefinitions $end")[1]
+        # A gray counter flips exactly one output bit per cycle, so every
+        # cycle 1..8 must appear as a timestamp with changes.
+        for t in range(1, 9):
+            assert f"#{t}" in body
+
+    def test_empty_trace_rejected(self):
+        nl = library_circuit("gray3")
+        with pytest.raises(ValueError):
+            VcdTracer(nl).dumps()
+
+    def test_subset_of_nodes(self):
+        nl = library_circuit("gray3")
+        keep = [nl.node_by_name("g0")]
+        tracer = trace_simulation(
+            nl, Workload(np.zeros(0)), cycles=4, nodes=keep
+        )
+        text = tracer.dumps()
+        assert " g0 $end" in text
+        assert " g1 $end" not in text
+
+    def test_dump_to_file(self, tmp_path):
+        nl = library_circuit("s27")
+        tracer = trace_simulation(nl, random_workload(nl, 1), cycles=5)
+        path = tmp_path / "wave.vcd"
+        tracer.dump(path)
+        assert path.read_text().startswith("$date")

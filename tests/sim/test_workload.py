@@ -1,0 +1,85 @@
+"""Tests for workloads and pattern sources (repro.sim.workload)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.sim.bitvec import WORD_BITS, popcount
+from repro.sim.workload import PatternSource, Workload, random_workload
+from repro.sim.workload import testbench_workload as make_tb_workload
+
+
+@pytest.fixture()
+def netlist():
+    return random_sequential_netlist(
+        GeneratorConfig(n_pis=10, n_dffs=3, n_gates=20), seed=0
+    )
+
+
+class TestWorkload:
+    def test_valid_range_enforced(self):
+        with pytest.raises(ValueError):
+            Workload(np.array([0.5, 1.5]))
+        with pytest.raises(ValueError):
+            Workload(np.array([-0.1]))
+        with pytest.raises(ValueError):
+            Workload(np.array([[0.5]]))
+
+    def test_num_pis(self):
+        wl = Workload(np.array([0.2, 0.8]))
+        assert wl.num_pis == 2
+
+    def test_random_workload_covers_unit_interval(self, netlist):
+        wl = random_workload(netlist, seed=3)
+        assert wl.num_pis == 10
+        assert (wl.pi_probs >= 0).all() and (wl.pi_probs <= 1).all()
+
+    def test_random_workload_deterministic(self, netlist):
+        a = random_workload(netlist, seed=3)
+        b = random_workload(netlist, seed=3)
+        assert (a.pi_probs == b.pi_probs).all()
+
+    def test_testbench_workload_bimodal(self, netlist):
+        wl = make_tb_workload(netlist, seed=1, active_fraction=0.3)
+        parked = ((wl.pi_probs < 0.15) | (wl.pi_probs > 0.85)).mean()
+        assert parked >= 0.3, "testbench workloads park most control pins"
+
+    def test_workload_names(self, netlist):
+        assert random_workload(netlist, 5).name == "rand5"
+        assert make_tb_workload(netlist, 5, name="W0").name == "W0"
+
+
+class TestPatternSource:
+    def test_shapes(self, netlist):
+        wl = random_workload(netlist, 1)
+        src = PatternSource(wl, streams=128)
+        cycle = src.next_cycle()
+        assert cycle.shape == (10, 2)
+        block = src.next_block(5)
+        assert block.shape == (5, 10, 2)
+
+    def test_reset_replays_identical_stream(self, netlist):
+        wl = random_workload(netlist, 2)
+        src = PatternSource(wl, streams=64)
+        first = [src.next_cycle() for _ in range(4)]
+        src.reset()
+        second = [src.next_cycle() for _ in range(4)]
+        for a, b in zip(first, second):
+            assert (a == b).all()
+
+    def test_seed_override(self, netlist):
+        wl = random_workload(netlist, 2)
+        a = PatternSource(wl, seed=100).next_cycle()
+        b = PatternSource(wl, seed=101).next_cycle()
+        assert not (a == b).all()
+
+    def test_densities_match_workload(self, netlist):
+        probs = np.linspace(0.05, 0.95, 10)
+        wl = Workload(probs, seed=0)
+        src = PatternSource(wl, streams=64)
+        counts = np.zeros(10)
+        cycles = 300
+        for _ in range(cycles):
+            counts += popcount(src.next_cycle(), axis=1)
+        density = counts / (cycles * WORD_BITS)
+        assert np.abs(density - probs).max() < 0.03

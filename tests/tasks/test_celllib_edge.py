@@ -1,0 +1,71 @@
+"""Additional cell-library and analyzer edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.library import library_circuit
+from repro.sim.logicsim import SimConfig, simulate
+from repro.sim.workload import Workload, random_workload
+from repro.tasks.power.analysis import PowerAnalyzer
+from repro.tasks.power.celllib import TSMC90_LIKE, CellLibrary, CellParams
+
+
+class TestOperatingPoint:
+    def test_power_scales_with_frequency(self):
+        lib_1x = CellLibrary(
+            "f1", {GateType.AND: CellParams(1.0, 0.0)}, clock_hz=100e6
+        )
+        lib_2x = CellLibrary(
+            "f2", {GateType.AND: CellParams(1.0, 0.0)}, clock_hz=200e6
+        )
+        p1 = lib_1x.dynamic_power_w(GateType.AND, 0.3)
+        p2 = lib_2x.dynamic_power_w(GateType.AND, 0.3)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_power_scales_with_vdd_squared(self):
+        lo = CellLibrary("v1", {GateType.AND: CellParams(1.0, 0.0)}, vdd=1.0)
+        hi = CellLibrary("v2", {GateType.AND: CellParams(1.0, 0.0)}, vdd=2.0)
+        assert hi.dynamic_power_w(GateType.AND, 0.5) == pytest.approx(
+            4 * lo.dynamic_power_w(GateType.AND, 0.5)
+        )
+
+    def test_zero_toggle_zero_dynamic(self):
+        assert TSMC90_LIKE.dynamic_power_w(GateType.AND, 0.0) == 0.0
+
+    def test_dff_costs_more_than_inverter(self):
+        dff = TSMC90_LIKE.params(GateType.DFF).cap_ff
+        inv = TSMC90_LIKE.params(GateType.NOT).cap_ff
+        assert dff > inv
+
+
+class TestAnalyzerMonotonicity:
+    def test_power_monotone_in_activity(self):
+        nl = library_circuit("s27")
+        analyzer = PowerAnalyzer()
+        totals = []
+        for scale in (0.0, 0.1, 0.3):
+            rates = np.full(len(nl), scale)
+            totals.append(analyzer.analyze_probs(nl, rates, rates).total_w)
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_simulated_power_reasonable_magnitude(self):
+        """A ~17-node circuit at 100 MHz in a fF-class library burns
+        nanowatts-to-microwatts, not watts."""
+        nl = library_circuit("s27")
+        res = simulate(nl, random_workload(nl, 1), SimConfig(cycles=60))
+        report = PowerAnalyzer().analyze_probs(nl, res.tr01_prob, res.tr10_prob)
+        assert 1e-9 < report.total_w < 1e-3
+
+    def test_quiet_workload_cheaper(self):
+        nl = library_circuit("s27")
+        quiet = simulate(
+            nl, Workload(np.full(4, 0.02)), SimConfig(cycles=60)
+        )
+        busy = simulate(
+            nl, Workload(np.full(4, 0.5)), SimConfig(cycles=60)
+        )
+        analyzer = PowerAnalyzer()
+        p_quiet = analyzer.analyze_probs(nl, quiet.tr01_prob, quiet.tr10_prob)
+        p_busy = analyzer.analyze_probs(nl, busy.tr01_prob, busy.tr10_prob)
+        assert p_busy.total_w > p_quiet.total_w

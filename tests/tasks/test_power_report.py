@@ -1,0 +1,108 @@
+"""Tests for hierarchical power reporting (repro.tasks.power.report)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.library import library_circuit
+from repro.circuit.netlist import Netlist
+from repro.sim.logicsim import SimConfig, simulate
+from repro.sim.workload import random_workload
+from repro.tasks.power.analysis import PowerAnalyzer
+from repro.tasks.power.celllib import TSMC90_LIKE
+from repro.tasks.power.report import (
+    compare_reports,
+    group_power,
+    power_per_node,
+    top_consumers,
+)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    nl = library_circuit("s27")
+    res = simulate(nl, random_workload(nl, 1), SimConfig(cycles=80, seed=0))
+    return nl, res
+
+
+class TestPerNode:
+    def test_covers_all_nodes(self, measured):
+        nl, res = measured
+        rows = power_per_node(nl, res.tr01_prob, res.tr10_prob)
+        assert len(rows) == len(nl)
+        assert all(r.total_w >= 0 for r in rows)
+
+    def test_sums_to_analyzer_total(self, measured):
+        nl, res = measured
+        rows = power_per_node(nl, res.tr01_prob, res.tr10_prob)
+        report = PowerAnalyzer().analyze_probs(nl, res.tr01_prob, res.tr10_prob)
+        assert sum(r.total_w for r in rows) == pytest.approx(report.total_w)
+
+    def test_idle_gate_costs_only_leakage(self):
+        nl = Netlist("idle")
+        a = nl.add_pi("a")
+        g = nl.add_gate(GateType.NOT, [a], "g")
+        nl.add_po(g)
+        zeros = np.zeros(2)
+        rows = {r.name: r for r in power_per_node(nl, zeros, zeros)}
+        assert rows["g"].total_w == pytest.approx(
+            TSMC90_LIKE.leakage_power_w(GateType.NOT)
+        )
+
+
+class TestTopConsumers:
+    def test_sorted_descending(self, measured):
+        nl, res = measured
+        top = top_consumers(nl, res.tr01_prob, res.tr10_prob, count=5)
+        assert len(top) == 5
+        powers = [t.total_w for t in top]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_count_clamped(self, measured):
+        nl, res = measured
+        top = top_consumers(nl, res.tr01_prob, res.tr10_prob, count=10_000)
+        assert len(top) == len(nl)
+
+
+class TestGroupPower:
+    def test_groups_partition_total(self, measured):
+        nl, res = measured
+        groups = group_power(nl, res.tr01_prob, res.tr10_prob)
+        total = PowerAnalyzer().analyze_probs(
+            nl, res.tr01_prob, res.tr10_prob
+        ).total_w
+        assert sum(groups.values()) == pytest.approx(total)
+
+    def test_custom_grouper(self, measured):
+        nl, res = measured
+        groups = group_power(
+            nl, res.tr01_prob, res.tr10_prob, grouper=lambda n: "all"
+        )
+        assert set(groups) == {"all"}
+
+    def test_default_prefix_grouping(self, measured):
+        nl, res = measured
+        groups = group_power(nl, res.tr01_prob, res.tr10_prob)
+        # s27 names are G0..G17 -> a single 'G' group.
+        assert set(groups) == {"G"}
+
+
+class TestCompareReports:
+    def test_identical_reports_zero_error(self, measured):
+        nl, res = measured
+        report = PowerAnalyzer().analyze_probs(nl, res.tr01_prob, res.tr10_prob)
+        deltas = compare_reports(report, report)
+        for ref, est, err in deltas.values():
+            assert ref == est
+            assert err == pytest.approx(0.0)
+
+    def test_scaled_estimate_signed_error(self, measured):
+        nl, res = measured
+        ref = PowerAnalyzer().analyze_probs(nl, res.tr01_prob, res.tr10_prob)
+        est = PowerAnalyzer().analyze_probs(
+            nl, 2 * res.tr01_prob, 2 * res.tr10_prob
+        )
+        deltas = compare_reports(ref, est)
+        # Doubling toggle rates strictly increases dynamic power, so every
+        # populated group shows positive signed error.
+        assert any(err > 0 for _, _, err in deltas.values())

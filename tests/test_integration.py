@@ -1,0 +1,115 @@
+"""Cross-module integration tests.
+
+Exercise the public API the way a downstream user would: checkpointing a
+fine-tuned model and getting identical downstream estimates, feeding
+``.bench`` files through the whole pipeline, and chaining strash into
+training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    CircuitGraph,
+    GateType,
+    family_subcircuits,
+    parse_bench,
+    to_aig,
+    write_bench,
+)
+from repro.models import DeepSeq, ModelConfig
+from repro.nn import load_module, save_module
+from repro.sim import SimConfig, random_workload, simulate
+from repro.tasks.power import run_power_pipeline
+from repro.train import CircuitSample, TrainConfig, Trainer
+
+SIM = SimConfig(cycles=50, streams=64, seed=1)
+CFG = ModelConfig(hidden=12, iterations=2, seed=0)
+
+
+class TestCheckpointedPipeline:
+    def test_power_estimate_survives_checkpoint(self, tmp_path):
+        nl = family_subcircuits("opencores", 1, seed=40)[0]
+        wl = random_workload(nl, 2)
+        labels = simulate(nl, wl, SIM)
+        model = DeepSeq(CFG)
+        sample = CircuitSample(
+            CircuitGraph(nl), wl, labels.transition_prob, labels.logic_prob
+        )
+        Trainer(TrainConfig(epochs=3, lr=5e-3)).train(model, [sample])
+
+        cmp_before = run_power_pipeline(nl, wl, deepseq=model, sim_config=SIM)
+        path = tmp_path / "deepseq.npz"
+        save_module(model, path)
+        fresh = DeepSeq(ModelConfig(hidden=12, iterations=2, seed=99))
+        load_module(fresh, path)
+        cmp_after = run_power_pipeline(nl, wl, deepseq=fresh, sim_config=SIM)
+        assert cmp_after.method("deepseq").power_mw == pytest.approx(
+            cmp_before.method("deepseq").power_mw
+        )
+
+
+class TestBenchFileRoundTripPipeline:
+    def test_bench_text_through_full_flow(self):
+        """Serialize a generated circuit to .bench, parse it back, lower
+        it, and verify the whole learning + simulation stack accepts it."""
+        original = family_subcircuits("iscas89", 1, seed=41, as_aig=False)[0]
+        reparsed = parse_bench(write_bench(original), "roundtrip")
+        mapping = to_aig(reparsed)
+        graph = CircuitGraph(mapping.aig)
+        wl = random_workload(mapping.aig, 3)
+        labels = simulate(mapping.aig, wl, SIM)
+        model = DeepSeq(CFG)
+        pred = model.predict(graph, wl)
+        assert pred.lg.shape == labels.logic_prob.shape
+
+    def test_simulation_equivalence_through_serialization(self):
+        original = family_subcircuits("itc99", 1, seed=42, as_aig=False)[0]
+        reparsed = parse_bench(write_bench(original), "rt")
+        wl = random_workload(original, 5)
+        a = simulate(original, wl, SIM)
+        b = simulate(reparsed, wl, SIM)
+        assert np.allclose(a.logic_prob, b.logic_prob)
+        assert np.allclose(a.tr01_prob, b.tr01_prob)
+
+
+class TestStrashIntoTraining:
+    def test_training_on_hashed_circuits(self):
+        from repro.circuit.aig import strash
+
+        circuits = [
+            strash(nl).aig for nl in family_subcircuits("opencores", 2, seed=43)
+        ]
+        from repro.train import build_dataset, evaluate
+
+        ds = build_dataset(circuits, SIM, seed=0)
+        model = DeepSeq(CFG)
+        hist = Trainer(TrainConfig(epochs=3, lr=5e-3, batch_size=2)).train(
+            model, ds
+        )
+        assert hist[-1].loss < hist[0].loss
+        ev = evaluate(model, ds)
+        assert 0 <= ev.pe_tr <= 1
+
+
+class TestWorkloadSensitivity:
+    def test_gt_power_tracks_activity(self):
+        """More PI activity -> more switching -> more dynamic power."""
+        nl = family_subcircuits("opencores", 1, seed=44)[0]
+        quiet = run_power_pipeline(
+            nl,
+            _const_workload(nl, 0.02),
+            sim_config=SIM,
+        )
+        busy = run_power_pipeline(
+            nl,
+            _const_workload(nl, 0.5),
+            sim_config=SIM,
+        )
+        assert busy.gt_mw > quiet.gt_mw
+
+
+def _const_workload(nl, p):
+    from repro.sim.workload import Workload
+
+    return Workload(np.full(len(nl.pis), p), f"const{p}", seed=0)

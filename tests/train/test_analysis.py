@@ -1,0 +1,84 @@
+"""Tests for prediction-quality analysis (repro.train.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.benchmarks import family_subcircuits
+from repro.models.base import ModelConfig
+from repro.models.registry import make_model
+from repro.sim.logicsim import SimConfig
+from repro.train.analysis import (
+    analyze_model,
+    calibration_curve,
+    error_by_gate_type,
+    error_by_level,
+)
+from repro.train.dataset import build_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circuits = family_subcircuits("iscas89", 3, seed=50)
+    samples = build_dataset(circuits, SimConfig(cycles=40, seed=1), seed=0)
+    model = make_model(
+        "deepseq", ModelConfig(hidden=8, iterations=2, seed=0), "dual_attention"
+    )
+    return model, samples
+
+
+class TestBreakdowns:
+    def test_gate_type_groups(self, setup):
+        model, samples = setup
+        bd = error_by_gate_type(model, samples)
+        assert bd.group_names == ["PI", "AND", "NOT", "DFF"]
+        assert bd.counts.sum() == sum(s.num_nodes for s in samples)
+        assert (bd.pe_tr >= 0).all() and (bd.pe_tr <= 1).all()
+
+    def test_level_groups_partition(self, setup):
+        model, samples = setup
+        bd = error_by_level(model, samples, num_bins=4)
+        assert len(bd.group_names) == 4
+        assert bd.counts.sum() == sum(s.num_nodes for s in samples)
+
+    def test_rows_render(self, setup):
+        model, samples = setup
+        rows = error_by_gate_type(model, samples).rows()
+        assert len(rows) == 4
+        assert all("TTR" in r for r in rows)
+
+
+class TestCalibration:
+    def test_curve_shapes(self, setup):
+        model, samples = setup
+        centers, mp, ma = calibration_curve(model, samples, num_bins=10)
+        assert centers.shape == mp.shape == ma.shape == (10,)
+        occupied = ~np.isnan(mp)
+        assert occupied.any()
+        assert (mp[occupied] >= 0).all() and (mp[occupied] <= 1).all()
+
+    def test_perfect_predictor_calibrated(self, setup):
+        """A model that predicts the target exactly has pred == actual in
+        every occupied bin (checked via a stub)."""
+        _, samples = setup
+
+        class Oracle:
+            def predict(self, graph, workload):
+                for s in samples:
+                    if s.graph is graph:
+                        from repro.models.base import Prediction
+
+                        return Prediction(tr=s.target_tr, lg=s.target_lg)
+                raise KeyError
+
+        centers, mp, ma = calibration_curve(Oracle(), samples)
+        occupied = ~np.isnan(mp)
+        assert np.allclose(mp[occupied], ma[occupied])
+
+
+class TestReport:
+    def test_analyze_model_text(self, setup):
+        model, samples = setup
+        text = analyze_model(model, samples)
+        assert "error by gate type" in text
+        assert "calibration" in text
+        assert "AND" in text

@@ -1,0 +1,114 @@
+"""Tests for dataset building (repro.train.dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.benchmarks import family_subcircuits
+from repro.sim.faults import FaultConfig
+from repro.sim.logicsim import SimConfig, simulate
+from repro.sim.workload import Workload
+from repro.train.dataset import (
+    build_dataset,
+    build_reliability_dataset,
+    merge_samples,
+)
+
+SIM = SimConfig(cycles=40, streams=64, seed=1)
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    return family_subcircuits("iscas89", 3, seed=4)
+
+
+class TestBuildDataset:
+    def test_one_sample_per_circuit(self, circuits):
+        ds = build_dataset(circuits, SIM, seed=0)
+        assert len(ds) == len(circuits)
+        for sample, nl in zip(ds, circuits):
+            assert sample.num_nodes == len(nl)
+            assert sample.name == nl.name
+
+    def test_labels_match_direct_simulation(self, circuits):
+        ds = build_dataset(circuits, SIM, seed=0)
+        s = ds[0]
+        redo = simulate(circuits[0], s.workload, SIM)
+        assert (s.target_lg == redo.logic_prob).all()
+        assert (s.target_tr == redo.transition_prob).all()
+
+    def test_label_shapes_and_ranges(self, circuits):
+        for s in build_dataset(circuits, SIM, seed=0):
+            assert s.target_tr.shape == (s.num_nodes, 2)
+            assert s.target_lg.shape == (s.num_nodes,)
+            assert (s.target_tr >= 0).all() and (s.target_tr <= 1).all()
+
+    def test_distinct_workloads_per_circuit(self, circuits):
+        ds = build_dataset(circuits, SIM, seed=0)
+        probs = [tuple(np.round(s.workload.pi_probs, 6)) for s in ds]
+        assert len(set(probs)) == len(ds)
+
+    def test_explicit_workloads_used(self, circuits):
+        wls = [
+            Workload(np.full(len(nl.pis), 0.5), f"w{k}", seed=k)
+            for k, nl in enumerate(circuits)
+        ]
+        ds = build_dataset(circuits, SIM, seed=0, workloads=wls)
+        for s, wl in zip(ds, wls):
+            assert s.workload is wl
+
+    def test_sim_result_stashed(self, circuits):
+        ds = build_dataset(circuits, SIM, seed=0)
+        assert "sim" in ds[0].extras
+
+
+class TestReliabilityDataset:
+    def test_error_prob_targets(self, circuits):
+        ds = build_reliability_dataset(
+            circuits[:2], SIM, FaultConfig(fault_rate=1e-2, per_pattern=False), seed=0
+        )
+        for s in ds:
+            assert s.target_tr.shape == (s.num_nodes, 2)
+            assert s.target_tr.max() > 0.0, "faults must produce errors"
+            assert "faults" in s.extras
+
+    def test_lg_target_is_fault_free(self, circuits):
+        ds = build_reliability_dataset(circuits[:1], SIM, FaultConfig(), seed=0)
+        s = ds[0]
+        golden = simulate(circuits[0], s.workload, SIM)
+        assert (s.target_lg == golden.logic_prob).all()
+
+
+class TestMergeSamples:
+    def test_single_passthrough(self, circuits):
+        ds = build_dataset(circuits[:1], SIM, seed=0)
+        assert merge_samples(ds) is ds[0]
+
+    def test_merged_sizes(self, circuits):
+        ds = build_dataset(circuits, SIM, seed=0)
+        merged = merge_samples(ds)
+        total = sum(s.num_nodes for s in ds)
+        assert merged.num_nodes == total
+        assert merged.target_tr.shape == (total, 2)
+        assert merged.target_lg.shape == (total,)
+
+    def test_targets_concatenate_in_member_order(self, circuits):
+        ds = build_dataset(circuits, SIM, seed=0)
+        merged = merge_samples(ds)
+        offset = 0
+        for s in ds:
+            np.testing.assert_array_equal(
+                merged.target_lg[offset : offset + s.num_nodes], s.target_lg
+            )
+            offset += s.num_nodes
+
+    def test_workload_concatenates(self, circuits):
+        ds = build_dataset(circuits, SIM, seed=0)
+        merged = merge_samples(ds)
+        expected = np.concatenate([s.workload.pi_probs for s in ds])
+        assert (merged.workload.pi_probs == expected).all()
+
+    def test_merged_graph_valid(self, circuits):
+        ds = build_dataset(circuits, SIM, seed=0)
+        merged = merge_samples(ds)
+        merged.graph.netlist.validate()
+        assert merged.extras["members"] == [s.name for s in ds]
