@@ -48,6 +48,43 @@ def test_perf_deepseq_inference(benchmark, medium_problem):
     assert pred.tr.shape == (len(nl), 2)
 
 
+def test_perf_deepseq_inference_float32(benchmark, medium_problem):
+    """Same forward pass on the float32 parameter-shadow fast path."""
+    from repro.models.base import ModelConfig
+    from repro.models.deepseq import DeepSeq
+    from repro.runtime import predict_one
+
+    nl, graph, wl = medium_problem
+    model = DeepSeq(ModelConfig(hidden=32, iterations=4, seed=0))
+    predict_one(model, graph, wl, dtype="float32")  # warm plan + shadow
+    pred = benchmark(predict_one, model, graph, wl, dtype="float32")
+    assert pred.tr.shape == (len(nl), 2)
+
+
+@pytest.mark.parametrize("k", [1, 8, 32])
+def test_perf_batched_inference(benchmark, medium_problem, k):
+    """BatchedPredictor throughput: K circuits per packed levelized sweep.
+
+    Compare per-circuit time against ``test_perf_deepseq_inference``
+    (sequential float64 predict) — the acceptance bar for the batched
+    runtime is >= 3x circuits/sec at K=8.
+    """
+    from repro.models.base import ModelConfig
+    from repro.models.deepseq import DeepSeq
+    from repro.runtime import BatchedPredictor
+    from repro.sim.workload import testbench_workload
+
+    nl, graph, _ = medium_problem
+    model = DeepSeq(ModelConfig(hidden=32, iterations=4, seed=0))
+    predictor = BatchedPredictor(model, batch_size=k, dtype="float32")
+    graphs = [graph] * k
+    workloads = [testbench_workload(nl, seed=100 + i) for i in range(k)]
+    predictor.predict_many(graphs, workloads)  # warm pack cache + shadow
+    preds = benchmark(predictor.predict_many, graphs, workloads)
+    assert len(preds) == k
+    assert preds[0].tr.shape == (len(nl), 2)
+
+
 def test_perf_deepseq_training_step(benchmark):
     """One optimization step (forward + backward + Adam) on a sub-circuit."""
     from repro.circuit.benchmarks import family_subcircuits

@@ -17,8 +17,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
 
-from repro.circuit import CircuitGraph, family_subcircuits
+from repro.circuit import family_subcircuits
 from repro.models import DeepSeq, ModelConfig
+from repro.runtime import plan_for
 from repro.sim import SimConfig, random_workload
 from repro.train import Trainer, TrainConfig, build_dataset
 
@@ -28,7 +29,9 @@ FAMILIES = ("iscas89", "itc99", "opencores")
 def embed_circuits(model, circuits, seed=0):
     out = []
     for k, nl in enumerate(circuits):
-        graph = CircuitGraph(nl)
+        # Compiled graphs come from the shared runtime plan cache, so
+        # re-embedding a circuit (train + eval splits) compiles it once.
+        graph = plan_for(nl).graph
         wl = random_workload(nl, seed=seed + k)
         out.append(model.readout(graph, wl, mode="meanmax"))
     return np.stack(out)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.circuit import CircuitGraph, GeneratorConfig, random_sequential_netlist, to_aig
 from repro.models import DeepSeq, ModelConfig
+from repro.runtime import predict_one
 from repro.sim import SimConfig, random_workload, simulate
 from repro.train import CircuitSample, TrainConfig, Trainer, evaluate
 
@@ -59,11 +60,18 @@ def main() -> None:
     metrics = evaluate(model, [sample])
     print(f"avg prediction error: TTR {metrics.pe_tr:.4f}, TLG {metrics.pe_lg:.4f}")
 
-    pred = model.predict(graph, workload)
+    # Inference goes through the batched runtime: the compiled plan is
+    # cached process-wide, and float32 is the low-latency serving path.
+    pred = predict_one(model, graph, workload)
     worst = int(np.argmax(np.abs(pred.lg - labels.logic_prob)))
     print(
         f"worst logic-prob node: {aig.node_name(worst)} "
         f"pred {pred.lg[worst]:.3f} vs sim {labels.logic_prob[worst]:.3f}"
+    )
+    fast = predict_one(model, graph, workload, dtype="float32")
+    print(
+        f"float32 fast path matches to "
+        f"{np.abs(fast.lg - pred.lg).max():.2e} max-abs"
     )
 
 

@@ -10,11 +10,13 @@ Reproduces Khan, Shi, Li & Xu, *DeepSeq: Deep Sequential Circuit Learning*
 * :mod:`repro.nn` — reverse-mode autograd tensors, layers, optimizers;
 * :mod:`repro.models` — DeepSeq, DAG-ConvGNN/DAG-RecGNN baselines,
   Grannite;
+* :mod:`repro.runtime` — batched inference runtime: compiled graph plans,
+  multi-circuit packing, float32 serving fast path;
 * :mod:`repro.train` — datasets, trainer, metrics, fine-tuning;
 * :mod:`repro.tasks` — power estimation and reliability analysis;
 * :mod:`repro.experiments` — one driver per paper table (I–VII).
 
-See README.md and DESIGN.md for the full map.
+See README.md for the full map.
 """
 
 __version__ = "0.1.0"

@@ -48,6 +48,25 @@ class EdgeBatch:
     def num_edges(self) -> int:
         return int(self.src.size)
 
+    def dst_layout(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Cached (nonempty segments, start offsets) of ``dst_local``.
+
+        Level batches emit destinations in nondecreasing order, which lets
+        segment reductions run as contiguous ``reduceat`` slices instead of
+        scattered ``np.<op>.at`` updates; the layout is static per batch,
+        so it is computed once.  ``None`` when ``dst_local`` is unsorted.
+        """
+        cached = getattr(self, "_dst_layout", False)
+        if cached is False:
+            # Deferred import: repro.nn owns the canonical layout helper,
+            # and the circuit layer must stay importable without it at
+            # module-load time.
+            from repro.nn.tensor import sorted_segment_layout
+
+            cached = sorted_segment_layout(self.dst_local, self.num_nodes)
+            self._dst_layout = cached
+        return cached
+
 
 class CircuitGraph:
     """Immutable array view of a sequential AIG used by models & simulator.

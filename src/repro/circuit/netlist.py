@@ -14,8 +14,11 @@ structural ``.bench`` view of a circuit:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.circuit.gates import FANIN_ARITY, AIG_TYPES, GateType
 
@@ -166,6 +169,32 @@ class Netlist:
             for f in node.fanins:
                 out[f].append(i)
         return out
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the netlist *structure*.
+
+        Covers gate types, fanin wiring and the PO set — not node names —
+        so structurally identical circuits (e.g. repeated instances of one
+        design inside a packed batch) share a fingerprint.  Used by
+        :mod:`repro.runtime` to key compiled graph plans; reflects the
+        content at call time, so hash after mutation, not before.
+        """
+        n = len(self._nodes)
+        h = hashlib.sha256()
+        h.update(n.to_bytes(8, "little"))
+        h.update(",".join(node.gate_type.value for node in self._nodes).encode())
+        arity = np.fromiter(
+            (len(node.fanins) for node in self._nodes), dtype=np.int64, count=n
+        )
+        flat = np.fromiter(
+            (f for node in self._nodes for f in node.fanins),
+            dtype=np.int64,
+            count=int(arity.sum()),
+        )
+        h.update(arity.tobytes())
+        h.update(flat.tobytes())
+        h.update(np.asarray(self._pos, dtype=np.int64).tobytes())
+        return h.hexdigest()
 
     def is_aig(self) -> bool:
         """True when every node belongs to the sequential-AIG alphabet with

@@ -29,7 +29,7 @@ from repro.circuit.graph import EdgeBatch
 from repro.nn.functional import segment_softmax
 from repro.nn.layers import Linear
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "Aggregator",
@@ -67,7 +67,9 @@ class ConvSumAggregator(Aggregator):
 
     def forward(self, h_cur: Tensor, h_prev: Tensor, batch: EdgeBatch) -> Tensor:
         msgs = self.proj(h_cur.gather_rows(batch.src))
-        return msgs.segment_sum(batch.dst_local, batch.num_nodes)
+        return msgs.segment_sum(
+            batch.dst_local, batch.num_nodes, layout=batch.dst_layout()
+        )
 
 
 class AttentionAggregator(Aggregator):
@@ -82,11 +84,16 @@ class AttentionAggregator(Aggregator):
         self.w2 = Linear(hidden, 1, bias=False, seed=seed + 1)
 
     def forward(self, h_cur: Tensor, h_prev: Tensor, batch: EdgeBatch) -> Tensor:
+        layout = batch.dst_layout()
         h_src = h_cur.gather_rows(batch.src)
         dst_scores = self.w1(h_prev.gather_rows(batch.nodes))  # (m, 1)
         scores = dst_scores.gather_rows(batch.dst_local) + self.w2(h_src)
-        alpha = segment_softmax(scores, batch.dst_local, batch.num_nodes)
-        return (h_src * alpha).segment_sum(batch.dst_local, batch.num_nodes)
+        alpha = segment_softmax(
+            scores, batch.dst_local, batch.num_nodes, layout=layout
+        )
+        return (h_src * alpha).segment_sum(
+            batch.dst_local, batch.num_nodes, layout=layout
+        )
 
 
 class DualAttentionAggregator(Aggregator):
@@ -106,18 +113,75 @@ class DualAttentionAggregator(Aggregator):
         self.w4 = Linear(hidden, 1, bias=False, seed=seed + 3)
 
     def forward(self, h_cur: Tensor, h_prev: Tensor, batch: EdgeBatch) -> Tensor:
+        layout = batch.dst_layout()
+        if (
+            not is_grad_enabled()
+            and layout is not None
+            and h_cur.data.dtype == np.float32
+        ):
+            # float32 serving kernels; float64 inference keeps the autograd
+            # operator graph (see GRUCell.forward).
+            return Tensor(
+                self._forward_inference(h_cur.data, h_prev.data, batch, layout)
+            )
         h_src = h_cur.gather_rows(batch.src)
         h_dst_prev = h_prev.gather_rows(batch.nodes)  # (m, d)
         # Eq. (5): logic message.
         scores = self.w1(h_dst_prev).gather_rows(batch.dst_local) + self.w2(h_src)
-        alpha = segment_softmax(scores, batch.dst_local, batch.num_nodes)
-        m_lg = (h_src * alpha).segment_sum(batch.dst_local, batch.num_nodes)
+        alpha = segment_softmax(
+            scores, batch.dst_local, batch.num_nodes, layout=layout
+        )
+        m_lg = (h_src * alpha).segment_sum(
+            batch.dst_local, batch.num_nodes, layout=layout
+        )
         # Eq. (6): transition message — gate m_LG against the previous state
         # (transition probability depends on current vs previous state).
         gate = (self.w3(h_dst_prev) + self.w4(m_lg)).sigmoid()
         m_tr = m_lg * gate
         # Eq. (7): concatenate.
         return Tensor.concat([m_tr, m_lg], axis=1)
+
+    def _forward_inference(
+        self,
+        h_cur: np.ndarray,
+        h_prev: np.ndarray,
+        batch: EdgeBatch,
+        layout: tuple[np.ndarray, np.ndarray],
+    ) -> np.ndarray:
+        """No-autograd fast path: Eqs. (5)-(7) on raw arrays.
+
+        Every step is per-row or per-segment (einsum scores, reduceat
+        reductions), so packed multi-circuit sweeps reproduce sequential
+        results bitwise.
+        """
+        dst = batch.dst_local
+        nonempty, starts = layout
+        h_src = h_cur[batch.src]
+        h_dst_prev = h_prev[batch.nodes]
+        # Eq. (5): additive attention scores, softmax within segments.
+        scores = np.einsum("ij,jc->ic", h_dst_prev, self.w1.weight.data.T)[dst, 0]
+        scores = scores + np.einsum("ij,j->i", h_src, self.w2.weight.data[0])
+        seg_max = np.full(batch.num_nodes, -np.inf, dtype=scores.dtype)
+        seg_max[nonempty] = np.maximum.reduceat(scores, starts)
+        seg_max[~np.isfinite(seg_max)] = 0.0
+        scores -= seg_max[dst]
+        np.exp(scores, out=scores)
+        denom = np.zeros(batch.num_nodes, dtype=scores.dtype)
+        denom[nonempty] = np.add.reduceat(scores, starts)
+        alpha = scores
+        alpha /= denom[dst]
+        h_src *= alpha[:, None]  # h_src is a fresh gather copy: reuse it
+        m_lg = np.zeros((batch.num_nodes,) + h_src.shape[1:], dtype=h_src.dtype)
+        m_lg[nonempty] = np.add.reduceat(h_src, starts, axis=0)
+        # Eq. (6): sigmoid gate of the previous state against m_LG.
+        gate = np.einsum("ij,jc->ic", h_dst_prev, self.w3.weight.data.T)
+        gate += np.einsum("ij,jc->ic", m_lg, self.w4.weight.data.T)
+        np.negative(gate, out=gate)
+        np.exp(gate, out=gate)
+        gate += 1.0
+        np.reciprocal(gate, out=gate)
+        # Eq. (7): m_TR || m_LG.
+        return np.concatenate([m_lg * gate, m_lg], axis=1)
 
 
 _AGGREGATORS = {

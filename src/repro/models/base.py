@@ -16,6 +16,7 @@ during propagation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,9 +28,32 @@ from repro.nn.module import Module
 from repro.nn.recurrent import GRUCell
 from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.models.aggregators import Aggregator, make_aggregator
+from repro.runtime.plan import GraphPlan, baseline_batches, plan_for
 from repro.sim.workload import Workload
 
 __all__ = ["ModelConfig", "Prediction", "RecurrentDagGnn", "baseline_batches"]
+
+
+#: Cached random base matrices for :meth:`RecurrentDagGnn.initial_hidden`,
+#: keyed by (num_nodes, hidden).  The base depends only on those two values
+#: (fixed seed), so re-deriving it per call is pure waste in the serving
+#: and training loops; a small LRU bounds memory for huge packed unions.
+_H0_BASE_CACHE: "OrderedDict[tuple[int, int], np.ndarray]" = OrderedDict()
+_H0_BASE_CACHE_SIZE = 16
+
+
+def _h0_base(num_nodes: int, hidden: int) -> np.ndarray:
+    key = (num_nodes, hidden)
+    base = _H0_BASE_CACHE.get(key)
+    if base is None:
+        rng = np.random.default_rng(0xD5EC + num_nodes)
+        base = rng.uniform(-1.0, 1.0, size=(num_nodes, hidden)) / np.sqrt(hidden)
+        _H0_BASE_CACHE[key] = base
+        while len(_H0_BASE_CACHE) > _H0_BASE_CACHE_SIZE:
+            _H0_BASE_CACHE.popitem(last=False)
+    else:
+        _H0_BASE_CACHE.move_to_end(key)
+    return base
 
 
 @dataclass(frozen=True)
@@ -54,48 +78,6 @@ class Prediction:
     @property
     def toggle_rate(self) -> np.ndarray:
         return self.tr.sum(axis=1)
-
-
-def baseline_batches(graph: CircuitGraph) -> tuple[list[EdgeBatch], list[EdgeBatch]]:
-    """Level batches for the *simple* propagation of the baseline models.
-
-    Unlike DeepSeq's customized scheme, the baselines treat flip-flops as
-    ordinary nodes: the forward pass updates DFFs from their data edge and
-    the reverse pass lets gates hear from the DFFs they feed.  (Cycles are
-    still broken by levelization — a DFF sits at level 1 and simply reads
-    its predecessor's state from the previous sweep.)
-    """
-    nl = graph.netlist
-    fanouts = nl.fanouts()
-    forward: list[EdgeBatch] = []
-    for batch in graph.forward_batches:
-        forward.append(batch)
-    # Insert DFF updates as a dedicated level-1 batch (they are pseudo-PIs
-    # in the cut levelization, so no comb batch contains them).
-    if graph.dff_ids.size:
-        dff_batch = EdgeBatch(
-            nodes=graph.dff_ids.copy(),
-            src=graph.dff_src.copy(),
-            dst_local=np.arange(graph.dff_ids.size, dtype=np.int64),
-        )
-        forward = [dff_batch] + forward
-    reverse: list[EdgeBatch] = []
-    for batch in graph.reverse_batches:
-        # Re-derive successor edges *including* DFD consumers.
-        src: list[int] = []
-        dst_local: list[int] = []
-        for pos, node in enumerate(batch.nodes):
-            for succ in fanouts[int(node)]:
-                src.append(int(succ))
-                dst_local.append(pos)
-        reverse.append(
-            EdgeBatch(
-                nodes=batch.nodes,
-                src=np.asarray(src, dtype=np.int64),
-                dst_local=np.asarray(dst_local, dtype=np.int64),
-            )
-        )
-    return forward, reverse
 
 
 class RecurrentDagGnn(Module):
@@ -142,24 +124,16 @@ class RecurrentDagGnn(Module):
             d, config.mlp_hidden, 1, num_layers=config.mlp_layers,
             sigmoid_out=True, seed=seed + 50,
         )
-        self._batch_cache: dict = {}
 
     # ------------------------------------------------------------------
     def batches_for(self, graph: CircuitGraph) -> tuple[list[EdgeBatch], list[EdgeBatch]]:
-        # Keyed by id() but the cached entry pins the graph object, so the
-        # id cannot be recycled while the entry lives.
-        key = id(graph)
-        entry = self._batch_cache.get(key)
-        if entry is None or entry[0] is not graph:
-            if self.use_custom_batches:
-                batches = (graph.forward_batches, graph.reverse_batches)
-            else:
-                batches = baseline_batches(graph)
-            self._batch_cache[key] = (graph, batches)
-            if len(self._batch_cache) > 64:  # bound the cache
-                self._batch_cache.pop(next(iter(self._batch_cache)))
-            return batches
-        return entry[1]
+        """This model's (forward, reverse) schedules for ``graph``.
+
+        Served from the process-wide content-hash-keyed plan cache
+        (:func:`repro.runtime.plan.plan_for`), so every model instance in
+        the process shares one compiled schedule per circuit structure.
+        """
+        return plan_for(graph).schedule(custom=self.use_custom_batches)
 
     def initial_hidden(self, graph: CircuitGraph, workload: Workload) -> Tensor:
         """Paper init: PI rows = workload prob broadcast; rest random.
@@ -170,8 +144,7 @@ class RecurrentDagGnn(Module):
         any seed reproduces identical outputs.
         """
         d = self.config.hidden
-        rng = np.random.default_rng(0xD5EC + graph.num_nodes)
-        h0 = rng.uniform(-1.0, 1.0, size=(graph.num_nodes, d)) / np.sqrt(d)
+        h0 = _h0_base(graph.num_nodes, d).copy()
         if workload.num_pis != graph.num_pis:
             raise ValueError(
                 f"workload has {workload.num_pis} PIs, graph has {graph.num_pis}"
@@ -203,11 +176,34 @@ class RecurrentDagGnn(Module):
                 h = h.row_update(batch.nodes, h_rows)
         return h
 
-    def embed(self, graph: CircuitGraph, workload: Workload) -> Tensor:
-        """Run the full T-iteration propagation; returns final (N, d) states."""
-        h = self.initial_hidden(graph, workload)
-        features = Tensor(graph.features)
-        fwd_batches, rev_batches = self.batches_for(graph)
+    def embed(
+        self,
+        graph: CircuitGraph,
+        workload: Workload | None = None,
+        *,
+        plan: GraphPlan | None = None,
+        h0: Tensor | None = None,
+    ) -> Tensor:
+        """Run the full T-iteration propagation; returns final (N, d) states.
+
+        Args:
+            graph: the circuit (or packed super-circuit) to embed.
+            workload: PI stimulus; may be omitted when ``h0`` is given.
+            plan: pre-compiled plan override (defaults to the shared cache).
+            h0: initial hidden-state override — the batched runtime passes
+                the concatenation of per-member initial states here, and
+                the sweep runs in ``h0``'s dtype (features follow).
+        """
+        if plan is None:
+            plan = plan_for(graph)
+        if h0 is None:
+            if workload is None:
+                raise ValueError("embed needs a workload when h0 is not given")
+            h = self.initial_hidden(graph, workload)
+        else:
+            h = h0 if isinstance(h0, Tensor) else Tensor(h0)
+        features = Tensor(plan.features(h.data.dtype))
+        fwd_batches, rev_batches = plan.schedule(custom=self.use_custom_batches)
         inplace = not is_grad_enabled()
         for _ in range(self.config.iterations):
             h = self._run_pass(h, features, fwd_batches, self.forward_agg, self.forward_gru)
@@ -220,17 +216,40 @@ class RecurrentDagGnn(Module):
                     h = h.row_update(graph.dff_ids, rows)
         return h
 
-    def forward(self, graph: CircuitGraph, workload: Workload) -> tuple[Tensor, Tensor]:
+    def forward(
+        self,
+        graph: CircuitGraph,
+        workload: Workload | None = None,
+        *,
+        plan: GraphPlan | None = None,
+        h0: Tensor | None = None,
+    ) -> tuple[Tensor, Tensor]:
         """Differentiable forward: returns (pred_tr (N,2), pred_lg (N,1))."""
-        h = self.embed(graph, workload)
+        h = self.embed(graph, workload, plan=plan, h0=h0)
         return self.head_tr(h), self.head_lg(h)
 
-    def predict(self, graph: CircuitGraph, workload: Workload) -> Prediction:
-        """Inference helper (no autograd, in-place propagation)."""
+    def predict(
+        self,
+        graph: CircuitGraph,
+        workload: Workload,
+        *,
+        plan: GraphPlan | None = None,
+        dtype=None,
+    ) -> Prediction:
+        """Inference helper (no autograd, in-place propagation).
+
+        ``dtype`` selects the execution precision: ``None``/float64 runs
+        on the master weights; float32 routes through the runtime's
+        parameter-shadow fast path.
+        """
         from repro.nn.tensor import no_grad
 
+        if dtype is not None and np.dtype(dtype) != np.float64:
+            from repro.runtime.predictor import predict_one
+
+            return predict_one(self, graph, workload, dtype=dtype, plan=plan)
         with no_grad():
-            pred_tr, pred_lg = self.forward(graph, workload)
+            pred_tr, pred_lg = self.forward(graph, workload, plan=plan)
         return Prediction(tr=pred_tr.data.copy(), lg=pred_lg.data[:, 0].copy())
 
     def readout(

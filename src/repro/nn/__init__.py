@@ -10,11 +10,23 @@ from repro.nn.functional import (
 )
 from repro.nn.init import orthogonal, uniform, xavier_uniform
 from repro.nn.layers import MLP, Linear, ReLU, Sequential, Sigmoid
-from repro.nn.module import Module, Parameter
+from repro.nn.module import (
+    Module,
+    Parameter,
+    bump_parameter_version,
+    parameter_version,
+)
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.recurrent import GRUCell
 from repro.nn.serialize import load_module, load_state, save_module, save_state
-from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+from repro.nn.tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+)
 
 __all__ = [
     "clip01",
@@ -33,6 +45,8 @@ __all__ = [
     "Sigmoid",
     "Module",
     "Parameter",
+    "bump_parameter_version",
+    "parameter_version",
     "SGD",
     "Adam",
     "Optimizer",
@@ -42,6 +56,9 @@ __all__ = [
     "save_module",
     "save_state",
     "Tensor",
+    "default_dtype",
+    "get_default_dtype",
     "is_grad_enabled",
     "no_grad",
+    "set_default_dtype",
 ]

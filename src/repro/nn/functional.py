@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, sorted_segment_layout
 
 __all__ = [
     "softmax",
@@ -29,7 +29,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def segment_softmax(
-    scores: Tensor, segment_ids: np.ndarray, num_segments: int
+    scores: Tensor, segment_ids: np.ndarray, num_segments: int, layout=None
 ) -> Tensor:
     """Softmax of per-edge ``scores`` within destination segments.
 
@@ -37,6 +37,8 @@ def segment_softmax(
         scores: shape ``(E,)`` or ``(E, 1)`` edge scores.
         segment_ids: shape ``(E,)`` destination segment of each edge.
         num_segments: number of destinations.
+        layout: optional precomputed :func:`sorted_segment_layout` result
+            (e.g. ``EdgeBatch.dst_layout()``) for the hot loop.
 
     Returns:
         Tensor of the same shape as ``scores`` holding attention weights
@@ -45,12 +47,18 @@ def segment_softmax(
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     flat = scores if scores.ndim == 1 else scores.reshape(scores.shape[0])
     # Subtract the segment max (a constant w.r.t. gradients) for stability.
-    seg_max = np.full(num_segments, -np.inf, dtype=np.float64)
-    np.maximum.at(seg_max, segment_ids, flat.data)
+    seg_max = np.full(num_segments, -np.inf, dtype=flat.data.dtype)
+    if layout is None:
+        layout = sorted_segment_layout(segment_ids, num_segments)
+    if layout is not None:
+        nonempty, starts = layout
+        seg_max[nonempty] = np.maximum.reduceat(flat.data, starts)
+    else:
+        np.maximum.at(seg_max, segment_ids, flat.data)
     seg_max[~np.isfinite(seg_max)] = 0.0
     shifted = flat - seg_max[segment_ids]
     e = shifted.exp()
-    denom = e.segment_sum(segment_ids, num_segments)
+    denom = e.segment_sum(segment_ids, num_segments, layout=layout)
     weights = e / denom.gather_rows(segment_ids)
     return weights if scores.ndim == 1 else weights.reshape(scores.shape[0], 1)
 
@@ -61,7 +69,7 @@ def segment_mean(
     """Mean of rows within each segment (empty segments give zero rows)."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     sums = values.segment_sum(segment_ids, num_segments)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(values.data.dtype)
     counts = np.maximum(counts, 1.0)
     shape = (num_segments,) + (1,) * (values.ndim - 1)
     return sums * Tensor(1.0 / counts.reshape(shape))

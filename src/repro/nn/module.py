@@ -8,7 +8,26 @@ import numpy as np
 
 from repro.nn.tensor import Tensor
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "bump_parameter_version", "parameter_version"]
+
+# Process-wide counter bumped whenever parameter data is updated in place
+# (optimizer steps, state-dict loads).  Derived caches — the runtime's
+# dtype shadows, cached weight transposes — compare it to detect staleness,
+# since in-place mutation leaves array identities unchanged.  Code that
+# edits ``p.data`` directly by hand should call
+# :func:`bump_parameter_version` afterwards.
+_PARAM_VERSION = [0]
+
+
+def bump_parameter_version() -> int:
+    """Signal that some parameter's data changed in place."""
+    _PARAM_VERSION[0] += 1
+    return _PARAM_VERSION[0]
+
+
+def parameter_version() -> int:
+    """The current global parameter-mutation counter."""
+    return _PARAM_VERSION[0]
 
 
 class Parameter(Tensor):
@@ -70,13 +89,14 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, p in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=p.data.dtype)
             if value.shape != p.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "
                     f"{value.shape} vs {p.data.shape}"
                 )
             p.data[...] = value
+        bump_parameter_version()
 
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs):

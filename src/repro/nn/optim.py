@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Parameter
+from repro.nn.module import Parameter, bump_parameter_version
 
 __all__ = ["Optimizer", "SGD", "Adam"]
 
@@ -22,6 +22,13 @@ class Optimizer:
             p.zero_grad()
 
     def step(self) -> None:
+        self._step()
+        # In-place updates leave array identities unchanged; the version
+        # counter lets derived caches (dtype shadows, cached transposes)
+        # notice the mutation.
+        bump_parameter_version()
+
+    def _step(self) -> None:
         raise NotImplementedError
 
 
@@ -36,7 +43,7 @@ class SGD(Optimizer):
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
-    def step(self) -> None:
+    def _step(self) -> None:
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
@@ -68,7 +75,7 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
-    def step(self) -> None:
+    def _step(self) -> None:
         self._t += 1
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self._t

@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.init import orthogonal, xavier_uniform
-from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.module import Module, Parameter, parameter_version
+from repro.nn.tensor import Tensor, is_grad_enabled, rowstable_matmul
 
 __all__ = ["GRUCell"]
 
@@ -40,9 +40,15 @@ class GRUCell(Module):
         )
         self.b_ih = Parameter(np.zeros(3 * hidden_size))
         self.b_hh = Parameter(np.zeros(3 * hidden_size))
+        self._t_cache: dict = {}
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         """One step: ``x`` is (B, input_size), ``h`` is (B, hidden_size)."""
+        if not is_grad_enabled() and x.data.dtype == np.float32:
+            # float32 is the serving dtype: fused raw-numpy kernels.
+            # float64 inference stays on the autograd operator graph
+            # (same operator sequence as the differentiable forward).
+            return Tensor(self._forward_inference(x.data, h.data))
         gi = x @ self.w_ih.T + self.b_ih
         gh = h @ self.w_hh.T + self.b_hh
         hs = self.hidden_size
@@ -53,3 +59,70 @@ class GRUCell(Module):
         n = (i_n + r * h_n).tanh()
         one = Tensor(np.ones_like(z.data))
         return (one - z) * n + z * h
+
+    def _gate_weights(self) -> tuple[np.ndarray, ...]:
+        """Per-gate contiguous transposed weight blocks and combined
+        biases, cached until the parameter arrays are swapped (the
+        runtime's dtype shadow replaces ``data`` wholesale) or mutated in
+        place (optimizer steps bump the global parameter version)."""
+        wi, wh = self.w_ih.data, self.w_hh.data
+        version = parameter_version()
+        cached = self._t_cache.get("gates")
+        if (
+            cached is None
+            or cached[0] is not wi
+            or cached[1] is not wh
+            or self._t_cache.get("version") != version
+        ):
+            self._t_cache["version"] = version
+            hs = self.hidden_size
+            wi_t, wh_t = wi.T, wh.T
+            bias = self.b_ih.data + self.b_hh.data
+            cached = (
+                wi,
+                wh,
+                tuple(
+                    np.ascontiguousarray(w_t[:, k * hs : (k + 1) * hs])
+                    for w_t in (wi_t, wh_t)
+                    for k in range(3)
+                ),
+                tuple(bias[k * hs : (k + 1) * hs].copy() for k in range(3)),
+                tuple(self.b_hh.data[k * hs : (k + 1) * hs].copy() for k in range(3)),
+            )
+            self._t_cache["gates"] = cached
+        return cached[2], cached[3], cached[4]
+
+    def _forward_inference(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """No-autograd fused fast path: same gate math, contiguous per-gate
+        buffers mutated in place.
+
+        Row-deterministic (row-stable gemm + per-row elementwise), so
+        packed multi-circuit sweeps stay bitwise equal to sequential ones.
+        """
+        (wi_r, wi_z, wi_n, wh_r, wh_z, wh_n), bias, bias_hh = self._gate_weights()
+        r = rowstable_matmul(x, wi_r)
+        r += rowstable_matmul(h, wh_r)
+        r += bias[0]
+        np.negative(r, out=r)
+        np.exp(r, out=r)
+        r += 1.0
+        np.reciprocal(r, out=r)  # r = sigmoid(i_r + h_r)
+        z = rowstable_matmul(x, wi_z)
+        z += rowstable_matmul(h, wh_z)
+        z += bias[1]
+        np.negative(z, out=z)
+        np.exp(z, out=z)
+        z += 1.0
+        np.reciprocal(z, out=z)  # z = sigmoid(i_z + h_z)
+        hn = rowstable_matmul(h, wh_n)
+        hn += bias_hh[2]
+        hn *= r
+        n = rowstable_matmul(x, wi_n)
+        n += self.b_ih.data[2 * self.hidden_size :]
+        n += hn
+        np.tanh(n, out=n)  # n = tanh(i_n + r * (h_n + b_hh_n))
+        out = 1.0 - z
+        out *= n
+        z *= h
+        out += z  # (1 - z) * n + z * h
+        return out

@@ -10,8 +10,13 @@ predecessor sets).
 
 Design choices:
 
-* ``float64`` everywhere — training sets are small, and double precision
-  makes gradient checking against finite differences tight.
+* dtype is configurable: ``float64`` is the default (training sets are
+  small, and double precision makes gradient checking against finite
+  differences tight), ``float32`` is the inference fast path used by the
+  batched runtime (:mod:`repro.runtime`).  Arrays that are already
+  ``float32``/``float64`` keep their dtype; everything else is coerced to
+  the process default (see :func:`set_default_dtype` /
+  :class:`default_dtype`).
 * Graphs are built eagerly; :meth:`Tensor.backward` runs a topological
   sweep.  No tape reuse, no in-place ops (functional ``row_update`` instead)
   — simplicity and correctness over micro-optimization.
@@ -23,9 +28,51 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+]
 
 _GRAD_ENABLED = [True]
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_DEFAULT_DTYPE = [np.dtype(np.float64)]
+
+
+def _as_float_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in _FLOAT_DTYPES:
+        raise ValueError(f"unsupported tensor dtype {resolved}; use float32/float64")
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype non-float data is coerced to when building tensors."""
+    return _DEFAULT_DTYPE[0]
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide default tensor dtype (float32 or float64)."""
+    _DEFAULT_DTYPE[0] = _as_float_dtype(dtype)
+
+
+class default_dtype:
+    """Context manager scoping the default tensor dtype."""
+
+    def __init__(self, dtype) -> None:
+        self._dtype = _as_float_dtype(dtype)
+
+    def __enter__(self) -> "default_dtype":
+        self._prev = _DEFAULT_DTYPE[0]
+        _DEFAULT_DTYPE[0] = self._dtype
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _DEFAULT_DTYPE[0] = self._prev
 
 
 class no_grad:
@@ -42,6 +89,41 @@ class no_grad:
 
 def is_grad_enabled() -> bool:
     return _GRAD_ENABLED[0]
+
+
+def sorted_segment_layout(
+    segment_ids: np.ndarray, num_segments: int
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """(nonempty segment ids, their start offsets) for ``reduceat``-style
+    segment reductions, or ``None`` when ``segment_ids`` is not sorted.
+
+    Levelized edge batches emit destinations in nondecreasing order, so the
+    fast contiguous-run path applies throughout the GNN hot loop; arbitrary
+    segment ids fall back to ``np.<op>.at``.
+    """
+    if segment_ids.size == 0 or not np.all(segment_ids[1:] >= segment_ids[:-1]):
+        return None
+    counts = np.bincount(segment_ids, minlength=num_segments)
+    nonempty = np.flatnonzero(counts)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))[nonempty]
+    return nonempty, starts
+
+
+def rowstable_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with row-deterministic kernels.
+
+    Row i of the product may not depend on the batch height, or the packed
+    multi-circuit runtime could not reproduce sequential results bitwise.
+    BLAS breaks that in two regimes — M==1 takes the gemv kernel, and
+    narrow outputs (N<=3) take M-dependent kernels — so both are routed to
+    stable computations (einsum's C loop accumulates each output element
+    independently of the batch height).
+    """
+    if a.ndim == 2 and b.ndim == 2 and b.shape[1] <= 3:
+        return np.einsum("ij,jc->ic", a, b)
+    if a.ndim == 2 and a.shape[0] == 1:
+        return (np.concatenate([a, a]) @ b)[:1]
+    return a @ b
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -63,8 +145,10 @@ class Tensor:
     """A numpy array plus an optional autograd node.
 
     Args:
-        data: array-like; coerced to ``float64``.
+        data: array-like; float32/float64 arrays keep their dtype, anything
+            else is coerced to the process default dtype.
         requires_grad: track gradients for this leaf.
+        dtype: explicit dtype override (float32 or float64).
     """
 
     __slots__ = (
@@ -77,8 +161,18 @@ class Tensor:
     )
     __array_priority__ = 100  # make numpy defer to our __r*__ operators
 
-    def __init__(self, data, requires_grad: bool = False) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(self, data, requires_grad: bool = False, dtype=None) -> None:
+        arr = np.asarray(data)
+        if dtype is not None:
+            arr = arr.astype(_as_float_dtype(dtype), copy=False)
+        elif not (
+            isinstance(data, (np.ndarray, np.generic))
+            and arr.dtype in _FLOAT_DTYPES
+        ):
+            # Only real numpy float data carries its dtype through; lists,
+            # Python scalars and integer arrays adopt the process default.
+            arr = arr.astype(_DEFAULT_DTYPE[0], copy=False)
+        self.data = arr
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -98,6 +192,14 @@ class Tensor:
     @property
     def size(self) -> int:
         return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def astype(self, dtype) -> "Tensor":
+        """Dtype-cast copy (detached from the autograd graph)."""
+        return Tensor(self.data.astype(_as_float_dtype(dtype), copy=True))
 
     def numpy(self) -> np.ndarray:
         """The underlying array (no copy); treat as read-only."""
@@ -119,8 +221,14 @@ class Tensor:
         return f"Tensor(shape={self.data.shape}{grad})"
 
     @staticmethod
-    def _lift(value) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(value)
+    def _lift(value, like: np.dtype | None = None) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        # Python scalars are "weak" operands: adopt the other side's dtype
+        # so float32 graphs are not silently promoted back to float64.
+        if like is not None and isinstance(value, (int, float)):
+            return Tensor(np.asarray(value, dtype=like))
+        return Tensor(value)
 
     @staticmethod
     def _make(
@@ -164,7 +272,7 @@ class Tensor:
             for p in node._parents:
                 if p.requires_grad and id(p) not in seen:
                     stack.append((p, False))
-        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=np.float64)}
+        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=self.data.dtype)}
         for node in reversed(order):
             g = grads.pop(id(node), None)
             if g is None:
@@ -194,7 +302,7 @@ class Tensor:
     # elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = Tensor._lift(other)
+        other = Tensor._lift(other, self.data.dtype)
         out_data = self.data + other.data
 
         def backward(g: np.ndarray) -> None:
@@ -207,7 +315,7 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other) -> "Tensor":
-        other = Tensor._lift(other)
+        other = Tensor._lift(other, self.data.dtype)
         out_data = self.data - other.data
 
         def backward(g: np.ndarray) -> None:
@@ -218,7 +326,7 @@ class Tensor:
         return out
 
     def __rsub__(self, other) -> "Tensor":
-        return Tensor._lift(other).__sub__(self)
+        return Tensor._lift(other, self.data.dtype).__sub__(self)
 
     def __neg__(self) -> "Tensor":
         out_data = -self.data
@@ -230,7 +338,7 @@ class Tensor:
         return out
 
     def __mul__(self, other) -> "Tensor":
-        other = Tensor._lift(other)
+        other = Tensor._lift(other, self.data.dtype)
         out_data = self.data * other.data
 
         def backward(g: np.ndarray) -> None:
@@ -243,7 +351,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = Tensor._lift(other)
+        other = Tensor._lift(other, self.data.dtype)
         out_data = self.data / other.data
 
         def backward(g: np.ndarray) -> None:
@@ -257,7 +365,7 @@ class Tensor:
         return out
 
     def __rtruediv__(self, other) -> "Tensor":
-        return Tensor._lift(other).__truediv__(self)
+        return Tensor._lift(other, self.data.dtype).__truediv__(self)
 
     def pow(self, exponent: float) -> "Tensor":
         out_data = self.data**exponent
@@ -333,8 +441,8 @@ class Tensor:
     # linear algebra / shape
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
-        other = Tensor._lift(other)
-        out_data = self.data @ other.data
+        other = Tensor._lift(other, self.data.dtype)
+        out_data = rowstable_matmul(self.data, other.data)
 
         def backward(g: np.ndarray) -> None:
             out._push(self, g @ other.data.T)
@@ -347,7 +455,14 @@ class Tensor:
 
     @property
     def T(self) -> "Tensor":
+        # Under no_grad the transpose is materialized: feeding BLAS a
+        # transposed view selects M-dependent kernels, breaking the
+        # row-determinism the batched runtime's bitwise packed-equals-
+        # sequential guarantee relies on.  Training keeps the free view —
+        # gradients don't need batch-height determinism.
         out_data = self.data.T
+        if not _GRAD_ENABLED[0]:
+            out_data = np.ascontiguousarray(out_data)
 
         def backward(g: np.ndarray) -> None:
             out._push(self, g.T)
@@ -446,12 +561,25 @@ class Tensor:
         out = Tensor._make(out_data, (self, rows), backward)
         return out
 
-    def segment_sum(self, segment_ids: np.ndarray, num_segments: int) -> "Tensor":
-        """Sum rows into segments: ``out[s] = sum over i with seg[i]==s``."""
+    def segment_sum(
+        self, segment_ids: np.ndarray, num_segments: int, layout=None
+    ) -> "Tensor":
+        """Sum rows into segments: ``out[s] = sum over i with seg[i]==s``.
+
+        ``layout`` is an optional precomputed result of
+        :func:`sorted_segment_layout` (e.g. ``EdgeBatch.dst_layout()``),
+        saving its recomputation in the levelized hot loop.
+        """
         segment_ids = np.asarray(segment_ids, dtype=np.int64)
         out_shape = (num_segments,) + self.data.shape[1:]
-        out_data = np.zeros(out_shape, dtype=np.float64)
-        np.add.at(out_data, segment_ids, self.data)
+        out_data = np.zeros(out_shape, dtype=self.data.dtype)
+        if layout is None:
+            layout = sorted_segment_layout(segment_ids, num_segments)
+        if layout is not None:
+            nonempty, starts = layout
+            out_data[nonempty] = np.add.reduceat(self.data, starts, axis=0)
+        else:
+            np.add.at(out_data, segment_ids, self.data)
 
         def backward(g: np.ndarray) -> None:
             out._push(self, g[segment_ids])

@@ -1,0 +1,60 @@
+"""Batched inference runtime: compiled plans, packing, dtype fast path.
+
+The runtime layer sits between the circuit/model substrates and the
+serving-oriented callers (tasks, experiments, examples, benchmarks):
+
+* :mod:`repro.runtime.plan` — :class:`GraphPlan` compilation and the
+  process-wide content-hash-keyed LRU plan cache;
+* :mod:`repro.runtime.pack` — multi-circuit packing into disjoint
+  super-graph plans;
+* :mod:`repro.runtime.predictor` — :class:`BatchedPredictor` (bounded
+  request queue over packed sweeps) and the float32 parameter-shadow
+  fast path.
+
+Submodules are imported lazily so low-level modules (``repro.models``)
+can import :mod:`repro.runtime.plan` without dragging in the predictor
+(which itself depends on ``repro.models``).
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    # plan
+    "GraphPlan": "repro.runtime.plan",
+    "baseline_batches": "repro.runtime.plan",
+    "plan_for": "repro.runtime.plan",
+    "fingerprint_of": "repro.runtime.plan",
+    "clear_plan_cache": "repro.runtime.plan",
+    "configure_plan_cache": "repro.runtime.plan",
+    "plan_cache_info": "repro.runtime.plan",
+    "PlanCacheInfo": "repro.runtime.plan",
+    # pack
+    "PackedPlan": "repro.runtime.pack",
+    "pack_graphs": "repro.runtime.pack",
+    "clear_pack_cache": "repro.runtime.pack",
+    "configure_pack_cache": "repro.runtime.pack",
+    # predictor
+    "ParameterShadow": "repro.runtime.predictor",
+    "predict_one": "repro.runtime.predictor",
+    "predict_packed": "repro.runtime.predictor",
+    "refresh_shadows": "repro.runtime.predictor",
+    "BatchedPredictor": "repro.runtime.predictor",
+    "PendingPrediction": "repro.runtime.predictor",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.runtime' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,255 @@
+"""Compiled graph plans and the process-wide plan cache.
+
+A :class:`GraphPlan` freezes everything a levelized GNN sweep needs for one
+circuit *structure*: the forward/reverse :class:`EdgeBatch` schedules (both
+DeepSeq's custom cut-graph variant and the baseline variant), the one-hot
+feature matrix per dtype, and the DFF copy indices.  Plans are cached in a
+bounded process-wide LRU keyed by the netlist's stable content hash
+(:meth:`repro.circuit.netlist.Netlist.fingerprint`), so every model
+instance, pipeline and predictor in the process shares one compiled plan
+per circuit structure — this replaces the fragile per-model ``id()``-keyed
+batch cache that previously lived inside ``RecurrentDagGnn``.
+
+Schedules are *normalized*: a node appears in a batch only if at least one
+message reaches it at that level.  For the custom cut-graph schedules this
+is a no-op (every scheduled node has edges); for the baseline schedules it
+removes true sinks from otherwise non-empty reverse batches, which makes a
+node's update history independent of which other circuits happen to share
+its batch — the property that lets multi-circuit packing reproduce
+single-circuit results exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.graph import CircuitGraph, EdgeBatch
+from repro.circuit.netlist import Netlist
+
+__all__ = [
+    "GraphPlan",
+    "baseline_batches",
+    "plan_for",
+    "fingerprint_of",
+    "clear_plan_cache",
+    "configure_plan_cache",
+    "plan_cache_info",
+    "PlanCacheInfo",
+]
+
+
+def fingerprint_of(graph: CircuitGraph) -> str:
+    """Content hash of a circuit graph, memoized on the graph instance.
+
+    ``CircuitGraph`` is an immutable view, so caching the hash on the
+    object is safe even though the underlying netlist type is mutable.
+    """
+    fp = getattr(graph, "_plan_fingerprint", None)
+    if fp is None:
+        fp = graph.netlist.fingerprint()
+        graph._plan_fingerprint = fp
+    return fp
+
+
+def _normalize_batches(batches: list[EdgeBatch]) -> list[EdgeBatch]:
+    """Drop nodes (and whole levels) that receive no messages."""
+    out: list[EdgeBatch] = []
+    for batch in batches:
+        if batch.num_nodes == 0 or batch.num_edges == 0:
+            continue
+        present = np.unique(batch.dst_local)
+        if present.size == batch.num_nodes:
+            out.append(batch)
+            continue
+        out.append(
+            EdgeBatch(
+                nodes=batch.nodes[present],
+                src=batch.src,
+                dst_local=np.searchsorted(present, batch.dst_local).astype(np.int64),
+            )
+        )
+    return out
+
+
+def baseline_batches(graph: CircuitGraph) -> tuple[list[EdgeBatch], list[EdgeBatch]]:
+    """Level batches for the *simple* propagation of the baseline models.
+
+    Unlike DeepSeq's customized scheme, the baselines treat flip-flops as
+    ordinary nodes: the forward pass updates DFFs from their data edge and
+    the reverse pass lets gates hear from the DFFs they feed.  (Cycles are
+    still broken by levelization — a DFF sits at level 1 and simply reads
+    its predecessor's state from the previous sweep.)
+    """
+    nl = graph.netlist
+    fanouts = nl.fanouts()
+    forward: list[EdgeBatch] = list(graph.forward_batches)
+    # Insert DFF updates as a dedicated level-1 batch (they are pseudo-PIs
+    # in the cut levelization, so no comb batch contains them).
+    if graph.dff_ids.size:
+        dff_batch = EdgeBatch(
+            nodes=graph.dff_ids.copy(),
+            src=graph.dff_src.copy(),
+            dst_local=np.arange(graph.dff_ids.size, dtype=np.int64),
+        )
+        forward = [dff_batch] + forward
+    reverse: list[EdgeBatch] = []
+    for batch in graph.reverse_batches:
+        # Re-derive successor edges *including* DFF consumers.
+        src: list[int] = []
+        dst_local: list[int] = []
+        for pos, node in enumerate(batch.nodes):
+            for succ in fanouts[int(node)]:
+                src.append(int(succ))
+                dst_local.append(pos)
+        reverse.append(
+            EdgeBatch(
+                nodes=batch.nodes,
+                src=np.asarray(src, dtype=np.int64),
+                dst_local=np.asarray(dst_local, dtype=np.int64),
+            )
+        )
+    return forward, reverse
+
+
+class GraphPlan:
+    """Everything one levelized sweep needs, compiled once per structure.
+
+    Attributes:
+        graph: the compiled :class:`CircuitGraph` (node ids, DFF copy map).
+        key: the netlist content hash this plan is cached under.
+    """
+
+    __slots__ = ("graph", "key", "_schedules", "_features")
+
+    def __init__(self, graph: CircuitGraph, key: str) -> None:
+        self.graph = graph
+        self.key = key
+        self._schedules: dict[bool, tuple[list[EdgeBatch], list[EdgeBatch]]] = {}
+        self._features: dict[np.dtype, np.ndarray] = {}
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    def schedule(self, custom: bool = True) -> tuple[list[EdgeBatch], list[EdgeBatch]]:
+        """Normalized (forward, reverse) EdgeBatch schedules.
+
+        ``custom=True`` gives DeepSeq's cut-graph schedule; ``False`` the
+        baseline schedule with DFF updates and DFD reverse messages.
+        """
+        entry = self._schedules.get(custom)
+        if entry is None:
+            if custom:
+                raw = (list(self.graph.forward_batches), list(self.graph.reverse_batches))
+            else:
+                raw = baseline_batches(self.graph)
+            entry = (_normalize_batches(raw[0]), _normalize_batches(raw[1]))
+            self._schedules[custom] = entry
+        return entry
+
+    def features(self, dtype=np.float64) -> np.ndarray:
+        """The (N, 4) one-hot feature matrix cast to ``dtype`` (cached)."""
+        dt = np.dtype(dtype)
+        feats = self._features.get(dt)
+        if feats is None:
+            base = self.graph.features
+            feats = base if base.dtype == dt else base.astype(dt)
+            self._features[dt] = feats
+        return feats
+
+    def __repr__(self) -> str:
+        return f"GraphPlan({self.graph.netlist.name!r}, nodes={self.num_nodes}, key={self.key[:12]})"
+
+
+# ----------------------------------------------------------------------
+# process-wide LRU cache
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlanCacheInfo:
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+
+_LOCK = threading.Lock()
+_CACHE: OrderedDict[str, GraphPlan] = OrderedDict()
+_MAXSIZE = [128]
+_HITS = [0]
+_MISSES = [0]
+_EVICTIONS = [0]
+
+
+def plan_for(circuit: CircuitGraph | Netlist, cache: bool = True) -> GraphPlan:
+    """The compiled plan for ``circuit``, from the shared LRU when possible.
+
+    Accepts either a :class:`CircuitGraph` (wrapped without rebuilding) or
+    a raw :class:`Netlist` (compiled to a graph on a cache miss).  Two
+    structurally identical circuits share one plan regardless of node
+    names, so the returned plan's ``graph`` may originate from a different
+    — structurally equal — netlist object than the argument.
+    """
+    if isinstance(circuit, CircuitGraph):
+        key = fingerprint_of(circuit)
+        graph: CircuitGraph | None = circuit
+    else:
+        key = circuit.fingerprint()
+        graph = None
+    if cache:
+        with _LOCK:
+            plan = _CACHE.get(key)
+            if plan is not None:
+                _CACHE.move_to_end(key)
+                _HITS[0] += 1
+                return plan
+            _MISSES[0] += 1
+    if graph is None:
+        graph = CircuitGraph(circuit)  # type: ignore[arg-type]
+    plan = GraphPlan(graph, key)
+    if cache:
+        with _LOCK:
+            existing = _CACHE.get(key)
+            if existing is not None:
+                _CACHE.move_to_end(key)
+                return existing
+            _CACHE[key] = plan
+            while len(_CACHE) > _MAXSIZE[0]:
+                _CACHE.popitem(last=False)
+                _EVICTIONS[0] += 1
+    return plan
+
+
+def configure_plan_cache(maxsize: int) -> None:
+    """Bound the shared plan cache to ``maxsize`` entries (evicts LRU-first)."""
+    if maxsize < 1:
+        raise ValueError("plan cache needs room for at least one plan")
+    with _LOCK:
+        _MAXSIZE[0] = int(maxsize)
+        while len(_CACHE) > _MAXSIZE[0]:
+            _CACHE.popitem(last=False)
+            _EVICTIONS[0] += 1
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    with _LOCK:
+        _CACHE.clear()
+        _HITS[0] = _MISSES[0] = _EVICTIONS[0] = 0
+
+
+def plan_cache_info() -> PlanCacheInfo:
+    """Current cache statistics (hits/misses/evictions/size/maxsize)."""
+    with _LOCK:
+        return PlanCacheInfo(
+            hits=_HITS[0],
+            misses=_MISSES[0],
+            evictions=_EVICTIONS[0],
+            size=len(_CACHE),
+            maxsize=_MAXSIZE[0],
+        )

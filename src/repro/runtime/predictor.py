@@ -1,0 +1,378 @@
+"""Batched inference: dtype fast path, packed execution, request queue.
+
+Three layers, lowest first:
+
+* :class:`ParameterShadow` — cached dtype casts of a module's parameters,
+  swapped in around no-grad forward passes.  This is how the float32 fast
+  path avoids touching the float64 master weights that training and
+  gradient checking rely on.
+* :func:`predict_one` / :func:`predict_packed` — functional entry points
+  running one circuit (or one packed batch of K circuits) through a model
+  at a chosen dtype, reusing compiled plans from the shared cache.
+* :class:`BatchedPredictor` — a bounded request queue over
+  :func:`predict_packed`: callers stream ``submit(circuit, workload)``
+  calls and receive handles; the predictor packs pending requests into
+  super-graphs of ``batch_size`` circuits and resolves the handles on
+  flush (automatic when the queue fills, explicit via :meth:`flush`, or
+  lazy via ``handle.result()``).
+
+Equivalence guarantee: packed execution computes bit-identical float64
+results to sequential :meth:`RecurrentDagGnn.predict` calls, because each
+member keeps its own initial hidden state (seeded by *member* size, not
+union size), the union contains no cross-member edges, and normalized
+schedules update a node iff it receives messages.  The float32 path
+matches to ~1e-4 max-abs on probability outputs.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import deque
+from contextlib import contextmanager, nullcontext
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.netlist import Netlist
+from repro.models.base import Prediction, RecurrentDagGnn
+from repro.nn.module import Module, parameter_version
+from repro.nn.tensor import Tensor, no_grad
+from repro.runtime.pack import PackedPlan, pack_graphs
+from repro.runtime.plan import GraphPlan, plan_for
+
+__all__ = [
+    "ParameterShadow",
+    "predict_one",
+    "predict_packed",
+    "BatchedPredictor",
+    "PendingPrediction",
+]
+
+
+class ParameterShadow:
+    """Cached dtype casts of a module's parameters.
+
+    While :meth:`active` the module's parameters *are* the cast arrays —
+    forward passes run entirely in the shadow dtype — and the float64
+    master copies are restored on exit.  The cast re-syncs automatically
+    when the global parameter version changes (optimizer steps and
+    ``load_state_dict`` bump it); hand-edited ``p.data`` needs either
+    :func:`repro.nn.module.bump_parameter_version` or an explicit
+    :meth:`refresh`.
+
+    Activation is not synchronized against *other* threads running the
+    same model concurrently — the runtime entry points serialize per
+    model (see ``_model_lock``); bypassing them with direct concurrent
+    ``model.forward`` calls while a shadow is active is unsafe.
+    """
+
+    def __init__(self, module: Module, dtype) -> None:
+        self.dtype = np.dtype(dtype)
+        self._params = list(module.parameters())
+        self._cast = [p.data.astype(self.dtype) for p in self._params]
+        self._version = parameter_version()
+
+    def refresh(self) -> None:
+        """Re-cast from the current master parameter values."""
+        self._cast = [p.data.astype(self.dtype) for p in self._params]
+        self._version = parameter_version()
+
+    @contextmanager
+    def active(self) -> Iterator[None]:
+        if self._version != parameter_version():
+            self.refresh()
+        masters = [p.data for p in self._params]
+        for p, cast in zip(self._params, self._cast):
+            p.data = cast
+        try:
+            yield
+        finally:
+            for p, master in zip(self._params, masters):
+                p.data = master
+
+
+_SHADOWS: "weakref.WeakKeyDictionary[Module, dict[np.dtype, ParameterShadow]]" = (
+    weakref.WeakKeyDictionary()
+)
+_SHADOW_LOCK = threading.Lock()
+
+_MODEL_LOCKS: "weakref.WeakKeyDictionary[Module, threading.RLock]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _model_lock(model: Module) -> threading.RLock:
+    """Per-model lock serializing runtime inference calls.
+
+    A shadow swap temporarily rebinds the model's parameter arrays, so two
+    threads running the same model through the runtime must not overlap.
+    """
+    with _SHADOW_LOCK:
+        lock = _MODEL_LOCKS.get(model)
+        if lock is None:
+            lock = threading.RLock()
+            _MODEL_LOCKS[model] = lock
+    return lock
+
+
+def _shadow_context(model: Module, dtype: np.dtype):
+    """An ``active()`` shadow for ``dtype``, or a no-op when already there."""
+    params = model.parameters()
+    if all(p.data.dtype == dtype for p in params):
+        return nullcontext()
+    with _SHADOW_LOCK:
+        per_model = _SHADOWS.setdefault(model, {})
+        shadow = per_model.get(dtype)
+        if shadow is None:
+            shadow = ParameterShadow(model, dtype)
+            per_model[dtype] = shadow
+    return shadow.active()
+
+
+def refresh_shadows(model: Module) -> None:
+    """Re-sync every cached dtype shadow after a parameter update."""
+    with _SHADOW_LOCK:
+        for shadow in _SHADOWS.get(model, {}).values():
+            shadow.refresh()
+
+
+def _resolve(circuit: CircuitGraph | Netlist, plan: GraphPlan | None):
+    if plan is None:
+        plan = plan_for(circuit)
+    graph = circuit if isinstance(circuit, CircuitGraph) else plan.graph
+    return graph, plan
+
+
+def predict_one(
+    model: RecurrentDagGnn,
+    circuit: CircuitGraph | Netlist,
+    workload,
+    dtype=np.float64,
+    plan: GraphPlan | None = None,
+) -> Prediction:
+    """Inference on one circuit at ``dtype`` through the compiled plan."""
+    graph, plan = _resolve(circuit, plan)
+    dt = np.dtype(dtype)
+    with _model_lock(model), no_grad():
+        h0 = model.initial_hidden(graph, workload)
+        if h0.data.dtype != dt:
+            h0 = Tensor(h0.data.astype(dt))
+        with _shadow_context(model, dt):
+            pred_tr, pred_lg = model.forward(graph, plan=plan, h0=h0)
+    return Prediction(tr=pred_tr.data.copy(), lg=pred_lg.data[:, 0].copy())
+
+
+def predict_packed(
+    model: RecurrentDagGnn,
+    graphs: Sequence[CircuitGraph],
+    workloads: Sequence,
+    dtype=np.float64,
+    packed: PackedPlan | None = None,
+) -> list[Prediction]:
+    """Run K circuits as one packed sweep; returns per-member predictions.
+
+    Each member keeps the initial hidden state it would get standalone, so
+    float64 results are bit-identical to sequential ``predict`` calls.
+    """
+    if len(graphs) != len(workloads):
+        raise ValueError(
+            f"{len(graphs)} circuits vs {len(workloads)} workloads"
+        )
+    if packed is None:
+        packed = pack_graphs(graphs)
+    elif packed.num_members != len(graphs):
+        raise ValueError(
+            f"packed plan holds {packed.num_members} members, got {len(graphs)} circuits"
+        )
+    dt = np.dtype(dtype)
+    with _model_lock(model), no_grad():
+        h0 = np.concatenate(
+            [
+                model.initial_hidden(g, wl).data
+                for g, wl in zip(graphs, workloads)
+            ],
+            axis=0,
+        )
+        with _shadow_context(model, dt):
+            pred_tr, pred_lg = model.forward(
+                packed.plan.graph,
+                plan=packed.plan,
+                h0=Tensor(h0.astype(dt, copy=False)),
+            )
+    out: list[Prediction] = []
+    for member in range(packed.num_members):
+        sl = packed.member_slice(member)
+        out.append(
+            Prediction(tr=pred_tr.data[sl].copy(), lg=pred_lg.data[sl, 0].copy())
+        )
+    return out
+
+
+class PendingPrediction:
+    """Handle for a submitted request; resolves when its batch flushes."""
+
+    __slots__ = ("_predictor", "_value", "_error")
+
+    def __init__(self, predictor: "BatchedPredictor") -> None:
+        self._predictor = predictor
+        self._value: Prediction | None = None
+        self._error: Exception | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._value is not None or self._error is not None
+
+    def result(self) -> Prediction:
+        """The prediction, flushing the owning queue if still pending.
+
+        If another thread's flush already claimed this request, waits for
+        that in-flight batch to resolve it.  Raises the request's own
+        failure (if any); other requests in the same packed batch are
+        unaffected.
+        """
+        while not self.done:
+            self._predictor.flush()
+            if not self.done:
+                cv = self._predictor._resolved
+                with cv:
+                    if not self.done:
+                        cv.wait(timeout=0.1)
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+
+class BatchedPredictor:
+    """Stream circuits through packed batched inference.
+
+    Args:
+        model: any :class:`RecurrentDagGnn` (DeepSeq or baseline).
+        batch_size: circuits packed per super-graph sweep (K).
+        dtype: execution dtype — float32 (default) is the inference fast
+            path; float64 reproduces sequential ``predict`` bitwise.
+        max_pending: bound of the request queue; submitting beyond it
+            triggers an automatic flush, so memory stays bounded no matter
+            how fast callers stream.
+
+    Example::
+
+        predictor = BatchedPredictor(model, batch_size=8)
+        handles = [predictor.submit(g, wl) for g, wl in requests]
+        predictor.flush()
+        results = [h.result() for h in handles]
+
+    After fine-tuning the model, call :meth:`refresh_parameters` so the
+    cached low-precision parameter shadow picks up the new weights.
+    """
+
+    def __init__(
+        self,
+        model: RecurrentDagGnn,
+        batch_size: int = 8,
+        dtype=np.float32,
+        max_pending: int = 64,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_pending < batch_size:
+            raise ValueError("max_pending must be >= batch_size")
+        self.model = model
+        self.batch_size = int(batch_size)
+        self.dtype = np.dtype(dtype)
+        self.max_pending = int(max_pending)
+        self._queue: deque[tuple[CircuitGraph, object, PendingPrediction]] = deque()
+        self._lock = threading.Lock()
+        self._resolved = threading.Condition(self._lock)
+        self.circuits_processed = 0
+        self.batches_flushed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def submit(self, circuit: CircuitGraph | Netlist, workload) -> PendingPrediction:
+        """Enqueue one request; flushes automatically when the queue fills.
+
+        Raises :class:`ValueError` immediately on a workload/circuit PI
+        mismatch, so an invalid request cannot reach a packed batch.
+        """
+        graph = circuit if isinstance(circuit, CircuitGraph) else plan_for(circuit).graph
+        num_pis = getattr(workload, "num_pis", None)
+        if num_pis is not None and num_pis != graph.num_pis:
+            raise ValueError(
+                f"workload has {num_pis} PIs, circuit has {graph.num_pis}"
+            )
+        handle = PendingPrediction(self)
+        with self._lock:
+            self._queue.append((graph, workload, handle))
+            overflow = len(self._queue) >= self.max_pending
+        if overflow:
+            self.flush()
+        return handle
+
+    def flush(self) -> int:
+        """Drain the queue in packs of ``batch_size``; returns circuits run."""
+        flushed = 0
+        while True:
+            with self._lock:
+                if not self._queue:
+                    break
+                chunk = [
+                    self._queue.popleft()
+                    for _ in range(min(self.batch_size, len(self._queue)))
+                ]
+            graphs = [graph for graph, _, _ in chunk]
+            workloads = [wl for _, wl, _ in chunk]
+            try:
+                preds: list[Prediction | None] = list(
+                    predict_packed(self.model, graphs, workloads, dtype=self.dtype)
+                )
+            except Exception:
+                # Isolate the failure: run members individually so one bad
+                # request fails only its own handle, not the whole chunk.
+                preds = []
+                for graph, wl, handle in chunk:
+                    try:
+                        preds.append(
+                            predict_packed(
+                                self.model, [graph], [wl], dtype=self.dtype
+                            )[0]
+                        )
+                    except Exception as exc:
+                        handle._error = exc
+                        preds.append(None)
+            for (_, _, handle), pred in zip(chunk, preds):
+                if pred is not None:
+                    handle._value = pred
+            with self._resolved:
+                self._resolved.notify_all()
+            flushed += len(chunk)
+            self.batches_flushed += 1
+        self.circuits_processed += flushed
+        return flushed
+
+    def predict(self, circuit: CircuitGraph | Netlist, workload) -> Prediction:
+        """Submit one request and resolve it immediately (drains the queue)."""
+        return self.submit(circuit, workload).result()
+
+    def predict_many(
+        self, circuits: Sequence[CircuitGraph | Netlist], workloads: Sequence
+    ) -> list[Prediction]:
+        """Run many circuits through packed batches, preserving order."""
+        if len(circuits) != len(workloads):
+            raise ValueError(
+                f"{len(circuits)} circuits vs {len(workloads)} workloads"
+            )
+        handles = [
+            self.submit(circuit, wl) for circuit, wl in zip(circuits, workloads)
+        ]
+        self.flush()
+        return [h.result() for h in handles]
+
+    def refresh_parameters(self) -> None:
+        """Re-sync dtype shadows after the model's parameters changed."""
+        refresh_shadows(self.model)

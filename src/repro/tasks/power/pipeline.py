@@ -20,10 +20,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.circuit.graph import CircuitGraph
 from repro.circuit.netlist import Netlist
 from repro.models.base import RecurrentDagGnn
 from repro.models.grannite import Grannite, SourceActivity
+from repro.runtime import plan_for, predict_one
 from repro.sim.logicsim import SimConfig, SimResult, simulate
 from repro.sim.saif import activity_from_probs, parse_saif
 from repro.sim.workload import Workload
@@ -94,7 +94,10 @@ def run_power_pipeline(
     """
     analyzer = analyzer or PowerAnalyzer()
     sim_config = sim_config or SimConfig()
-    graph = CircuitGraph(nl)
+    # Compiled plan from the shared runtime cache: repeated pipeline runs
+    # on one design (e.g. per-workload sweeps) skip graph re-construction.
+    plan = plan_for(nl)
+    graph = plan.graph
 
     gt = gt_result or simulate(nl, workload, sim_config)
     gt_report = _through_saif(
@@ -127,7 +130,7 @@ def run_power_pipeline(
         )
 
     if deepseq is not None:
-        pred = deepseq.predict(graph, workload)
+        pred = predict_one(deepseq, graph, workload, plan=plan)
         add(
             "deepseq",
             _through_saif(

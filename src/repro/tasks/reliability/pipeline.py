@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.circuit.graph import CircuitGraph
 from repro.circuit.netlist import Netlist
 from repro.models.base import RecurrentDagGnn
+from repro.runtime import plan_for, predict_one
 from repro.sim.faults import FaultConfig, simulate_with_faults
 from repro.sim.logicsim import SimConfig
 from repro.sim.workload import Workload
@@ -76,8 +76,8 @@ def run_reliability_pipeline(
         analytical_error_pct=a_err,
     )
     if deepseq is not None:
-        graph = CircuitGraph(nl)
-        pred = deepseq.predict(graph, workload)
+        plan = plan_for(nl)
+        pred = predict_one(deepseq, plan.graph, workload, plan=plan)
         rel = reliability_from_node_errors(
             nl,
             pred.tr[:, 0] / error_scale,

@@ -1,0 +1,83 @@
+"""Multi-circuit packing into super-graph plans."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import GeneratorConfig, random_sequential_netlist, to_aig
+from repro.circuit.graph import CircuitGraph
+from repro.runtime.pack import clear_pack_cache, configure_pack_cache, pack_graphs
+from repro.runtime.plan import clear_plan_cache, plan_for
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_plan_cache()
+    clear_pack_cache()
+    configure_pack_cache(32)
+    yield
+    clear_plan_cache()
+    clear_pack_cache()
+    configure_pack_cache(32)
+
+
+def make_graph(seed=0, n_pis=5, n_dffs=3, n_gates=40):
+    nl = random_sequential_netlist(
+        GeneratorConfig(n_pis=n_pis, n_dffs=n_dffs, n_gates=n_gates), seed=seed
+    )
+    return CircuitGraph(to_aig(nl).aig)
+
+
+def test_empty_pack_rejected():
+    with pytest.raises(ValueError):
+        pack_graphs([])
+
+
+def test_single_member_reuses_member_plan():
+    graph = make_graph(seed=1)
+    packed = pack_graphs([graph])
+    assert packed.plan is plan_for(graph)
+    assert packed.offsets == (0,)
+    assert packed.sizes == (graph.num_nodes,)
+
+
+def test_offsets_and_sizes_cover_union():
+    graphs = [make_graph(seed=s, n_gates=20 + 5 * s) for s in range(3)]
+    packed = pack_graphs(graphs)
+    assert packed.num_members == 3
+    assert packed.sizes == tuple(g.num_nodes for g in graphs)
+    assert packed.offsets == (0, graphs[0].num_nodes, graphs[0].num_nodes + graphs[1].num_nodes)
+    assert packed.num_nodes == sum(g.num_nodes for g in graphs)
+
+
+def test_member_slices_preserve_structure():
+    graphs = [make_graph(seed=s) for s in (4, 5)]
+    packed = pack_graphs(graphs)
+    union = packed.plan.graph
+    for member, graph in enumerate(graphs):
+        sl = packed.member_slice(member)
+        np.testing.assert_array_equal(
+            union.type_index[sl], graph.type_index
+        )
+        np.testing.assert_array_equal(union.features[sl], graph.features)
+
+
+def test_pack_cache_hit_returns_same_object():
+    graphs = [make_graph(seed=s) for s in (6, 7)]
+    assert pack_graphs(graphs) is pack_graphs(graphs)
+    # A different composition is a different entry.
+    assert pack_graphs(graphs) is not pack_graphs(list(reversed(graphs)))
+
+
+def test_repeated_structure_packs():
+    graph = make_graph(seed=8)
+    packed = pack_graphs([graph, graph, graph])
+    assert packed.num_members == 3
+    assert packed.num_nodes == 3 * graph.num_nodes
+
+
+def test_pack_cache_eviction():
+    configure_pack_cache(1)
+    a = pack_graphs([make_graph(seed=9)])
+    b = pack_graphs([make_graph(seed=10)])
+    assert pack_graphs([b.plan.graph]) is b
+    assert pack_graphs([a.plan.graph]) is not a

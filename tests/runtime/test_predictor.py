@@ -1,0 +1,324 @@
+"""Batched inference equivalence and the BatchedPredictor queue."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import GeneratorConfig, random_sequential_netlist, to_aig
+from repro.circuit.gates import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.netlist import Netlist
+from repro.models.base import ModelConfig
+from repro.models.baselines import DagConvGnn, DagRecGnn
+from repro.models.deepseq import DeepSeq
+from repro.runtime.pack import clear_pack_cache
+from repro.runtime.plan import clear_plan_cache
+from repro.runtime.predictor import (
+    BatchedPredictor,
+    ParameterShadow,
+    PendingPrediction,
+    predict_one,
+    predict_packed,
+)
+from repro.sim.workload import random_workload
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_plan_cache()
+    clear_pack_cache()
+    yield
+    clear_plan_cache()
+    clear_pack_cache()
+
+
+def make_pair(seed=0, n_pis=5, n_dffs=3, n_gates=40):
+    nl = to_aig(
+        random_sequential_netlist(
+            GeneratorConfig(n_pis=n_pis, n_dffs=n_dffs, n_gates=n_gates),
+            seed=seed,
+        )
+    ).aig
+    return CircuitGraph(nl), random_workload(nl, seed=1000 + seed)
+
+
+def shallow_pair(seed=99):
+    """A depth-1 circuit: packed with deep members, the union levels
+    beyond its depth contain none of its nodes (empty member levels)."""
+    nl = Netlist(name="shallow")
+    a = nl.add_pi("a")
+    b = nl.add_pi("b")
+    g = nl.add_gate(GateType.AND, [a, b], "g")
+    nl.add_po(g)
+    nl.validate()
+    return CircuitGraph(nl), random_workload(nl, seed=seed)
+
+
+def dff_chain_pair(seed=98):
+    """A DFF-heavy loop: PI -> AND -> DFF -> DFF -> NOT feeding back."""
+    nl = Netlist(name="chain")
+    a = nl.add_pi("a")
+    ff1 = nl.add_dff(None, "ff1")
+    ff2 = nl.add_dff(ff1, "ff2")
+    inv = nl.add_gate(GateType.NOT, [ff2], "inv")
+    g = nl.add_gate(GateType.AND, [a, inv], "g")
+    nl.set_fanins(ff1, [g])
+    nl.add_po(g)
+    nl.validate()
+    return CircuitGraph(nl), random_workload(nl, seed=seed)
+
+
+def mixed_fleet():
+    """Mismatched depths and DFF counts, including the corner cases."""
+    pairs = [
+        make_pair(seed=0, n_dffs=4, n_gates=60),
+        shallow_pair(),
+        make_pair(seed=1, n_dffs=0, n_gates=45),
+        dff_chain_pair(),
+        make_pair(seed=2, n_dffs=7, n_gates=25),
+    ]
+    return [g for g, _ in pairs], [w for _, w in pairs]
+
+
+MODELS = [
+    pytest.param(
+        lambda: DeepSeq(ModelConfig(hidden=16, iterations=3, seed=0)),
+        id="deepseq",
+    ),
+    pytest.param(
+        lambda: DagConvGnn(
+            ModelConfig(hidden=16, iterations=3, aggregator="conv_sum", seed=1)
+        ),
+        id="dag_conv",
+    ),
+    pytest.param(
+        lambda: DagRecGnn(
+            ModelConfig(hidden=16, iterations=3, aggregator="attention", seed=2)
+        ),
+        id="dag_rec",
+    ),
+]
+
+
+class TestPackedEquivalence:
+    @pytest.mark.parametrize("make_model", MODELS)
+    def test_float64_bitwise(self, make_model):
+        model = make_model()
+        graphs, workloads = mixed_fleet()
+        sequential = [model.predict(g, w) for g, w in zip(graphs, workloads)]
+        packed = predict_packed(model, graphs, workloads, dtype=np.float64)
+        for seq, pack in zip(sequential, packed):
+            np.testing.assert_array_equal(seq.tr, pack.tr)
+            np.testing.assert_array_equal(seq.lg, pack.lg)
+
+    @pytest.mark.parametrize("make_model", MODELS)
+    def test_float32_close(self, make_model):
+        model = make_model()
+        graphs, workloads = mixed_fleet()
+        sequential = [model.predict(g, w) for g, w in zip(graphs, workloads)]
+        packed = predict_packed(model, graphs, workloads, dtype=np.float32)
+        for seq, pack in zip(sequential, packed):
+            assert pack.tr.dtype == np.float32
+            assert np.abs(seq.tr - pack.tr).max() <= 1e-4
+            assert np.abs(seq.lg - pack.lg).max() <= 1e-4
+
+    @pytest.mark.parametrize("make_model", MODELS)
+    def test_float32_bitwise_vs_sequential_float32(self, make_model):
+        """Within one dtype the packing itself is exact: packed float32
+        matches sequential float32 bitwise (the 1e-4 budget is purely the
+        float64 -> float32 precision gap, not a packing artifact)."""
+        model = make_model()
+        graphs, workloads = mixed_fleet()
+        sequential = [
+            predict_one(model, g, w, dtype=np.float32)
+            for g, w in zip(graphs, workloads)
+        ]
+        packed = predict_packed(model, graphs, workloads, dtype=np.float32)
+        for seq, pack in zip(sequential, packed):
+            np.testing.assert_array_equal(seq.tr, pack.tr)
+            np.testing.assert_array_equal(seq.lg, pack.lg)
+
+    def test_same_circuit_many_times(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graph, wl = make_pair(seed=3)
+        single = model.predict(graph, wl)
+        packed = predict_packed(model, [graph] * 4, [wl] * 4, dtype=np.float64)
+        for pred in packed:
+            np.testing.assert_array_equal(single.tr, pred.tr)
+            np.testing.assert_array_equal(single.lg, pred.lg)
+
+    def test_mismatched_lengths_rejected(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graph, wl = make_pair(seed=4)
+        with pytest.raises(ValueError):
+            predict_packed(model, [graph, graph], [wl])
+
+    def test_shapes_per_member(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graphs, workloads = mixed_fleet()
+        for graph, pred in zip(
+            graphs, predict_packed(model, graphs, workloads)
+        ):
+            assert pred.tr.shape == (graph.num_nodes, 2)
+            assert pred.lg.shape == (graph.num_nodes,)
+
+
+class TestPredictOne:
+    def test_accepts_netlist(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graph, wl = make_pair(seed=5)
+        from_graph = predict_one(model, graph, wl)
+        from_netlist = predict_one(model, graph.netlist, wl)
+        np.testing.assert_array_equal(from_graph.tr, from_netlist.tr)
+
+    def test_matches_model_predict(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graph, wl = make_pair(seed=6)
+        a = model.predict(graph, wl)
+        b = predict_one(model, graph, wl, dtype=np.float64)
+        np.testing.assert_array_equal(a.tr, b.tr)
+
+    def test_model_predict_dtype_kwarg(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graph, wl = make_pair(seed=7)
+        fast = model.predict(graph, wl, dtype="float32")
+        exact = model.predict(graph, wl)
+        assert fast.tr.dtype == np.float32
+        assert np.abs(fast.tr - exact.tr).max() <= 1e-4
+
+
+class TestParameterShadow:
+    def test_masters_restored(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        masters = [p.data for p in model.parameters()]
+        shadow = ParameterShadow(model, np.float32)
+        with shadow.active():
+            assert all(p.data.dtype == np.float32 for p in model.parameters())
+        for p, master in zip(model.parameters(), masters):
+            assert p.data is master
+            assert p.data.dtype == np.float64
+
+    def test_shadow_auto_refreshes_after_optimizer_step(self):
+        from repro.nn.optim import SGD
+
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graph, wl = make_pair(seed=16)
+        predictor = BatchedPredictor(model, batch_size=2, dtype=np.float32)
+        before = predictor.predict(graph, wl)
+        opt = SGD(model.parameters(), lr=0.1)
+        pred_tr, pred_lg = model(graph, wl)
+        (pred_tr.sum() + pred_lg.sum()).backward()
+        opt.step()  # bumps the global parameter version
+        after = predictor.predict(graph, wl)
+        expected = model.predict(graph, wl)
+        assert np.abs(after.tr - expected.tr).max() <= 1e-4
+        assert np.abs(after.tr - before.tr).max() > 0
+
+    def test_shadow_auto_refreshes_after_load_state_dict(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        other = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=7))
+        graph, wl = make_pair(seed=17)
+        predictor = BatchedPredictor(model, batch_size=2, dtype=np.float32)
+        predictor.predict(graph, wl)  # populate the float32 shadow
+        model.load_state_dict(other.state_dict())
+        refreshed = predictor.predict(graph, wl)
+        expected = other.predict(graph, wl)
+        assert np.abs(refreshed.tr - expected.tr).max() <= 1e-4
+
+    def test_refresh_picks_up_new_weights(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graph, wl = make_pair(seed=8)
+        predictor = BatchedPredictor(model, batch_size=2, dtype=np.float32)
+        before = predictor.predict(graph, wl)
+        for p in model.parameters():
+            p.data[...] += 0.05  # simulate a fine-tuning update
+        stale = predictor.predict(graph, wl)
+        np.testing.assert_array_equal(before.tr, stale.tr)  # stale shadow
+        predictor.refresh_parameters()
+        fresh = predictor.predict(graph, wl)
+        expected = model.predict(graph, wl)
+        assert np.abs(fresh.tr - expected.tr).max() <= 1e-4
+        assert np.abs(fresh.tr - before.tr).max() > 1e-4
+
+
+class TestBatchedPredictor:
+    def test_order_preserved(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graphs, workloads = mixed_fleet()
+        sequential = [model.predict(g, w) for g, w in zip(graphs, workloads)]
+        predictor = BatchedPredictor(model, batch_size=2, dtype=np.float64)
+        results = predictor.predict_many(graphs, workloads)
+        for seq, res in zip(sequential, results):
+            np.testing.assert_array_equal(seq.tr, res.tr)
+            np.testing.assert_array_equal(seq.lg, res.lg)
+
+    def test_result_triggers_flush(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graph, wl = make_pair(seed=9)
+        predictor = BatchedPredictor(model, batch_size=4, dtype=np.float64)
+        handle = predictor.submit(graph, wl)
+        assert not handle.done
+        pred = handle.result()
+        assert handle.done
+        np.testing.assert_array_equal(pred.tr, model.predict(graph, wl).tr)
+
+    def test_bounded_queue_autoflushes(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=10)
+        predictor = BatchedPredictor(
+            model, batch_size=2, dtype=np.float64, max_pending=4
+        )
+        handles = [predictor.submit(graph, wl) for _ in range(4)]
+        # Hitting max_pending drained the queue without an explicit flush.
+        assert predictor.pending == 0
+        assert all(h.done for h in handles)
+        assert predictor.circuits_processed == 4
+        assert predictor.batches_flushed == 2
+
+    def test_submit_accepts_netlists(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=11)
+        predictor = BatchedPredictor(model, batch_size=2, dtype=np.float64)
+        pred = predictor.predict(graph.netlist, wl)
+        np.testing.assert_array_equal(pred.tr, model.predict(graph, wl).tr)
+
+    def test_submit_rejects_pi_mismatch_eagerly(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, _ = make_pair(seed=13, n_pis=5)
+        _, other_wl = make_pair(seed=14, n_pis=8)
+        predictor = BatchedPredictor(model, batch_size=4)
+        with pytest.raises(ValueError, match="PIs"):
+            predictor.submit(graph, other_wl)
+        assert predictor.pending == 0
+
+    def test_failed_request_does_not_poison_chunk(self):
+        """A request that fails at flush resolves only its own handle with
+        the error; chunk siblings still get their predictions."""
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=15)
+        predictor = BatchedPredictor(model, batch_size=3, dtype=np.float64)
+        good_before = predictor.submit(graph, wl)
+        # Sneak an invalid request past submit's eager check.
+        bad_wl = type(wl)(wl.pi_probs[:-1], name="bad", seed=0)
+        bad = PendingPrediction(predictor)
+        predictor._queue.append((graph, bad_wl, bad))
+        good_after = predictor.submit(graph, wl)
+        predictor.flush()
+        expected = model.predict(graph, wl)
+        np.testing.assert_array_equal(good_before.result().tr, expected.tr)
+        np.testing.assert_array_equal(good_after.result().tr, expected.tr)
+        with pytest.raises(ValueError):
+            bad.result()
+
+    def test_invalid_configuration(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        with pytest.raises(ValueError):
+            BatchedPredictor(model, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchedPredictor(model, batch_size=8, max_pending=4)
+
+    def test_predict_many_length_mismatch(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=12)
+        predictor = BatchedPredictor(model, batch_size=2)
+        with pytest.raises(ValueError):
+            predictor.predict_many([graph], [wl, wl])
