@@ -1,10 +1,15 @@
-"""Pre-train DeepSeq on the multi-family corpus and compare all models.
+"""Pre-train DeepSeq on the packed training runtime.
 
-A miniature of the paper's Table II pipeline: build the three-family
-training corpus, simulate labels, train every (model, aggregator) row, and
-print the comparison.  Use ``--epochs N`` / ``--circuits N`` to scale up.
+A miniature of the paper's pre-training pipeline on the new training
+runtime: build the three-family corpus, simulate labels, and train DeepSeq
+with packed super-graph minibatches, cosine learning-rate decay, gradient
+accumulation and a resumable checkpoint.  Interrupt it (Ctrl-C) and run it
+again with the same arguments — it continues from the last completed epoch
+and lands on the same parameters as an uninterrupted run.
 
 Run:  python examples/train_deepseq.py [--epochs 10] [--circuits 24]
+      [--schedule cosine] [--grad-accum 2] [--checkpoint deepseq.npz]
+      [--table2]   (the original all-models Table II comparison)
 """
 
 import argparse
@@ -14,8 +19,6 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.experiments import get_scale, run_table2
-
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -23,7 +26,22 @@ def main() -> None:
     parser.add_argument("--circuits", type=int, default=24)
     parser.add_argument("--hidden", type=int, default=32)
     parser.add_argument("--iterations", type=int, default=4)
+    parser.add_argument("--batch-size", type=int, default=4)
+    parser.add_argument(
+        "--schedule", choices=["constant", "cosine", "step"], default="cosine"
+    )
+    parser.add_argument("--grad-accum", type=int, default=1)
+    parser.add_argument(
+        "--checkpoint", default=None,
+        help="resumable checkpoint path (.npz); reruns continue from it",
+    )
+    parser.add_argument(
+        "--table2", action="store_true",
+        help="run the full Table II model comparison instead",
+    )
     args = parser.parse_args()
+
+    from repro.experiments import get_scale, run_table2
 
     per_family = max(1, args.circuits // 4)
     scale = get_scale(
@@ -31,6 +49,9 @@ def main() -> None:
         epochs=args.epochs,
         hidden=args.hidden,
         iterations=args.iterations,
+        batch_size=args.batch_size,
+        schedule=args.schedule,
+        grad_accum=args.grad_accum,
         family_counts={
             "iscas89": per_family,
             "itc99": per_family,
@@ -38,9 +59,38 @@ def main() -> None:
         },
     )
     t0 = time.time()
-    result = run_table2(scale)
-    print(result.text)
-    print(f"\ntotal {time.time() - t0:.0f}s")
+    if args.table2:
+        result = run_table2(scale)
+        print(result.text)
+    else:
+        from repro.experiments.common import model_config, training_dataset
+        from repro.models.deepseq import DeepSeq
+        from repro.train.trainer import TrainConfig, Trainer, evaluate
+
+        dataset = training_dataset(scale)
+        val_count = max(1, len(dataset) // 5)
+        train_split, val_split = dataset[val_count:], dataset[:val_count]
+        model = DeepSeq(model_config(scale))
+        trainer = Trainer(
+            TrainConfig(
+                epochs=scale.epochs,
+                lr=scale.lr,
+                batch_size=scale.batch_size,
+                seed=scale.seed,
+                verbose=True,
+                schedule=scale.schedule,
+                grad_accum=scale.grad_accum,
+                checkpoint_path=args.checkpoint,
+                resume=args.checkpoint is not None,
+            )
+        )
+        trainer.train(model, train_split, val_dataset=val_split)
+        ev = evaluate(model, val_split)
+        print(
+            f"\nheld-out: PE_TR {ev.pe_tr:.3f}  PE_LG {ev.pe_lg:.3f} "
+            f"({ev.num_circuits} circuits, {ev.num_nodes} nodes)"
+        )
+    print(f"total {time.time() - t0:.0f}s")
 
 
 if __name__ == "__main__":

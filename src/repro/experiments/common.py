@@ -74,8 +74,21 @@ def pretrain(
     dataset: list[CircuitSample],
     verbose: bool = False,
 ) -> RecurrentDagGnn:
-    """Train one model with the scale's schedule; returns the trained model."""
+    """Train one model with the scale's schedule; returns the trained model.
+
+    Runs on the packed training runtime; when ``scale.checkpoint_dir`` is
+    set, the run writes a resumable per-model checkpoint there and picks
+    it up on re-invocation — interrupted table regenerations continue
+    instead of restarting.
+    """
     model = make_model(name, model_config(scale, aggregator))
+    checkpoint = None
+    if scale.checkpoint_dir is not None:
+        from pathlib import Path
+
+        ckdir = Path(scale.checkpoint_dir)
+        ckdir.mkdir(parents=True, exist_ok=True)
+        checkpoint = str(ckdir / f"{name}_{aggregator}_{scale.name}.npz")
     trainer = Trainer(
         TrainConfig(
             epochs=scale.epochs,
@@ -83,6 +96,10 @@ def pretrain(
             batch_size=scale.batch_size,
             seed=scale.seed,
             verbose=verbose,
+            schedule=scale.schedule,
+            grad_accum=scale.grad_accum,
+            checkpoint_path=checkpoint,
+            resume=checkpoint is not None,
         )
     )
     trainer.train(model, dataset)

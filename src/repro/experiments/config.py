@@ -60,6 +60,12 @@ class ExperimentScale:
     table6_workloads: int = 5
     reliability_circuits: int = 10
     seed: int = 0
+    #: Pre-training LR schedule (``constant`` | ``cosine`` | ``step``) and
+    #: gradient-accumulation group size, forwarded to the trainer.
+    schedule: str = "constant"
+    grad_accum: int = 1
+    #: Directory for resumable pre-training checkpoints (None = off).
+    checkpoint_dir: str | None = None
 
     @property
     def effective_samples(self) -> int:

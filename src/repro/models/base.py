@@ -155,20 +155,24 @@ class RecurrentDagGnn(Module):
     def _run_pass(
         self,
         h: Tensor,
-        features: Tensor,
+        feature_rows: tuple[np.ndarray, ...],
         batches: list[EdgeBatch],
         agg: Aggregator,
         gru: GRUCell,
     ) -> Tensor:
-        """One levelized sweep; returns the updated hidden-state tensor."""
+        """One levelized sweep; returns the updated hidden-state tensor.
+
+        ``feature_rows`` holds the pre-gathered one-hot feature rows per
+        batch (:meth:`GraphPlan.feature_rows`) — constant across levels,
+        iterations and steps, so they never re-enter the autograd graph.
+        """
         h_start = h
         inplace = not is_grad_enabled()
-        for batch in batches:
+        for batch, x_rows in zip(batches, feature_rows):
             if batch.num_nodes == 0 or batch.num_edges == 0:
                 continue
             m = agg(h, h_start, batch)
-            x = features.gather_rows(batch.nodes)
-            gru_in = Tensor.concat([m, x], axis=1)
+            gru_in = Tensor.concat([m, Tensor(x_rows)], axis=1)
             h_rows = gru(gru_in, h_start.gather_rows(batch.nodes))
             if inplace:
                 h.data[batch.nodes] = h_rows.data
@@ -202,12 +206,12 @@ class RecurrentDagGnn(Module):
             h = self.initial_hidden(graph, workload)
         else:
             h = h0 if isinstance(h0, Tensor) else Tensor(h0)
-        features = Tensor(plan.features(h.data.dtype))
         fwd_batches, rev_batches = plan.schedule(custom=self.use_custom_batches)
+        fwd_rows, rev_rows = plan.feature_rows(self.use_custom_batches, h.data.dtype)
         inplace = not is_grad_enabled()
         for _ in range(self.config.iterations):
-            h = self._run_pass(h, features, fwd_batches, self.forward_agg, self.forward_gru)
-            h = self._run_pass(h, features, rev_batches, self.reverse_agg, self.reverse_gru)
+            h = self._run_pass(h, fwd_rows, fwd_batches, self.forward_agg, self.forward_gru)
+            h = self._run_pass(h, rev_rows, rev_batches, self.reverse_agg, self.reverse_gru)
             if self.dff_copy_step and graph.dff_ids.size:
                 rows = h.gather_rows(graph.dff_src)
                 if inplace:

@@ -16,9 +16,26 @@ from repro.nn.module import (
     bump_parameter_version,
     parameter_version,
 )
-from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    ConstantLR,
+    CosineLR,
+    LRSchedule,
+    Optimizer,
+    StepLR,
+    make_schedule,
+)
 from repro.nn.recurrent import GRUCell
-from repro.nn.serialize import load_module, load_state, save_module, save_state
+from repro.nn.serialize import (
+    Checkpoint,
+    load_checkpoint,
+    load_module,
+    load_state,
+    save_checkpoint,
+    save_module,
+    save_state,
+)
 from repro.nn.tensor import (
     Tensor,
     default_dtype,
@@ -50,9 +67,17 @@ __all__ = [
     "SGD",
     "Adam",
     "Optimizer",
+    "LRSchedule",
+    "ConstantLR",
+    "CosineLR",
+    "StepLR",
+    "make_schedule",
     "GRUCell",
+    "Checkpoint",
+    "load_checkpoint",
     "load_module",
     "load_state",
+    "save_checkpoint",
     "save_module",
     "save_state",
     "Tensor",

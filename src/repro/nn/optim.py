@@ -1,12 +1,30 @@
-"""Optimizers. The paper trains everything with ADAM at lr = 1e-4."""
+"""Optimizers and learning-rate schedules.
+
+The paper trains everything with ADAM at lr = 1e-4 and a constant
+schedule; the training runtime additionally supports cosine and step
+decay (epoch-indexed, so checkpoint-resume only needs the epoch number to
+reproduce the schedule exactly).
+"""
 
 from __future__ import annotations
+
+import math
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.nn.module import Parameter, bump_parameter_version
 
-__all__ = ["Optimizer", "SGD", "Adam"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRSchedule",
+    "ConstantLR",
+    "CosineLR",
+    "StepLR",
+    "make_schedule",
+]
 
 
 class Optimizer:
@@ -31,6 +49,44 @@ class Optimizer:
     def _step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of the optimizer's slot state, keyed by flat string names.
+
+        The parameter *values* are not included — they live in the model's
+        own state dict; this covers only what the optimizer accumulates
+        (moments, step counters, velocities).
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore slot state saved by :meth:`state_dict`.
+
+        The optimizer must wrap the same parameter list (same order and
+        shapes) it was saved from.
+        """
+        if state:
+            raise ValueError(f"unexpected optimizer state keys: {sorted(state)}")
+
+    @staticmethod
+    def _check_slots(
+        slots: list[np.ndarray], state: dict[str, np.ndarray], prefix: str
+    ) -> None:
+        expected = {f"{prefix}{i}" for i in range(len(slots))}
+        if expected - state.keys():
+            raise KeyError(
+                f"optimizer state missing keys: {sorted(expected - state.keys())}"
+            )
+        for i, slot in enumerate(slots):
+            value = state[f"{prefix}{i}"]
+            if value.shape != slot.shape:
+                raise ValueError(
+                    f"optimizer slot {prefix}{i} shape mismatch: "
+                    f"{value.shape} vs {slot.shape}"
+                )
+
 
 class SGD(Optimizer):
     """Plain stochastic gradient descent with optional momentum."""
@@ -53,6 +109,14 @@ class SGD(Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"v{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._check_slots(self._velocity, state, "v")
+        for i, v in enumerate(self._velocity):
+            v[...] = state[f"v{i}"]
 
 
 class Adam(Optimizer):
@@ -93,3 +157,95 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {"t": np.asarray(self._t, dtype=np.int64)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            out[f"m{i}"] = m.copy()
+            out[f"v{i}"] = v.copy()
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "t" not in state:
+            raise KeyError("Adam state missing step counter 't'")
+        self._check_slots(self._m, state, "m")
+        self._check_slots(self._v, state, "v")
+        self._t = int(state["t"])
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            m[...] = state[f"m{i}"]
+            v[...] = state[f"v{i}"]
+
+
+# ----------------------------------------------------------------------
+# learning-rate schedules (epoch-indexed, stateless)
+# ----------------------------------------------------------------------
+
+
+class LRSchedule:
+    """Maps an epoch index to a learning rate.
+
+    Schedules are pure functions of the epoch, so resuming from a
+    checkpoint needs no schedule state beyond the epoch number itself.
+    """
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLR(LRSchedule):
+    """The paper's schedule: a fixed learning rate."""
+
+    base_lr: float
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+@dataclass(frozen=True)
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``base_lr`` down to ``min_lr`` over the run."""
+
+    base_lr: float
+    total_epochs: int
+    min_lr: float = 0.0
+
+    def lr_at(self, epoch: int) -> float:
+        span = max(1, self.total_epochs - 1)
+        frac = min(max(epoch, 0), span) / span
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * frac)
+        )
+
+
+@dataclass(frozen=True)
+class StepLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    base_lr: float
+    step_size: int
+    gamma: float = 0.5
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (max(epoch, 0) // max(1, self.step_size))
+
+
+def make_schedule(
+    kind: str,
+    base_lr: float,
+    total_epochs: int,
+    *,
+    min_lr: float = 0.0,
+    step_size: int = 10,
+    gamma: float = 0.5,
+) -> LRSchedule:
+    """Schedule factory: ``constant`` | ``cosine`` | ``step``."""
+    if kind == "constant":
+        return ConstantLR(base_lr)
+    if kind == "cosine":
+        return CosineLR(base_lr, total_epochs, min_lr=min_lr)
+    if kind == "step":
+        return StepLR(base_lr, step_size, gamma=gamma)
+    raise ValueError(
+        f"unknown LR schedule {kind!r}; choose from constant, cosine, step"
+    )

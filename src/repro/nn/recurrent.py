@@ -44,11 +44,24 @@ class GRUCell(Module):
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         """One step: ``x`` is (B, input_size), ``h`` is (B, hidden_size)."""
-        if not is_grad_enabled() and x.data.dtype == np.float32:
+        if is_grad_enabled():
+            # Training hot path: one fused graph node with a hand-written
+            # backward instead of ~25 composed tensor ops per level.
+            return self._forward_train(x, h)
+        if x.data.dtype == np.float32:
             # float32 is the serving dtype: fused raw-numpy kernels.
             # float64 inference stays on the autograd operator graph
             # (same operator sequence as the differentiable forward).
             return Tensor(self._forward_inference(x.data, h.data))
+        return self._forward_composed(x, h)
+
+    def _forward_composed(self, x: Tensor, h: Tensor) -> Tensor:
+        """Reference implementation from individual autograd operators.
+
+        Kept as the differential-test oracle for the fused kernels: the
+        fused training path must match it bitwise in the forward values and
+        to rounding error in the gradients.
+        """
         gi = x @ self.w_ih.T + self.b_ih
         gh = h @ self.w_hh.T + self.b_hh
         hs = self.hidden_size
@@ -59,6 +72,48 @@ class GRUCell(Module):
         n = (i_n + r * h_n).tanh()
         one = Tensor(np.ones_like(z.data))
         return (one - z) * n + z * h
+
+    def _forward_train(self, x: Tensor, h: Tensor) -> Tensor:
+        """Fused differentiable step (values bitwise equal to composed).
+
+        The forward replays the exact arithmetic of
+        :meth:`_forward_composed` on raw arrays (same kernels, same
+        operation order), and the backward closure pushes analytic
+        gradients to all six parents in one step — collapsing the ~25-node
+        per-level autograd subgraph that dominated training time.
+        """
+        w_ih, w_hh, b_ih, b_hh = self.w_ih, self.w_hh, self.b_ih, self.b_hh
+        xd, hd = x.data, h.data
+        hs = self.hidden_size
+        gi = rowstable_matmul(xd, w_ih.data.T) + b_ih.data
+        gh = rowstable_matmul(hd, w_hh.data.T) + b_hh.data
+        r = 1.0 / (1.0 + np.exp(-(gi[:, :hs] + gh[:, :hs])))
+        z = 1.0 / (1.0 + np.exp(-(gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs])))
+        h_n = gh[:, 2 * hs :]
+        n = np.tanh(gi[:, 2 * hs :] + r * h_n)
+        out_data = (1.0 - z) * n + z * hd
+
+        def backward(g: np.ndarray) -> None:
+            dn_pre = (g * (1.0 - z)) * (1.0 - n * n)  # through tanh
+            dz_pre = (g * (hd - n)) * z * (1.0 - z)  # through sigmoid
+            dr_pre = (dn_pre * h_n) * r * (1.0 - r)
+            dgi = np.concatenate([dr_pre, dz_pre, dn_pre], axis=1)
+            dgh = np.concatenate([dr_pre, dz_pre, dn_pre * r], axis=1)
+            if x.requires_grad:
+                out._push(x, dgi @ w_ih.data)
+            if h.requires_grad:
+                out._push(h, g * z + dgh @ w_hh.data)
+            if w_ih.requires_grad:
+                out._push(w_ih, dgi.T @ xd)
+            if w_hh.requires_grad:
+                out._push(w_hh, dgh.T @ hd)
+            if b_ih.requires_grad:
+                out._push(b_ih, dgi.sum(axis=0))
+            if b_hh.requires_grad:
+                out._push(b_hh, dgh.sum(axis=0))
+
+        out = Tensor._make(out_data, (x, h, w_ih, w_hh, b_ih, b_hh), backward)
+        return out
 
     def _gate_weights(self) -> tuple[np.ndarray, ...]:
         """Per-gate contiguous transposed weight blocks and combined

@@ -546,6 +546,20 @@ class Tensor:
         out_data[index] = rows.data
         overwritten = np.zeros(self.data.shape[0], dtype=bool)
         overwritten[index] = True
+
+        if int(overwritten.sum()) == index.size:
+            # Unique indices (the levelized-sweep hot path): every written
+            # row survives, so both gradient routes are plain fancy indexing
+            # — no per-row Python bookkeeping.
+            def backward(g: np.ndarray) -> None:
+                g_self = g.copy()
+                g_self[index] = 0.0
+                out._push(self, g_self)
+                out._push(rows, g[index])
+
+            out = Tensor._make(out_data, (self, rows), backward)
+            return out
+
         # Winner of duplicate writes: numpy keeps the last occurrence.
         last_write = {int(ix): pos for pos, ix in enumerate(index)}
 

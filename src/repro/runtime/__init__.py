@@ -9,7 +9,10 @@ serving-oriented callers (tasks, experiments, examples, benchmarks):
   super-graph plans;
 * :mod:`repro.runtime.predictor` — :class:`BatchedPredictor` (bounded
   request queue over packed sweeps) and the float32 parameter-shadow
-  fast path.
+  fast path;
+* :mod:`repro.runtime.trainstep` — packed training minibatches
+  (:func:`pack_samples` / :func:`train_step`) sharing the same plan and
+  pack caches as serving.
 
 Submodules are imported lazily so low-level modules (``repro.models``)
 can import :mod:`repro.runtime.plan` without dragging in the predictor
@@ -33,6 +36,12 @@ _EXPORTS = {
     "pack_graphs": "repro.runtime.pack",
     "clear_pack_cache": "repro.runtime.pack",
     "configure_pack_cache": "repro.runtime.pack",
+    # trainstep
+    "PackedBatch": "repro.runtime.trainstep",
+    "StepResult": "repro.runtime.trainstep",
+    "pack_samples": "repro.runtime.trainstep",
+    "make_minibatches": "repro.runtime.trainstep",
+    "train_step": "repro.runtime.trainstep",
     # predictor
     "ParameterShadow": "repro.runtime.predictor",
     "predict_one": "repro.runtime.predictor",

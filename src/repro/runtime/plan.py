@@ -123,13 +123,17 @@ class GraphPlan:
         key: the netlist content hash this plan is cached under.
     """
 
-    __slots__ = ("graph", "key", "_schedules", "_features")
+    __slots__ = ("graph", "key", "_schedules", "_features", "_feature_rows")
 
     def __init__(self, graph: CircuitGraph, key: str) -> None:
         self.graph = graph
         self.key = key
         self._schedules: dict[bool, tuple[list[EdgeBatch], list[EdgeBatch]]] = {}
         self._features: dict[np.dtype, np.ndarray] = {}
+        self._feature_rows: dict[
+            tuple[bool, np.dtype],
+            tuple[tuple[np.ndarray, ...], tuple[np.ndarray, ...]],
+        ] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -160,6 +164,28 @@ class GraphPlan:
             feats = base if base.dtype == dt else base.astype(dt)
             self._features[dt] = feats
         return feats
+
+    def feature_rows(
+        self, custom: bool = True, dtype=np.float64
+    ) -> tuple[tuple[np.ndarray, ...], tuple[np.ndarray, ...]]:
+        """Per-batch gathers of the feature matrix, aligned with
+        :meth:`schedule`'s (forward, reverse) batches (cached).
+
+        The one-hot features are constant, so gathering them per level on
+        every iteration of every training step is pure waste — the sweep
+        reads these precomputed rows instead.
+        """
+        key = (bool(custom), np.dtype(dtype))
+        cached = self._feature_rows.get(key)
+        if cached is None:
+            feats = self.features(dtype)
+            fwd, rev = self.schedule(custom)
+            cached = (
+                tuple(feats[b.nodes] for b in fwd),
+                tuple(feats[b.nodes] for b in rev),
+            )
+            self._feature_rows[key] = cached
+        return cached
 
     def __repr__(self) -> str:
         return f"GraphPlan({self.graph.netlist.name!r}, nodes={self.num_nodes}, key={self.key[:12]})"

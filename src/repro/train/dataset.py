@@ -118,6 +118,13 @@ def merge_samples(samples: list[CircuitSample], name: str = "batch") -> CircuitS
 
     Levels of different member circuits align, so one levelized sweep
     processes the whole batch — the speedup of [16] the paper adopts.
+
+    The training hot loop no longer calls this: the trainer packs
+    minibatches through :func:`repro.runtime.trainstep.pack_samples`,
+    which reuses cached union plans and unpacks per-member losses.  This
+    stays as the reference construction the packed path is verified
+    bitwise against (``tests/runtime/test_differential.py``) and for
+    one-off merged samples outside the trainer.
     """
     if len(samples) == 1:
         return samples[0]

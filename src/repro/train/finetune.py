@@ -56,6 +56,26 @@ class FinetuneConfig:
     #: up (and predictions back down at inference) restores resolution.
     #: Only :func:`finetune_for_reliability` uses this.
     target_scale: float = 100.0
+    #: Training-runtime knobs forwarded to :class:`TrainConfig`: LR decay
+    #: schedule, gradient-accumulation group size, and an optional
+    #: resumable checkpoint (long 1,000-workload fine-tunes restart from
+    #: their last completed epoch instead of from scratch).
+    schedule: str = "constant"
+    grad_accum: int = 1
+    checkpoint_path: str | None = None
+
+    def train_config(self) -> TrainConfig:
+        """The fine-tuning schedule as a trainer config."""
+        return TrainConfig(
+            epochs=self.epochs,
+            lr=self.lr,
+            batch_size=self.batch_size,
+            seed=self.seed,
+            schedule=self.schedule,
+            grad_accum=self.grad_accum,
+            checkpoint_path=self.checkpoint_path,
+            resume=self.checkpoint_path is not None,
+        )
 
 
 def workload_suite(
@@ -90,14 +110,7 @@ def finetune_on_workloads(
         seed=config.seed,
         workloads=workloads,
     )
-    trainer = Trainer(
-        TrainConfig(
-            epochs=config.epochs,
-            lr=config.lr,
-            batch_size=config.batch_size,
-            seed=config.seed,
-        )
-    )
+    trainer = Trainer(config.train_config())
     trainer.train(model, dataset)
     return dataset
 
@@ -173,13 +186,6 @@ def finetune_for_reliability(
         sample.target_tr = np.clip(
             sample.target_tr * config.target_scale, 0.0, 1.0
         )
-    trainer = Trainer(
-        TrainConfig(
-            epochs=config.epochs,
-            lr=config.lr,
-            batch_size=config.batch_size,
-            seed=config.seed,
-        )
-    )
+    trainer = Trainer(config.train_config())
     trainer.train(model, dataset)
     return dataset

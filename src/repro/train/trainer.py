@@ -3,19 +3,28 @@
 Training minimizes ``L = L_TR + L_LG`` — the sum of per-task L1 losses —
 with ADAM at 1e-4 for 50 epochs, using topological batching to merge
 several circuits per optimization step.
+
+The hot loop runs on the :mod:`repro.runtime` subsystem: minibatches are
+packed into compiled super-graph plans (:func:`repro.runtime.trainstep
+.pack_samples`), shared with the serving path through the process-wide
+plan/pack caches.  On top of the paper's schedule the trainer supports
+gradient accumulation, cosine/step learning-rate decay, early stopping on
+validation error, and resumable checkpointing — an interrupted run resumed
+from its checkpoint lands on bitwise-identical final parameters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.models.base import RecurrentDagGnn
-from repro.nn.functional import l1_loss
-from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor
-from repro.train.dataset import CircuitSample, merge_samples
+from repro.nn.optim import Adam, make_schedule
+from repro.nn.serialize import load_checkpoint, save_checkpoint
+from repro.runtime.trainstep import PackedBatch, make_minibatches, train_step
+from repro.train.dataset import CircuitSample
 from repro.train.metrics import EvalMetrics, avg_prediction_error
 
 __all__ = ["TrainConfig", "EpochStats", "Trainer", "evaluate"]
@@ -23,7 +32,26 @@ __all__ = ["TrainConfig", "EpochStats", "Trainer", "evaluate"]
 
 @dataclass(frozen=True)
 class TrainConfig:
-    """Optimization schedule; defaults follow the paper."""
+    """Optimization schedule; defaults follow the paper.
+
+    Beyond the paper's constant-LR ADAM run, the config exposes the
+    training-runtime knobs:
+
+    * ``grad_accum`` — number of minibatches whose gradients accumulate
+      into one optimizer step (the backpropagated loss is scaled by the
+      group size, so the step descends the group-mean gradient).
+    * ``schedule`` — ``constant`` | ``cosine`` | ``step`` epoch-indexed
+      learning-rate decay (``lr_min``, ``lr_step_size``, ``lr_gamma``).
+    * ``early_stop_patience`` — stop after this many epochs without
+      improvement of the monitored value (validation error when a
+      validation set is passed to :meth:`Trainer.train`, else training
+      loss) by more than ``early_stop_min_delta``.
+    * ``checkpoint_path``/``checkpoint_every`` — write a resumable
+      checkpoint (parameters + optimizer state + RNG + epoch) every K
+      epochs; ``resume=True`` continues from it.  ``stop_after`` bounds
+      the epochs executed in *this* invocation (time-budgeted sessions /
+      interruption testing) — the schedule itself stays ``epochs`` long.
+    """
 
     epochs: int = 50
     lr: float = 1e-4
@@ -33,14 +61,59 @@ class TrainConfig:
     lg_weight: float = 1.0
     tr_weight: float = 1.0
     verbose: bool = False
+    grad_accum: int = 1
+    schedule: str = "constant"
+    lr_min: float = 0.0
+    lr_step_size: int = 10
+    lr_gamma: float = 0.5
+    early_stop_patience: int | None = None
+    early_stop_min_delta: float = 0.0
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
+    stop_after: int | None = None
 
 
 @dataclass
 class EpochStats:
+    """Per-epoch averages of the *unpacked* per-circuit losses.
+
+    ``loss``/``loss_tr``/``loss_lg`` average each member circuit's own L1
+    mean (every circuit counts equally, regardless of node count).
+    ``val_pe`` is the validation prediction error when a validation set
+    was provided, else ``None``.
+    """
+
     epoch: int
     loss: float
     loss_tr: float
     loss_lg: float
+    lr: float = 0.0
+    val_pe: float | None = None
+
+
+_HISTORY_COLS = 6
+
+
+def _history_to_array(history: list[EpochStats]) -> np.ndarray:
+    rows = [
+        [h.epoch, h.loss, h.loss_tr, h.loss_lg, h.lr,
+         np.nan if h.val_pe is None else h.val_pe]
+        for h in history
+    ]
+    return np.asarray(rows, dtype=np.float64).reshape(len(rows), _HISTORY_COLS)
+
+
+def _history_from_array(arr: np.ndarray | None) -> list[EpochStats]:
+    if arr is None or arr.size == 0:
+        return []
+    return [
+        EpochStats(
+            epoch=int(row[0]), loss=row[1], loss_tr=row[2], loss_lg=row[3],
+            lr=row[4], val_pe=None if np.isnan(row[5]) else float(row[5]),
+        )
+        for row in np.asarray(arr).reshape(-1, _HISTORY_COLS)
+    ]
 
 
 @dataclass
@@ -54,51 +127,137 @@ class Trainer:
         model: RecurrentDagGnn,
         dataset: list[CircuitSample],
         optimizer: Adam | None = None,
+        val_dataset: list[CircuitSample] | None = None,
     ) -> list[EpochStats]:
-        """Run the full schedule; returns per-epoch loss statistics."""
+        """Run the schedule; returns per-epoch loss statistics.
+
+        When resuming (``config.resume`` with an existing checkpoint), the
+        returned history includes the checkpointed epochs, so the caller
+        always sees the full run.
+        """
         if not dataset:
             raise ValueError("empty dataset")
         cfg = self.config
         opt = optimizer or Adam(model.parameters(), lr=cfg.lr)
+        schedule = make_schedule(
+            cfg.schedule, cfg.lr, cfg.epochs,
+            min_lr=cfg.lr_min, step_size=cfg.lr_step_size, gamma=cfg.lr_gamma,
+        )
         rng = np.random.default_rng(cfg.seed)
+        # Membership is drawn from the fresh seed stream *before* any
+        # resume, so a resumed run rebuilds identical minibatches and the
+        # restored RNG state continues the epoch-shuffle stream exactly.
         batches = self._make_batches(dataset, rng)
         history: list[EpochStats] = []
-        for epoch in range(cfg.epochs):
-            if cfg.shuffle:
-                rng.shuffle(batches)
+        start_epoch = 0
+        best = np.inf
+        bad_epochs = 0
+        stopped = False
+        ckpt_path = Path(cfg.checkpoint_path) if cfg.checkpoint_path else None
+        if cfg.resume and ckpt_path is not None and ckpt_path.exists():
+            ckpt = load_checkpoint(ckpt_path, model, opt)
+            if ckpt.rng_state is not None:
+                ckpt.restore_rng(rng)
+            start_epoch = ckpt.epoch + 1
+            history = _history_from_array(ckpt.extra.get("history"))
+            best = float(ckpt.extra.get("best", np.inf))
+            bad_epochs = int(ckpt.extra.get("bad_epochs", 0))
+            stopped = bool(ckpt.extra.get("stopped", False))
+            if stopped:
+                # The checkpointed run already early-stopped; re-invoking
+                # with the same config must not keep nudging parameters.
+                return history
+
+        def save(epoch: int) -> None:
+            save_checkpoint(
+                ckpt_path, model, opt, epoch=epoch, rng=rng,
+                extra={
+                    "history": _history_to_array(history),
+                    "best": np.asarray(best),
+                    "bad_epochs": np.asarray(bad_epochs),
+                    "stopped": np.asarray(stopped),
+                },
+            )
+
+        accum = max(1, cfg.grad_accum)
+        executed = 0
+        last_saved = start_epoch - 1
+        for epoch in range(start_epoch, cfg.epochs):
+            if cfg.stop_after is not None and executed >= cfg.stop_after:
+                break
+            executed += 1
+            opt.lr = schedule.lr_at(epoch)
+            order = (
+                rng.permutation(len(batches))
+                if cfg.shuffle
+                else np.arange(len(batches))
+            )
             tot = tot_tr = tot_lg = 0.0
-            for batch in batches:
-                opt.zero_grad()
-                pred_tr, pred_lg = model(batch.graph, batch.workload)
-                loss_tr = l1_loss(pred_tr, batch.target_tr)
-                loss_lg = l1_loss(pred_lg, batch.target_lg[:, None])
-                loss = cfg.tr_weight * loss_tr + cfg.lg_weight * loss_lg
-                loss.backward()
-                opt.step()
-                tot += loss.item()
-                tot_tr += loss_tr.item()
-                tot_lg += loss_lg.item()
-            n = len(batches)
-            stats = EpochStats(epoch, tot / n, tot_tr / n, tot_lg / n)
+            members = 0
+            for pos, index in enumerate(order):
+                if pos % accum == 0:
+                    opt.zero_grad()
+                    group = min(accum, len(order) - pos)
+                result = train_step(
+                    model,
+                    batches[int(index)],
+                    tr_weight=cfg.tr_weight,
+                    lg_weight=cfg.lg_weight,
+                    loss_scale=1.0 / group,
+                )
+                if (pos + 1) % accum == 0 or pos + 1 == len(order):
+                    opt.step()
+                tot_tr += result.member_tr.sum()
+                tot_lg += result.member_lg.sum()
+                tot += (
+                    cfg.tr_weight * result.member_tr
+                    + cfg.lg_weight * result.member_lg
+                ).sum()
+                members += result.member_tr.size
+            stats = EpochStats(
+                epoch, tot / members, tot_tr / members, tot_lg / members,
+                lr=opt.lr,
+            )
+            if val_dataset:
+                ev = evaluate(model, val_dataset, batch_size=cfg.batch_size)
+                stats.val_pe = 0.5 * (ev.pe_tr + ev.pe_lg)
             history.append(stats)
             if cfg.verbose:
+                val = "" if stats.val_pe is None else f"  val {stats.val_pe:.4f}"
                 print(
                     f"epoch {epoch:3d}  loss {stats.loss:.4f} "
                     f"(tr {stats.loss_tr:.4f}, lg {stats.loss_lg:.4f})"
+                    f"  lr {stats.lr:.2e}{val}"
                 )
+            if cfg.early_stop_patience is not None:
+                monitored = stats.val_pe if stats.val_pe is not None else stats.loss
+                if monitored < best - cfg.early_stop_min_delta:
+                    best = monitored
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                    stopped = bad_epochs >= cfg.early_stop_patience
+            due = (epoch + 1 - start_epoch) % max(1, cfg.checkpoint_every) == 0
+            if ckpt_path is not None and (due or stopped or epoch + 1 == cfg.epochs):
+                save(epoch)
+                last_saved = epoch
+            if stopped:
+                if cfg.verbose:
+                    print(f"early stop at epoch {epoch} (patience exhausted)")
+                break
+        if (
+            ckpt_path is not None
+            and history
+            and history[-1].epoch > last_saved
+        ):
+            save(history[-1].epoch)
         return history
 
     def _make_batches(
         self, dataset: list[CircuitSample], rng: np.random.Generator
-    ) -> list[CircuitSample]:
-        size = max(1, self.config.batch_size)
-        order = list(range(len(dataset)))
-        rng.shuffle(order)
-        batches = []
-        for lo in range(0, len(order), size):
-            members = [dataset[i] for i in order[lo : lo + size]]
-            batches.append(merge_samples(members, name=f"batch{lo // size}"))
-        return batches
+    ) -> list[PackedBatch]:
+        """Randomized membership partition into packed minibatches."""
+        return make_minibatches(dataset, self.config.batch_size, rng)
 
 
 def evaluate(
@@ -117,7 +276,9 @@ def evaluate(
     """
     from repro.runtime import BatchedPredictor
 
-    predictor = BatchedPredictor(model, batch_size=batch_size, dtype=dtype)
+    predictor = BatchedPredictor(
+        model, batch_size=max(1, batch_size), dtype=dtype
+    )
     preds = predictor.predict_many(
         [s.graph for s in dataset], [s.workload for s in dataset]
     )

@@ -5,7 +5,14 @@ import pytest
 
 from repro.nn.layers import Linear
 from repro.nn.module import Parameter
-from repro.nn.optim import SGD, Adam
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    ConstantLR,
+    CosineLR,
+    StepLR,
+    make_schedule,
+)
 from repro.nn.serialize import load_module, load_state, save_module, save_state
 from repro.nn.tensor import Tensor
 
@@ -83,6 +90,82 @@ class TestAdam:
         (p * 1.0).sum().backward()
         opt.zero_grad()
         assert p.grad is None
+
+
+class TestOptimizerStateDict:
+    def _train_steps(self, opt, p, k):
+        for _ in range(k):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+
+    def test_adam_round_trip_resumes_identically(self):
+        p1 = Parameter(np.full(3, 10.0))
+        opt1 = Adam([p1], lr=0.1)
+        self._train_steps(opt1, p1, 5)
+        state = opt1.state_dict()
+        snapshot = p1.data.copy()
+
+        p2 = Parameter(snapshot.copy())
+        opt2 = Adam([p2], lr=0.1)
+        opt2.load_state_dict(state)
+        self._train_steps(opt1, p1, 5)
+        self._train_steps(opt2, p2, 5)
+        assert np.array_equal(p1.data, p2.data)
+
+    def test_sgd_velocity_round_trip(self):
+        p1 = Parameter(np.zeros(2))
+        opt1 = SGD([p1], lr=0.05, momentum=0.9)
+        self._train_steps(opt1, p1, 4)
+        p2 = Parameter(p1.data.copy())
+        opt2 = SGD([p2], lr=0.05, momentum=0.9)
+        opt2.load_state_dict(opt1.state_dict())
+        self._train_steps(opt1, p1, 4)
+        self._train_steps(opt2, p2, 4)
+        assert np.array_equal(p1.data, p2.data)
+
+    def test_shape_mismatch_rejected(self):
+        opt = Adam([Parameter(np.zeros(3))], lr=0.1)
+        bad = {"t": np.asarray(1), "m0": np.zeros(4), "v0": np.zeros(3)}
+        with pytest.raises(ValueError):
+            opt.load_state_dict(bad)
+
+    def test_missing_keys_rejected(self):
+        opt = SGD([Parameter(np.zeros(3))], momentum=0.9)
+        with pytest.raises(KeyError):
+            opt.load_state_dict({})
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR(1e-3).lr_at(0) == 1e-3
+        assert ConstantLR(1e-3).lr_at(49) == 1e-3
+
+    def test_cosine_endpoints_and_monotone(self):
+        sched = CosineLR(1.0, total_epochs=11, min_lr=0.1)
+        lrs = [sched.lr_at(e) for e in range(11)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.1)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+        assert lrs[5] == pytest.approx(0.55)  # midpoint of the annealing
+
+    def test_cosine_clamps_out_of_range_epochs(self):
+        sched = CosineLR(1.0, total_epochs=5)
+        assert sched.lr_at(100) == pytest.approx(sched.lr_at(4))
+        assert sched.lr_at(-3) == pytest.approx(1.0)
+
+    def test_step_decay(self):
+        sched = StepLR(1.0, step_size=3, gamma=0.5)
+        assert [sched.lr_at(e) for e in range(7)] == pytest.approx(
+            [1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.25]
+        )
+
+    def test_factory(self):
+        assert isinstance(make_schedule("constant", 1e-4, 50), ConstantLR)
+        assert isinstance(make_schedule("cosine", 1e-4, 50), CosineLR)
+        assert isinstance(make_schedule("step", 1e-4, 50), StepLR)
+        with pytest.raises(ValueError):
+            make_schedule("warmup", 1e-4, 50)
 
 
 class TestSerialize:

@@ -1,0 +1,234 @@
+"""Differential tests for the runtime fast paths.
+
+Every fast path in the runtime has a slow, obviously-correct counterpart;
+these tests pin the fast path to it:
+
+* fused training kernels (GRU, dual attention) vs the composed autograd
+  operator graph — forward bitwise, gradients to rounding error;
+* float32 parameter-shadow inference vs float64 — within tolerance;
+* packed K-circuit execution vs sequential per-circuit ``predict`` —
+  float64 bitwise, across all three model families, DFF-heavy circuits
+  and single-node edge cases;
+* packed training gradients vs the legacy ``merge_samples`` path —
+  float64 bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import GeneratorConfig, random_sequential_netlist, to_aig
+from repro.circuit.gates import GateType
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.netlist import Netlist
+from repro.models.aggregators import DualAttentionAggregator
+from repro.models.base import ModelConfig
+from repro.models.registry import make_model
+from repro.nn.functional import l1_loss
+from repro.nn.recurrent import GRUCell
+from repro.nn.tensor import Tensor
+from repro.runtime.pack import clear_pack_cache
+from repro.runtime.plan import clear_plan_cache
+from repro.runtime.predictor import predict_one, predict_packed
+from repro.runtime.trainstep import pack_samples, train_step
+from repro.sim.workload import random_workload
+from repro.train.dataset import CircuitSample, merge_samples
+
+CFG = ModelConfig(hidden=10, iterations=2, seed=0)
+
+#: (model name, aggregator) — one row per model family.
+FAMILIES = [
+    ("deepseq", "dual_attention"),
+    ("dag_recgnn", "attention"),
+    ("dag_convgnn", "conv_sum"),
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_plan_cache()
+    clear_pack_cache()
+    yield
+    clear_plan_cache()
+    clear_pack_cache()
+
+
+def make_pair(seed=0, n_pis=4, n_dffs=3, n_gates=30):
+    nl = to_aig(
+        random_sequential_netlist(
+            GeneratorConfig(n_pis=n_pis, n_dffs=n_dffs, n_gates=n_gates),
+            seed=seed,
+        )
+    ).aig
+    return CircuitGraph(nl), random_workload(nl, seed=1000 + seed)
+
+
+def dff_heavy_pair(seed=7):
+    """More flip-flops than gates: exercises DFF copy + baseline batches."""
+    return make_pair(seed=seed, n_dffs=12, n_gates=14)
+
+
+def single_node_pair(seed=11):
+    """A lone PI: empty schedules, heads applied straight to h0."""
+    nl = Netlist("one")
+    nl.add_pi("a")
+    nl.validate()
+    return CircuitGraph(nl), random_workload(nl, seed=seed)
+
+
+def grads_of(model):
+    return [
+        None if p.grad is None else p.grad.copy() for p in model.parameters()
+    ]
+
+
+class TestFusedGruVsComposed:
+    @pytest.mark.parametrize("rows", [1, 7])
+    def test_forward_bitwise_and_grads_close(self, rows):
+        rng = np.random.default_rng(3)
+        gru = GRUCell(12, 6, seed=1)
+        x = Tensor(rng.normal(size=(rows, 12)), requires_grad=True)
+        h = Tensor(rng.normal(size=(rows, 6)), requires_grad=True)
+        fused = gru._forward_train(x, h)
+        composed = gru._forward_composed(x, h)
+        assert np.array_equal(fused.data, composed.data)
+        seed_grad = rng.normal(size=fused.data.shape)
+        fused.backward(seed_grad.copy())
+        got = [p.grad.copy() for p in [x, h] + gru.parameters()]
+        for p in [x, h] + gru.parameters():
+            p.zero_grad()
+        composed.backward(seed_grad.copy())
+        want = [p.grad.copy() for p in [x, h] + gru.parameters()]
+        for g1, g2 in zip(got, want):
+            np.testing.assert_allclose(g1, g2, rtol=1e-12, atol=1e-13)
+
+
+class TestFusedDualAttentionVsComposed:
+    def test_forward_bitwise_and_grads_close(self):
+        rng = np.random.default_rng(4)
+        graph, _ = make_pair(seed=5)
+        agg = DualAttentionAggregator(6, seed=2)
+        h_cur = Tensor(
+            rng.normal(size=(graph.num_nodes, 6)), requires_grad=True
+        )
+        h_prev = Tensor(
+            rng.normal(size=(graph.num_nodes, 6)), requires_grad=True
+        )
+        for batch in graph.forward_batches[:3]:
+            layout = batch.dst_layout()
+            assert layout is not None
+            fused = agg._forward_train(h_cur, h_prev, batch, layout)
+            composed = agg._forward_composed(h_cur, h_prev, batch, layout)
+            assert np.array_equal(fused.data, composed.data)
+            seed_grad = rng.normal(size=fused.data.shape)
+            fused.backward(seed_grad.copy())
+            got = [p.grad.copy() for p in [h_cur, h_prev] + agg.parameters()]
+            for p in [h_cur, h_prev] + agg.parameters():
+                p.zero_grad()
+            composed.backward(seed_grad.copy())
+            want = [p.grad.copy() for p in [h_cur, h_prev] + agg.parameters()]
+            for g1, g2 in zip(got, want):
+                np.testing.assert_allclose(g1, g2, rtol=1e-11, atol=1e-13)
+            for p in [h_cur, h_prev] + agg.parameters():
+                p.zero_grad()
+
+
+class TestFloat32VsFloat64:
+    @pytest.mark.parametrize("name,agg", FAMILIES)
+    def test_predictions_within_tolerance(self, name, agg):
+        model = make_model(name, CFG, agg)
+        for graph, wl in [make_pair(3), dff_heavy_pair(), single_node_pair()]:
+            p64 = predict_one(model, graph, wl, dtype=np.float64)
+            p32 = predict_one(model, graph, wl, dtype=np.float32)
+            assert p32.tr.dtype == np.float32
+            np.testing.assert_allclose(p32.tr, p64.tr, atol=2e-4)
+            np.testing.assert_allclose(p32.lg, p64.lg, atol=2e-4)
+
+
+class TestPackedVsSequential:
+    @pytest.mark.parametrize("name,agg", FAMILIES)
+    def test_float64_bitwise(self, name, agg):
+        model = make_model(name, CFG, agg)
+        pairs = [
+            make_pair(1),
+            dff_heavy_pair(),
+            single_node_pair(),
+            make_pair(2, n_gates=45),
+        ]
+        graphs = [g for g, _ in pairs]
+        workloads = [w for _, w in pairs]
+        packed = predict_packed(model, graphs, workloads, dtype=np.float64)
+        for (graph, wl), pred in zip(pairs, packed):
+            solo = model.predict(graph, wl)
+            assert np.array_equal(pred.tr, solo.tr)
+            assert np.array_equal(pred.lg, solo.lg)
+
+
+class TestPackedVsMergedTraining:
+    @pytest.mark.parametrize("name,agg", FAMILIES)
+    def test_gradients_bitwise(self, name, agg):
+        pairs = [make_pair(1), dff_heavy_pair(), single_node_pair()]
+        rng = np.random.default_rng(0)
+        samples = [
+            CircuitSample(
+                graph=graph,
+                workload=wl,
+                target_tr=rng.uniform(size=(graph.num_nodes, 2)),
+                target_lg=rng.uniform(size=graph.num_nodes),
+                name=f"s{k}",
+            )
+            for k, (graph, wl) in enumerate(pairs)
+        ]
+        model = make_model(name, CFG, agg)
+        model.zero_grad()
+        result = train_step(model, pack_samples(samples))
+        packed_grads = grads_of(model)
+
+        model.zero_grad()
+        merged = merge_samples(list(samples), name="legacy_merge")
+        pred_tr, pred_lg = model(merged.graph, merged.workload)
+        loss_tr = l1_loss(pred_tr, merged.target_tr)
+        loss_lg = l1_loss(pred_lg, merged.target_lg[:, None])
+        (loss_tr + loss_lg).backward()
+        merged_grads = grads_of(model)
+
+        assert result.loss == pytest.approx(
+            loss_tr.item() + loss_lg.item(), rel=0, abs=0
+        )
+        for got, want in zip(packed_grads, merged_grads):
+            assert got is not None and want is not None
+            assert np.array_equal(got, want)
+
+    def test_per_member_losses_unpack(self):
+        graph1, wl1 = make_pair(1)
+        graph2, wl2 = make_pair(2)
+        rng = np.random.default_rng(1)
+        samples = [
+            CircuitSample(
+                graph=g,
+                workload=w,
+                target_tr=rng.uniform(size=(g.num_nodes, 2)),
+                target_lg=rng.uniform(size=g.num_nodes),
+                name=n,
+            )
+            for g, w, n in [(graph1, wl1, "a"), (graph2, wl2, "b")]
+        ]
+        model = make_model("deepseq", CFG, "dual_attention")
+        batch = pack_samples(samples)
+        result = train_step(model, batch)
+        # Per-member losses must be the L1 means over each member's slice
+        # of the packed forward (the same forward the gradients came from).
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            pred_tr, pred_lg = model(batch.graph, batch.workload)
+        for k, sample in enumerate(samples):
+            sl = batch.member_slice(k)
+            assert result.member_tr[k] == pytest.approx(
+                np.abs(pred_tr.data[sl] - sample.target_tr).mean(), abs=1e-15
+            )
+            assert result.member_lg[k] == pytest.approx(
+                np.abs(pred_lg.data[sl, 0] - sample.target_lg).mean(),
+                abs=1e-15,
+            )
+        # And the names ride along for reporting.
+        assert result.names == ("a", "b")
