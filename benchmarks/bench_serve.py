@@ -1,0 +1,267 @@
+"""Closed-loop load-generator benchmark for the serving subsystem.
+
+Drives the medium problem (the ~1k-node ``ptc`` design at half scale, the
+same circuit ``bench_perf.py`` times) through three serving setups:
+
+1. **sequential** — plain ``model.predict`` in a loop (the float64
+   reference path, no runtime layer at all);
+2. **single predictor** — one :class:`BatchedPredictor` served one
+   request at a time (submit, resolve, repeat): today's behaviour for a
+   caller that needs every answer before its next request, so batches
+   never form;
+3. **server** — a :class:`repro.serve.Server` with K workers under N
+   concurrent closed-loop clients, where deadline micro-batching converts
+   request concurrency into packed sweeps.
+
+Each run reports circuits/sec and p50/p99 end-to-end latency; the server
+rows also report the achieved mean batch size and the speedup over the
+single predictor at the same dtype.  Results go to stdout and optionally
+``--json`` (CI uploads it next to the bench_perf artifacts).
+
+Run:  python benchmarks/bench_serve.py [--workers 4] [--clients 32]
+      [--requests 192] [--batch-size 32] [--max-latency-ms 50]
+"""
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+
+def build_problem():
+    from repro.circuit.benchmarks import large_design
+    from repro.circuit.graph import CircuitGraph
+    from repro.sim.workload import testbench_workload
+
+    nl = large_design("ptc", scale=0.5)
+    graph = CircuitGraph(nl)
+    workloads = [testbench_workload(nl, seed=100 + i) for i in range(64)]
+    return graph, workloads
+
+
+def percentiles(samples_ms):
+    arr = np.asarray(samples_ms)
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "mean_ms": float(arr.mean()),
+    }
+
+
+def best_of(reps, run):
+    """Best-throughput result over ``reps`` runs (this box is noisy)."""
+    results = [run() for _ in range(reps)]
+    return max(results, key=lambda r: r["throughput_cps"])
+
+
+def bench_sequential(model, graph, workloads, n_requests, reps):
+    def run():
+        lat = []
+        t0 = time.perf_counter()
+        for i in range(n_requests):
+            t = time.perf_counter()
+            model.predict(graph, workloads[i % len(workloads)])
+            lat.append((time.perf_counter() - t) * 1000.0)
+        elapsed = time.perf_counter() - t0
+        return {"throughput_cps": n_requests / elapsed, **percentiles(lat)}
+
+    return best_of(reps, run)
+
+
+def single_predictor_runner(model, graph, workloads, n_requests, dtype):
+    from repro.runtime import BatchedPredictor
+
+    predictor = BatchedPredictor(model, batch_size=8, dtype=dtype)
+    predictor.predict(graph, workloads[0])  # warm plan/pack/shadow caches
+
+    def run():
+        lat = []
+        t0 = time.perf_counter()
+        for i in range(n_requests):
+            t = time.perf_counter()
+            predictor.predict(graph, workloads[i % len(workloads)])
+            lat.append((time.perf_counter() - t) * 1000.0)
+        elapsed = time.perf_counter() - t0
+        return {"throughput_cps": n_requests / elapsed, **percentiles(lat)}
+
+    return run
+
+
+def drive_server(server, graph, workloads, clients, per_client):
+    """Closed-loop client fleet; returns (elapsed_s, latencies_ms)."""
+    lat_lock = threading.Lock()
+    lat = []
+
+    def client(cid):
+        mine = []
+        for i in range(per_client):
+            wl = workloads[(cid * 7 + i) % len(workloads)]
+            t = time.perf_counter()
+            server.predict(graph, wl)
+            mine.append((time.perf_counter() - t) * 1000.0)
+        with lat_lock:
+            lat.extend(mine)
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, lat
+
+
+def bench_pair(model, graph, workloads, dtype, args):
+    """Single predictor vs server, reps interleaved so CPU-frequency drift
+    over the benchmark's runtime hits both sides equally."""
+    from repro.serve import Server
+
+    single_run = single_predictor_runner(
+        model, graph, workloads, max(16, args.requests // 4), dtype
+    )
+    per_client = max(1, args.requests // args.clients)
+    with Server(
+        model,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_latency_ms=args.max_latency_ms,
+        max_pending=max(args.batch_size * args.workers * 2, args.clients * 2),
+        dtype=dtype,
+    ) as server:
+        server.warm(graph)  # precompile the ladder packs
+        server.predict(graph, workloads[0])  # warm shadows + h0 base
+
+        def server_run():
+            elapsed, lat = drive_server(
+                server, graph, workloads, args.clients, per_client
+            )
+            return {
+                "throughput_cps": per_client * args.clients / elapsed,
+                **percentiles(lat),
+            }
+
+        singles, servers = [], []
+        for _ in range(args.reps):
+            singles.append(single_run())
+            servers.append(server_run())
+        snap = server.metrics.snapshot()
+    single = max(singles, key=lambda r: r["throughput_cps"])
+    result = max(servers, key=lambda r: r["throughput_cps"])
+    result["mean_batch_size"] = snap["mean_batch_size"]
+    result["service_p50_ms"] = snap["service_ms"]["p50"]
+    return single, result
+
+
+def bench_latency_bound(model, graph, workloads, args):
+    """Light-load run: p99 must sit within one deadline + one flush.
+
+    A saturating closed loop measures queueing, not the deadline flush —
+    the latency guarantee only applies while arrivals fit in the service
+    capacity, so this scenario uses a handful of clients against one
+    worker-sized server.
+    """
+    from repro.serve import Server
+
+    with Server(
+        model,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_latency_ms=args.max_latency_ms,
+        dtype="float32",
+    ) as server:
+        server.warm(graph)
+        server.predict(graph, workloads[0])
+        _, lat = drive_server(server, graph, workloads, clients=2, per_client=16)
+        snap = server.metrics.snapshot()
+    return {
+        **percentiles(lat),
+        "service_p50_ms": snap["service_ms"]["p50"],
+        # One flush deadline + one packed sweep + the condition-variable
+        # wake granularity of the deadline watch (a few ms on a busy box).
+        "bound_ms": args.max_latency_ms + snap["service_ms"]["max"] + 10.0,
+        "mean_batch_size": snap["mean_batch_size"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=64)
+    parser.add_argument("--requests", type=int, default=192)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--max-latency-ms", type=float, default=50.0)
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--json", type=str, default=None)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if the light-load p99 exceeds the deadline bound",
+    )
+    args = parser.parse_args()
+
+    from repro.models.base import ModelConfig
+    from repro.models.deepseq import DeepSeq
+
+    model = DeepSeq(ModelConfig(hidden=32, iterations=4, seed=0))
+    graph, workloads = build_problem()
+    model.predict(graph, workloads[0])  # compile the plan once
+
+    results = {"config": vars(args)}
+    print(f"medium problem: {graph.num_nodes} nodes; {args.requests} requests")
+
+    results["sequential_float64"] = bench_sequential(
+        model, graph, workloads, max(16, args.requests // 4), args.reps
+    )
+    row = results["sequential_float64"]
+    print(
+        f"{'sequential predict (float64)':<42}"
+        f"{row['throughput_cps']:8.1f} c/s   "
+        f"p50 {row['p50_ms']:7.1f} ms  p99 {row['p99_ms']:7.1f} ms"
+    )
+
+    for dtype in ("float64", "float32"):
+        single, server = bench_pair(model, graph, workloads, dtype, args)
+        results[f"single_predictor_{dtype}"] = single
+        print(
+            f"{f'single BatchedPredictor ({dtype})':<42}"
+            f"{single['throughput_cps']:8.1f} c/s   "
+            f"p50 {single['p50_ms']:7.1f} ms  p99 {single['p99_ms']:7.1f} ms"
+        )
+        server["speedup_vs_single"] = (
+            server["throughput_cps"] / single["throughput_cps"]
+        )
+        results[f"server_{dtype}"] = server
+        print(
+            f"{f'Server x{args.workers} workers ({dtype})':<42}"
+            f"{server['throughput_cps']:8.1f} c/s   "
+            f"p50 {server['p50_ms']:7.1f} ms  p99 {server['p99_ms']:7.1f} ms   "
+            f"batch {server['mean_batch_size']:5.1f}   "
+            f"{server['speedup_vs_single']:.2f}x vs single"
+        )
+
+    # The deadline guarantee, measured where it applies: light load, where
+    # p99 must sit within one flush deadline plus one packed sweep.  (The
+    # saturating runs above measure queueing depth, not the deadline.)
+    lite = bench_latency_bound(model, graph, workloads, args)
+    results["latency_light_load"] = lite
+    ok = lite["p99_ms"] <= lite["bound_ms"]
+    print(
+        f"\nlight load (2 clients): p99 {lite['p99_ms']:.1f} ms vs "
+        f"(max_latency_ms + one flush + sched eps) = {lite['bound_ms']:.1f} ms "
+        f"[{'OK' if ok else 'EXCEEDED'}]"
+    )
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2))
+        print(f"wrote {args.json}")
+    return 1 if (args.strict and not ok) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

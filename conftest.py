@@ -20,6 +20,10 @@ _ROOT = Path(__file__).parent
 _SRC = _ROOT / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+# The repo root itself is importable too, so test modules can reach the
+# shared factory library (``from tests.conftest import build_pair``).
+if str(_ROOT) not in sys.path:
+    sys.path.insert(1, str(_ROOT))
 
 
 def _prune_stale_bytecode() -> None:

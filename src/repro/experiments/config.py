@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["ExperimentScale", "QUICK", "PAPER", "get_scale"]
+__all__ = ["ExperimentScale", "QUICK", "PAPER", "get_scale", "ServeConfig"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,67 @@ class ExperimentScale:
     @property
     def effective_samples(self) -> int:
         return self.sim_cycles * self.sim_streams
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the multi-worker serving subsystem (:mod:`repro.serve`).
+
+    Attributes:
+        workers: model replicas / worker threads (K).  Each worker holds
+            its own parameter copy (cloned through :mod:`repro.nn.serialize`)
+            so packed sweeps run without cross-worker parameter locking.
+        batch_size: micro-batch size — a worker flushes as soon as this
+            many requests are pending.
+        max_latency_ms: deadline-based flush — a worker also flushes once
+            the *oldest* pending request has queued this long, so a trickle
+            of traffic never waits for a full batch.  The knob trades
+            latency (small values) against packing efficiency (large).
+        dtype: execution dtype; ``"float64"`` serves results bitwise-equal
+            to sequential ``RecurrentDagGnn.predict``, ``"float32"`` is the
+            fast path (~1e-4 max-abs on probabilities).
+        max_pending: admission-queue bound; :meth:`repro.serve.Server.submit`
+            blocks (or rejects, per call) once this many requests wait.
+        deadline_ms: default per-request deadline — a request still queued
+            this long after admission fails with ``DeadlineExceeded``
+            instead of running stale.  ``None`` disables expiry.
+        max_concurrent_sweeps: packed sweeps allowed to execute
+            simultaneously.  ``None`` sizes it to the CPUs this process
+            may actually use — oversubscribing compute threads beyond
+            cores only adds interpreter switching and cache thrash.
+            Queue management and future resolution still overlap freely.
+        latency_window: number of most-recent latency samples the metrics
+            keep for percentile estimates.
+    """
+
+    workers: int = 2
+    batch_size: int = 8
+    max_latency_ms: float = 50.0
+    dtype: str = "float64"
+    max_pending: int = 256
+    deadline_ms: float | None = None
+    max_concurrent_sweeps: int | None = None
+    latency_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.max_latency_ms <= 0:
+            raise ValueError("max_latency_ms must be positive")
+        if self.max_pending < self.batch_size:
+            raise ValueError("max_pending must be >= batch_size")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        if self.max_concurrent_sweeps is not None and self.max_concurrent_sweeps < 1:
+            raise ValueError("max_concurrent_sweeps must be >= 1 (or None)")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
 
 
 QUICK = ExperimentScale(name="quick")

@@ -152,6 +152,28 @@ class RecurrentDagGnn(Module):
         h0[graph.pi_ids] = workload.pi_probs[:, None]
         return Tensor(h0)
 
+    def initial_hidden_into(
+        self, graph: CircuitGraph, workload: Workload, out: np.ndarray
+    ) -> None:
+        """Write :meth:`initial_hidden` into a preallocated buffer slice.
+
+        The packed runtime assembles the union's h0 member by member; going
+        through :meth:`initial_hidden` would copy each member's base matrix,
+        concatenate, then cast — three temporaries per member that this
+        single cast-on-assignment avoids (elementwise values are identical,
+        so float64 stays bitwise and float32 matches the ``astype`` path).
+        Models that override :meth:`initial_hidden` fall back to it here.
+        """
+        if type(self).initial_hidden is not RecurrentDagGnn.initial_hidden:
+            out[...] = self.initial_hidden(graph, workload).data
+            return
+        if workload.num_pis != graph.num_pis:
+            raise ValueError(
+                f"workload has {workload.num_pis} PIs, graph has {graph.num_pis}"
+            )
+        out[...] = _h0_base(graph.num_nodes, self.config.hidden)
+        out[graph.pi_ids] = workload.pi_probs[:, None]
+
     def _run_pass(
         self,
         h: Tensor,

@@ -3,6 +3,10 @@
 Two layers:
 
 * :func:`save_state` / :func:`load_state` — bare parameter state dicts.
+* :func:`dumps_state` / :func:`loads_state` / :func:`clone_module` — the
+  same npz encoding through in-memory bytes; the serving layer stamps out
+  per-worker model replicas with these, so worker replication exercises
+  the exact on-disk format and replicas are float64-bitwise-identical.
 * :func:`save_checkpoint` / :func:`load_checkpoint` — full *training*
   checkpoints in one ``.npz``: model parameters, optimizer slot state
   (Adam moments + step counter), the numpy ``Generator`` state driving
@@ -13,10 +17,13 @@ Two layers:
 
 from __future__ import annotations
 
+import copy
+import io
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TypeVar
 
 import numpy as np
 
@@ -27,6 +34,9 @@ __all__ = [
     "load_state",
     "save_module",
     "load_module",
+    "dumps_state",
+    "loads_state",
+    "clone_module",
     "Checkpoint",
     "save_checkpoint",
     "load_checkpoint",
@@ -42,6 +52,36 @@ def load_state(path: str | Path) -> dict[str, np.ndarray]:
     """Read a state dict written by :func:`save_state`."""
     with np.load(Path(path)) as data:
         return {k.replace("__", "."): data[k].copy() for k in data.files}
+
+
+def dumps_state(state: dict[str, np.ndarray]) -> bytes:
+    """Encode a state dict as npz bytes (same format as :func:`save_state`)."""
+    buf = io.BytesIO()
+    np.savez(buf, **{k.replace(".", "__"): v for k, v in state.items()})
+    return buf.getvalue()
+
+
+def loads_state(data: bytes) -> dict[str, np.ndarray]:
+    """Decode npz bytes produced by :func:`dumps_state`."""
+    with np.load(io.BytesIO(data)) as payload:
+        return {k.replace("__", "."): payload[k].copy() for k in payload.files}
+
+
+M = TypeVar("M", bound=Module)
+
+
+def clone_module(module: M) -> M:
+    """An independent replica of ``module`` with serialized-equal parameters.
+
+    The structure is deep-copied; the parameters are then re-loaded through
+    the npz byte round-trip, so a replica is exactly what a worker process
+    restoring the module from disk would hold — float64 weights survive
+    bitwise.  Mutating either copy (training, shadows) never touches the
+    other.
+    """
+    replica = copy.deepcopy(module)
+    replica.load_state_dict(loads_state(dumps_state(module.state_dict())))
+    return replica
 
 
 def save_module(module: Module, path: str | Path) -> None:

@@ -24,6 +24,7 @@ Design choices:
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -37,7 +38,12 @@ __all__ = [
     "default_dtype",
 ]
 
-_GRAD_ENABLED = [True]
+# Grad mode is *thread-local*: the serving layer runs no-grad forward
+# passes on worker threads while other threads may be training, and a
+# process-global flag would let one thread's ``no_grad`` exit re-enable
+# graph construction mid-forward in another (nondeterministic kernels and
+# leaked autograd graphs).  Each thread starts with grad enabled.
+_GRAD_STATE = threading.local()
 
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 _DEFAULT_DTYPE = [np.dtype(np.float64)]
@@ -76,19 +82,23 @@ class default_dtype:
 
 
 class no_grad:
-    """Context manager disabling graph construction (inference mode)."""
+    """Context manager disabling graph construction (inference mode).
+
+    Scoped to the entering thread — concurrent serving workers and
+    training threads each carry their own grad mode.
+    """
 
     def __enter__(self) -> "no_grad":
-        self._prev = _GRAD_ENABLED[0]
-        _GRAD_ENABLED[0] = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        _GRAD_ENABLED[0] = self._prev
+        _GRAD_STATE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    return _GRAD_ENABLED[0]
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def sorted_segment_layout(
@@ -237,7 +247,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED[0] and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
@@ -461,7 +471,7 @@ class Tensor:
         # sequential guarantee relies on.  Training keeps the free view —
         # gradients don't need batch-height determinism.
         out_data = self.data.T
-        if not _GRAD_ENABLED[0]:
+        if not is_grad_enabled():
             out_data = np.ascontiguousarray(out_data)
 
         def backward(g: np.ndarray) -> None:

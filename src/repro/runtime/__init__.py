@@ -36,6 +36,8 @@ _EXPORTS = {
     "pack_graphs": "repro.runtime.pack",
     "clear_pack_cache": "repro.runtime.pack",
     "configure_pack_cache": "repro.runtime.pack",
+    "pack_cache_info": "repro.runtime.pack",
+    "PackCacheInfo": "repro.runtime.pack",
     # trainstep
     "PackedBatch": "repro.runtime.trainstep",
     "StepResult": "repro.runtime.trainstep",
@@ -46,6 +48,7 @@ _EXPORTS = {
     "ParameterShadow": "repro.runtime.predictor",
     "predict_one": "repro.runtime.predictor",
     "predict_packed": "repro.runtime.predictor",
+    "run_packed_isolated": "repro.runtime.predictor",
     "refresh_shadows": "repro.runtime.predictor",
     "BatchedPredictor": "repro.runtime.predictor",
     "PendingPrediction": "repro.runtime.predictor",

@@ -25,7 +25,14 @@ from repro.circuit.compose import disjoint_union
 from repro.circuit.graph import CircuitGraph
 from repro.runtime.plan import GraphPlan, fingerprint_of, plan_for
 
-__all__ = ["PackedPlan", "pack_graphs", "clear_pack_cache", "configure_pack_cache"]
+__all__ = [
+    "PackedPlan",
+    "pack_graphs",
+    "clear_pack_cache",
+    "configure_pack_cache",
+    "pack_cache_info",
+    "PackCacheInfo",
+]
 
 
 @dataclass(frozen=True)
@@ -58,9 +65,21 @@ class PackedPlan:
         return slice(lo, lo + self.sizes[member])
 
 
+@dataclass(frozen=True)
+class PackCacheInfo:
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+
 _LOCK = threading.Lock()
 _CACHE: OrderedDict[tuple[str, ...], PackedPlan] = OrderedDict()
 _MAXSIZE = [32]
+_HITS = [0]
+_MISSES = [0]
+_EVICTIONS = [0]
 
 
 def pack_graphs(graphs: Sequence[CircuitGraph], cache: bool = True) -> PackedPlan:
@@ -73,7 +92,9 @@ def pack_graphs(graphs: Sequence[CircuitGraph], cache: bool = True) -> PackedPla
             packed = _CACHE.get(keys)
             if packed is not None:
                 _CACHE.move_to_end(keys)
+                _HITS[0] += 1
                 return packed
+            _MISSES[0] += 1
     if len(graphs) == 1:
         graph = graphs[0]
         packed = PackedPlan(
@@ -94,10 +115,16 @@ def pack_graphs(graphs: Sequence[CircuitGraph], cache: bool = True) -> PackedPla
         )
     if cache:
         with _LOCK:
+            existing = _CACHE.get(keys)
+            if existing is not None:
+                # Another thread built the same pack first; keep its entry
+                # so every caller shares one PackedPlan per composition.
+                _CACHE.move_to_end(keys)
+                return existing
             _CACHE[keys] = packed
-            _CACHE.move_to_end(keys)
             while len(_CACHE) > _MAXSIZE[0]:
                 _CACHE.popitem(last=False)
+                _EVICTIONS[0] += 1
     return packed
 
 
@@ -109,9 +136,23 @@ def configure_pack_cache(maxsize: int) -> None:
         _MAXSIZE[0] = int(maxsize)
         while len(_CACHE) > _MAXSIZE[0]:
             _CACHE.popitem(last=False)
+            _EVICTIONS[0] += 1
 
 
 def clear_pack_cache() -> None:
-    """Drop every cached packed plan."""
+    """Drop every cached packed plan and reset the hit/miss counters."""
     with _LOCK:
         _CACHE.clear()
+        _HITS[0] = _MISSES[0] = _EVICTIONS[0] = 0
+
+
+def pack_cache_info() -> PackCacheInfo:
+    """Current cache statistics (hits/misses/evictions/size/maxsize)."""
+    with _LOCK:
+        return PackCacheInfo(
+            hits=_HITS[0],
+            misses=_MISSES[0],
+            evictions=_EVICTIONS[0],
+            size=len(_CACHE),
+            maxsize=_MAXSIZE[0],
+        )

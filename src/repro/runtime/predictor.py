@@ -13,8 +13,11 @@ Three layers, lowest first:
   :func:`predict_packed`: callers stream ``submit(circuit, workload)``
   calls and receive handles; the predictor packs pending requests into
   super-graphs of ``batch_size`` circuits and resolves the handles on
-  flush (automatic when the queue fills, explicit via :meth:`flush`, or
-  lazy via ``handle.result()``).
+  flush (automatic when the queue fills, when the oldest pending request
+  reaches ``max_latency_ms``, explicit via :meth:`flush`, or lazy via
+  ``handle.result()``).  Submission is thread-safe; the deadline flush
+  runs on a background timer thread owned by the predictor and stopped
+  by :meth:`close`.
 
 Equivalence guarantee: packed execution computes bit-identical float64
 results to sequential :meth:`RecurrentDagGnn.predict` calls, because each
@@ -27,6 +30,7 @@ matches to ~1e-4 max-abs on probability outputs.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections import deque
 from contextlib import contextmanager, nullcontext
@@ -46,6 +50,7 @@ __all__ = [
     "ParameterShadow",
     "predict_one",
     "predict_packed",
+    "run_packed_isolated",
     "BatchedPredictor",
     "PendingPrediction",
 ]
@@ -188,18 +193,14 @@ def predict_packed(
         )
     dt = np.dtype(dtype)
     with _model_lock(model), no_grad():
-        h0 = np.concatenate(
-            [
-                model.initial_hidden(g, wl).data
-                for g, wl in zip(graphs, workloads)
-            ],
-            axis=0,
-        )
+        h0 = np.empty((packed.num_nodes, model.config.hidden), dtype=dt)
+        for member, (g, wl) in enumerate(zip(graphs, workloads)):
+            model.initial_hidden_into(g, wl, h0[packed.member_slice(member)])
         with _shadow_context(model, dt):
             pred_tr, pred_lg = model.forward(
                 packed.plan.graph,
                 plan=packed.plan,
-                h0=Tensor(h0.astype(dt, copy=False)),
+                h0=Tensor(h0),
             )
     out: list[Prediction] = []
     for member in range(packed.num_members):
@@ -208,6 +209,32 @@ def predict_packed(
             Prediction(tr=pred_tr.data[sl].copy(), lg=pred_lg.data[sl, 0].copy())
         )
     return out
+
+
+def run_packed_isolated(
+    model: RecurrentDagGnn,
+    graphs: Sequence[CircuitGraph],
+    workloads: Sequence,
+    dtype=np.float64,
+) -> list[Prediction | Exception]:
+    """Packed inference with per-member failure isolation.
+
+    Runs the whole batch as one packed sweep; if that fails, falls back to
+    running members individually so one poison circuit yields an
+    :class:`Exception` in its own slot while its batch-mates still get
+    predictions.  Both :class:`BatchedPredictor` and the serving workers
+    (:mod:`repro.serve.server`) resolve their handles through this.
+    """
+    try:
+        return list(predict_packed(model, graphs, workloads, dtype=dtype))
+    except Exception:
+        out: list[Prediction | Exception] = []
+        for graph, wl in zip(graphs, workloads):
+            try:
+                out.append(predict_packed(model, [graph], [wl], dtype=dtype)[0])
+            except Exception as exc:
+                out.append(exc)
+        return out
 
 
 class PendingPrediction:
@@ -256,6 +283,11 @@ class BatchedPredictor:
         max_pending: bound of the request queue; submitting beyond it
             triggers an automatic flush, so memory stays bounded no matter
             how fast callers stream.
+        max_latency_ms: when set, a background timer thread flushes the
+            queue as soon as the *oldest* pending request has waited this
+            long — the micro-batching latency bound.  ``None`` (default)
+            keeps the legacy behaviour: flush only on a full queue,
+            explicit :meth:`flush`, or ``handle.result()``.
 
     Example::
 
@@ -264,8 +296,11 @@ class BatchedPredictor:
         predictor.flush()
         results = [h.result() for h in handles]
 
-    After fine-tuning the model, call :meth:`refresh_parameters` so the
-    cached low-precision parameter shadow picks up the new weights.
+    Submission, flushing and the timer are all thread-safe; a predictor
+    with a timer should be :meth:`close`\\ d (or used as a context
+    manager) so the daemon thread stops.  After fine-tuning the model,
+    call :meth:`refresh_parameters` so the cached low-precision parameter
+    shadow picks up the new weights.
     """
 
     def __init__(
@@ -274,18 +309,28 @@ class BatchedPredictor:
         batch_size: int = 8,
         dtype=np.float32,
         max_pending: int = 64,
+        max_latency_ms: float | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if max_pending < batch_size:
             raise ValueError("max_pending must be >= batch_size")
+        if max_latency_ms is not None and max_latency_ms <= 0:
+            raise ValueError("max_latency_ms must be positive (or None)")
         self.model = model
         self.batch_size = int(batch_size)
         self.dtype = np.dtype(dtype)
         self.max_pending = int(max_pending)
-        self._queue: deque[tuple[CircuitGraph, object, PendingPrediction]] = deque()
+        self.max_latency_ms = max_latency_ms
+        self._queue: deque[
+            tuple[CircuitGraph, object, PendingPrediction, float]
+        ] = deque()
         self._lock = threading.Lock()
         self._resolved = threading.Condition(self._lock)
+        #: notified on submit and close — wakes the deadline timer thread.
+        self._work = threading.Condition(self._lock)
+        self._closed = False
+        self._timer: threading.Thread | None = None
         self.circuits_processed = 0
         self.batches_flushed = 0
 
@@ -294,11 +339,16 @@ class BatchedPredictor:
     def pending(self) -> int:
         return len(self._queue)
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def submit(self, circuit: CircuitGraph | Netlist, workload) -> PendingPrediction:
         """Enqueue one request; flushes automatically when the queue fills.
 
         Raises :class:`ValueError` immediately on a workload/circuit PI
-        mismatch, so an invalid request cannot reach a packed batch.
+        mismatch, so an invalid request cannot reach a packed batch, and
+        :class:`RuntimeError` once the predictor is closed.
         """
         graph = circuit if isinstance(circuit, CircuitGraph) else plan_for(circuit).graph
         num_pis = getattr(workload, "num_pis", None)
@@ -308,11 +358,37 @@ class BatchedPredictor:
             )
         handle = PendingPrediction(self)
         with self._lock:
-            self._queue.append((graph, workload, handle))
+            if self._closed:
+                raise RuntimeError("predictor is closed")
+            self._queue.append((graph, workload, handle, time.monotonic()))
             overflow = len(self._queue) >= self.max_pending
+            if self.max_latency_ms is not None and self._timer is None:
+                self._timer = threading.Thread(
+                    target=self._timer_loop,
+                    name="BatchedPredictor-timer",
+                    daemon=True,
+                )
+                self._timer.start()
+            self._work.notify_all()
         if overflow:
             self.flush()
         return handle
+
+    def _timer_loop(self) -> None:
+        """Flush whenever the oldest pending request ages past the bound."""
+        assert self.max_latency_ms is not None
+        max_wait = self.max_latency_ms / 1000.0
+        while True:
+            with self._work:
+                while not self._closed and not self._queue:
+                    self._work.wait()
+                if self._closed:
+                    return
+                remaining = self._queue[0][3] + max_wait - time.monotonic()
+                if remaining > 0:
+                    self._work.wait(timeout=remaining)
+                    continue
+            self.flush()
 
     def flush(self) -> int:
         """Drain the queue in packs of ``batch_size``; returns circuits run."""
@@ -325,35 +401,58 @@ class BatchedPredictor:
                     self._queue.popleft()
                     for _ in range(min(self.batch_size, len(self._queue)))
                 ]
-            graphs = [graph for graph, _, _ in chunk]
-            workloads = [wl for _, wl, _ in chunk]
-            try:
-                preds: list[Prediction | None] = list(
-                    predict_packed(self.model, graphs, workloads, dtype=self.dtype)
-                )
-            except Exception:
-                # Isolate the failure: run members individually so one bad
-                # request fails only its own handle, not the whole chunk.
-                preds = []
-                for graph, wl, handle in chunk:
-                    try:
-                        preds.append(
-                            predict_packed(
-                                self.model, [graph], [wl], dtype=self.dtype
-                            )[0]
-                        )
-                    except Exception as exc:
-                        handle._error = exc
-                        preds.append(None)
-            for (_, _, handle), pred in zip(chunk, preds):
-                if pred is not None:
-                    handle._value = pred
+            graphs = [graph for graph, _, _, _ in chunk]
+            workloads = [wl for _, wl, _, _ in chunk]
+            results = run_packed_isolated(
+                self.model, graphs, workloads, dtype=self.dtype
+            )
+            for (_, _, handle, _), res in zip(chunk, results):
+                if isinstance(res, Exception):
+                    handle._error = res
+                else:
+                    handle._value = res
             with self._resolved:
                 self._resolved.notify_all()
+                self.batches_flushed += 1
+                self.circuits_processed += len(chunk)
             flushed += len(chunk)
-            self.batches_flushed += 1
-        self.circuits_processed += flushed
         return flushed
+
+    def close(self, flush: bool = True) -> None:
+        """Stop accepting requests and shut the timer thread down.
+
+        With ``flush=True`` (default) pending requests are drained first —
+        every outstanding handle resolves.  With ``flush=False`` pending
+        handles fail with :class:`RuntimeError`.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            timer = self._timer
+            if not flush:
+                abandoned = list(self._queue)
+                self._queue.clear()
+            else:
+                abandoned = []
+            self._work.notify_all()
+        if timer is not None:
+            timer.join(timeout=5.0)
+        if flush:
+            self.flush()
+        else:
+            for _, _, handle, _ in abandoned:
+                handle._error = RuntimeError(
+                    "predictor closed with the request still pending"
+                )
+            with self._resolved:
+                self._resolved.notify_all()
+
+    def __enter__(self) -> "BatchedPredictor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def predict(self, circuit: CircuitGraph | Netlist, workload) -> Prediction:
         """Submit one request and resolve it immediately (drains the queue)."""

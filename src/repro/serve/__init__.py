@@ -1,0 +1,37 @@
+"""Sharded serving subsystem: deadline-batched multi-worker inference.
+
+* :mod:`repro.serve.server` — :class:`Server` (bounded admission queue,
+  per-request deadlines, deadline-based micro-batch flush, K worker
+  threads each holding a serialized-equal model replica, graceful
+  drain/shutdown);
+* :mod:`repro.serve.metrics` — thread-safe request / latency / throughput
+  metrics behind :attr:`Server.metrics`.
+
+Configuration lives in :class:`repro.experiments.config.ServeConfig`.
+The float64 serving path is bitwise-identical to sequential
+:meth:`RecurrentDagGnn.predict`; see ``tests/serve/`` for the differential
+fuzz and concurrency suites that enforce it.
+"""
+
+from repro.experiments.config import ServeConfig
+from repro.serve.metrics import LatencyRecorder, ServerMetrics
+from repro.serve.server import (
+    DeadlineExceeded,
+    QueueFull,
+    ServeError,
+    ServeFuture,
+    Server,
+    ServerClosed,
+)
+
+__all__ = [
+    "ServeConfig",
+    "Server",
+    "ServeFuture",
+    "ServeError",
+    "ServerClosed",
+    "QueueFull",
+    "DeadlineExceeded",
+    "ServerMetrics",
+    "LatencyRecorder",
+]

@@ -1,0 +1,453 @@
+"""Multi-worker serving front-end over the packed inference runtime.
+
+A :class:`Server` owns K worker threads.  Each worker holds its *own*
+model replica — cloned through the npz serialization round-trip
+(:func:`repro.nn.serialize.clone_module`), exactly what a worker process
+restoring the model from disk would hold — so packed sweeps on different
+workers never contend on the per-model runtime lock.  All workers share
+the process-wide fingerprint-keyed plan and pack LRUs, so a circuit
+structure is compiled once no matter which worker serves it.
+
+In front of the workers sits a bounded admission queue with deadline-based
+micro-batching: a worker flushes a batch when ``batch_size`` requests are
+pending **or** the oldest pending request has waited ``max_latency_ms``,
+whichever comes first.  That bounds tail latency under a trickle of
+traffic while still packing under load.  Per-request deadlines
+(``deadline_ms``) fail requests that would start too stale; a poison
+request inside a batch fails only its own handle
+(:func:`repro.runtime.predictor.run_packed_isolated`).
+
+Equivalence guarantee: with ``dtype="float64"`` every served prediction is
+bitwise identical to a sequential :meth:`RecurrentDagGnn.predict` call on
+the original model — replicas round-trip float64 parameters exactly, and
+packed execution is bitwise-equal by construction (see
+:mod:`repro.runtime.pack`).  The differential fuzz suite
+(``tests/serve/test_differential_fuzz.py``) enforces this under load.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.netlist import Netlist
+from repro.experiments.config import ServeConfig
+from repro.models.base import Prediction, RecurrentDagGnn
+from repro.nn.serialize import clone_module, dumps_state, loads_state
+from repro.runtime.predictor import _model_lock, refresh_shadows, run_packed_isolated
+from repro.runtime.plan import plan_for
+from repro.serve.metrics import ServerMetrics
+
+__all__ = [
+    "Server",
+    "ServeFuture",
+    "ServeError",
+    "ServerClosed",
+    "QueueFull",
+    "DeadlineExceeded",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of every serving-layer failure."""
+
+
+class ServerClosed(ServeError):
+    """The server is shutting down (or already shut down)."""
+
+
+class QueueFull(ServeError):
+    """Non-blocking submit found the admission queue at ``max_pending``."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before execution started."""
+
+
+class ServeFuture:
+    """Handle for one admitted request; resolves when its batch executes."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Prediction | None = None
+        self._error: Exception | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _resolve(self, value: Prediction | None, error: Exception | None) -> None:
+        self._value = value
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> Prediction:
+        """Block until resolved; raises the request's own failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+    def exception(self, timeout: float | None = None) -> Exception | None:
+        """Block until resolved; the failure (or None on success)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        return self._error
+
+
+class _Request:
+    __slots__ = ("graph", "workload", "future", "t_submit", "t_deadline")
+
+    def __init__(self, graph, workload, future, t_submit, t_deadline) -> None:
+        self.graph = graph
+        self.workload = workload
+        self.future = future
+        self.t_submit = t_submit
+        self.t_deadline = t_deadline
+
+
+class Server:
+    """Deadline-batched, multi-worker serving front-end.
+
+    Args:
+        model: the source model.  The server never mutates it — each
+            worker serves from its own serialized-equal replica.
+        config: a :class:`ServeConfig`; individual fields can be
+            overridden via keyword arguments (``Server(model, workers=4)``).
+
+    Example::
+
+        with Server(model, workers=4, batch_size=8, max_latency_ms=25) as srv:
+            futures = [srv.submit(g, wl) for g, wl in requests]
+            results = [f.result() for f in futures]
+            print(srv.metrics.format())
+    """
+
+    def __init__(
+        self,
+        model: RecurrentDagGnn,
+        config: ServeConfig | None = None,
+        **overrides,
+    ) -> None:
+        cfg = config or ServeConfig()
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        self.config = cfg
+        self.model = model
+        self.dtype = np.dtype(cfg.dtype)
+        self.metrics = ServerMetrics(window=cfg.latency_window)
+        self._replicas = [clone_module(model) for _ in range(cfg.workers)]
+        self._queue: deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closing = False
+        self._closed = False
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
+        permits = cfg.max_concurrent_sweeps
+        if permits is None:
+            try:
+                cpus = len(os.sched_getaffinity(0))
+            except AttributeError:  # platforms without affinity queries
+                cpus = os.cpu_count() or 1
+            permits = max(1, min(cfg.workers, cpus))
+        self._sweep_permits = threading.Semaphore(permits)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(replica,),
+                name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            for i, replica in enumerate(self._replicas)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet claimed by a worker."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(
+        self,
+        circuit: CircuitGraph | Netlist,
+        workload,
+        deadline_ms: float | None = None,
+        block: bool = True,
+    ) -> ServeFuture:
+        """Admit one request; returns a :class:`ServeFuture`.
+
+        When the admission queue holds ``max_pending`` requests, ``block``
+        decides between waiting for space (default — closed-loop callers
+        self-throttle) and failing fast with :class:`QueueFull`.
+        ``deadline_ms`` overrides the config default; a request that is
+        still queued when its deadline passes fails with
+        :class:`DeadlineExceeded` instead of running stale.
+
+        Raises :class:`ValueError` immediately on a workload/circuit PI
+        mismatch and :class:`ServerClosed` after :meth:`close`.
+        """
+        graph = circuit if isinstance(circuit, CircuitGraph) else plan_for(circuit).graph
+        num_pis = getattr(workload, "num_pis", None)
+        if num_pis is not None and num_pis != graph.num_pis:
+            raise ValueError(
+                f"workload has {num_pis} PIs, circuit has {graph.num_pis}"
+            )
+        if deadline_ms is None:
+            deadline_ms = self.config.deadline_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        future = ServeFuture()
+        with self._lock:
+            while not self._closing and len(self._queue) >= self.config.max_pending:
+                if not block:
+                    self.metrics.incr("rejected")
+                    raise QueueFull(
+                        f"admission queue at max_pending={self.config.max_pending}"
+                    )
+                self._not_full.wait()
+            if self._closing:
+                raise ServerClosed("server is shut down")
+            now = time.monotonic()
+            self._queue.append(
+                _Request(
+                    graph,
+                    workload,
+                    future,
+                    now,
+                    None if deadline_ms is None else now + deadline_ms / 1000.0,
+                )
+            )
+            self.metrics.incr("submitted")
+            pending = len(self._queue)
+            # Wake a worker only at the two actionable edges: a new oldest
+            # request (someone must start the deadline watch) and a full
+            # batch (someone should flush now).  Waking every worker on
+            # every submit is pure GIL churn at high request rates.
+            if pending == 1 or pending >= self.config.batch_size:
+                self._not_empty.notify(1)
+        return future
+
+    def predict(self, circuit: CircuitGraph | Netlist, workload) -> Prediction:
+        """Submit one request and block for its result."""
+        return self.submit(circuit, workload).result()
+
+    def predict_many(
+        self, circuits: Sequence[CircuitGraph | Netlist], workloads: Sequence
+    ) -> list[Prediction]:
+        """Submit a batch of requests and block for all results, in order."""
+        if len(circuits) != len(workloads):
+            raise ValueError(
+                f"{len(circuits)} circuits vs {len(workloads)} workloads"
+            )
+        futures = [self.submit(c, w) for c, w in zip(circuits, workloads)]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    def _chunk_size(self, pending: int) -> int:
+        """Quantize the claim to the ladder ``batch_size >> k``.
+
+        Compiling a union plan costs more than the sweep it serves, and the
+        pack LRU is keyed by the member-fingerprint tuple — so claiming
+        whatever happens to be pending (24, 31, 17, ...) would compile a
+        fresh super-graph plan per batch-size encountered.  Rounding down
+        to a power-of-two ladder bounds the distinct compositions per
+        traffic mix at ``log2(batch_size)+1``, after which every flush is
+        a pack-cache hit.
+        """
+        size = self.config.batch_size
+        while size > pending:
+            size >>= 1
+        return max(size, 1)
+
+    def _take_batch(self) -> list[_Request] | None:
+        """Claim the next micro-batch; ``None`` tells the worker to exit.
+
+        Flush condition: ``batch_size`` requests pending, or the oldest
+        pending request is ``max_latency_ms`` old, or the server is
+        draining (shutdown flushes immediately regardless of age).
+        """
+        max_wait = self.config.max_latency_ms / 1000.0
+        with self._lock:
+            while True:
+                if self._queue:
+                    if len(self._queue) >= self.config.batch_size or self._closing:
+                        break
+                    remaining = self._queue[0].t_submit + max_wait - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(timeout=remaining)
+                else:
+                    if self._closing:
+                        return None
+                    self._not_empty.wait()
+            chunk = [
+                self._queue.popleft()
+                for _ in range(self._chunk_size(len(self._queue)))
+            ]
+            self._inflight += len(chunk)
+            if self._queue:
+                # A quantized claim can leave residual requests behind;
+                # hand the deadline watch to another worker before we go
+                # compute, or the leftovers would wait out our whole sweep.
+                self._not_empty.notify(1)
+            self._not_full.notify_all()
+        return chunk
+
+    def _worker_loop(self, replica: RecurrentDagGnn) -> None:
+        while True:
+            chunk = self._take_batch()
+            if chunk is None:
+                return
+            try:
+                self._execute(replica, chunk)
+            except BaseException as exc:
+                # run_packed_isolated already isolates per-member model
+                # failures; anything reaching here is bookkeeping gone
+                # wrong.  Resolve the claimed futures with the error so no
+                # client blocks forever, and keep the worker alive.
+                for req in chunk:
+                    if not req.future.done:
+                        self.metrics.incr("failed")
+                        req.future._resolve(None, ServeError(f"worker error: {exc!r}"))
+            finally:
+                with self._lock:
+                    self._inflight -= len(chunk)
+                    if not self._inflight and not self._queue:
+                        self._idle.notify_all()
+
+    def _execute(self, replica: RecurrentDagGnn, chunk: list[_Request]) -> None:
+        now = time.monotonic()
+        live: list[_Request] = []
+        for req in chunk:
+            if req.t_deadline is not None and now > req.t_deadline:
+                self.metrics.incr("expired")
+                self.metrics.e2e.record((now - req.t_submit) * 1000.0)
+                req.future._resolve(
+                    None,
+                    DeadlineExceeded(
+                        f"request queued {1000 * (now - req.t_submit):.1f} ms, "
+                        f"deadline was {1000 * (req.t_deadline - req.t_submit):.1f} ms"
+                    ),
+                )
+            else:
+                self.metrics.queue_wait.record((now - req.t_submit) * 1000.0)
+                live.append(req)
+        if not live:
+            return
+        with self._sweep_permits:
+            t0 = time.monotonic()
+            results = run_packed_isolated(
+                replica,
+                [req.graph for req in live],
+                [req.workload for req in live],
+                dtype=self.dtype,
+            )
+            t1 = time.monotonic()
+        self.metrics.record_batch(len(live), (t1 - t0) * 1000.0)
+        for req, res in zip(live, results):
+            self.metrics.e2e.record((t1 - req.t_submit) * 1000.0)
+            if isinstance(res, Exception):
+                self.metrics.incr("failed")
+                req.future._resolve(None, res)
+            else:
+                self.metrics.incr("completed")
+                req.future._resolve(res, None)
+
+    # ------------------------------------------------------------------
+    def warm(self, circuit: CircuitGraph | Netlist) -> None:
+        """Precompile every ladder pack of ``circuit`` before traffic hits.
+
+        A cold union-plan compile costs more than the sweep it serves;
+        deployments that know their circuit structures call this at
+        startup so the first wave of real requests never pays it.
+        """
+        from repro.runtime.pack import pack_graphs
+
+        graph = circuit if isinstance(circuit, CircuitGraph) else plan_for(circuit).graph
+        custom = getattr(self.model, "use_custom_batches", True)
+        size = self.config.batch_size
+        while size >= 1:
+            packed = pack_graphs([graph] * size)
+            packed.plan.schedule(custom)
+            packed.plan.feature_rows(custom, self.dtype)
+            size >>= 1
+
+    def refresh_parameters(self) -> None:
+        """Re-sync every worker replica from the source model.
+
+        Call after fine-tuning ``model``; each replica is updated through
+        the same serialized round-trip used at construction, under its
+        runtime model lock so in-flight batches finish on the old weights
+        and the next batch runs on the new ones.
+        """
+        payload = dumps_state(self.model.state_dict())
+        for replica in self._replicas:
+            with _model_lock(replica):
+                replica.load_state_dict(loads_state(payload))
+                refresh_shadows(replica)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until the queue is empty and in-flight batches resolved.
+
+        The server stays open — this is a quiesce point (e.g. before
+        reading metrics), not shutdown.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._queue or self._inflight:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("drain timed out with requests in flight")
+                self._idle.wait(timeout=remaining)
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Graceful shutdown.  Idempotent.
+
+        With ``drain=True`` (default) admitted requests are still served
+        before the workers exit; with ``drain=False`` they fail with
+        :class:`ServerClosed`.  Either way no new submissions are accepted
+        from the moment close begins.
+        """
+        with self._lock:
+            already = self._closing
+            self._closing = True
+            if not drain and not already:
+                while self._queue:
+                    req = self._queue.popleft()
+                    self.metrics.incr("failed")
+                    req.future._resolve(
+                        None, ServerClosed("server closed before execution")
+                    )
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+        # A timed-out join leaves workers mid-sweep with futures pending:
+        # report shutdown incomplete rather than pretending it finished.
+        self._closed = all(not worker.is_alive() for worker in self._workers)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments.config import PAPER, QUICK, ExperimentScale, get_scale
+from repro.experiments.config import (
+    PAPER,
+    QUICK,
+    ExperimentScale,
+    ServeConfig,
+    get_scale,
+)
 from repro.experiments.reporting import TextTable
 
 
@@ -39,6 +45,38 @@ class TestScales:
         assert s.hidden == 8
         assert s.name == "quick"
         assert QUICK.epochs != 3, "overrides must not mutate the registry"
+
+
+class TestServeConfig:
+    def test_defaults_are_valid_and_bitwise_dtype(self):
+        cfg = ServeConfig()
+        assert cfg.workers >= 1
+        assert cfg.dtype == "float64"  # the bitwise-guaranteed path
+        assert cfg.max_pending >= cfg.batch_size
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServeConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            ServeConfig(max_latency_ms=0)
+        with pytest.raises(ValueError):
+            ServeConfig(batch_size=8, max_pending=4)
+        with pytest.raises(ValueError):
+            ServeConfig(deadline_ms=-1.0)
+        with pytest.raises(ValueError):
+            ServeConfig(max_concurrent_sweeps=0)
+        with pytest.raises(ValueError):
+            ServeConfig(latency_window=0)
+        with pytest.raises(ValueError, match="dtype"):
+            ServeConfig(dtype="float46")  # typo must fail here, not in Server
+        with pytest.raises(ValueError, match="dtype"):
+            ServeConfig(dtype="float16")  # would silently break the guarantee
+
+    def test_deadline_optional(self):
+        assert ServeConfig().deadline_ms is None
+        assert ServeConfig(deadline_ms=250.0).deadline_ms == 250.0
 
 
 class TestTextTable:

@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.circuit.aig import to_aig
-from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
-from repro.circuit.graph import CircuitGraph
 from repro.models.base import ModelConfig, baseline_batches
 from repro.models.deepseq import DeepSeq
 from repro.models.baselines import DagRecGnn
 from repro.sim.workload import random_workload
+
+from tests.conftest import build_pair
 
 
 CFG = ModelConfig(hidden=12, iterations=2, seed=0)
@@ -17,13 +16,7 @@ CFG = ModelConfig(hidden=12, iterations=2, seed=0)
 
 @pytest.fixture()
 def setup():
-    nl = random_sequential_netlist(
-        GeneratorConfig(n_pis=5, n_dffs=4, n_gates=30), seed=3
-    )
-    aig = to_aig(nl).aig
-    graph = CircuitGraph(aig)
-    wl = random_workload(aig, seed=1)
-    return graph, wl
+    return build_pair(seed=3, n_pis=5, n_dffs=4, n_gates=30, workload_seed=1)
 
 
 class TestInitialHidden:

@@ -3,28 +3,22 @@
 import numpy as np
 import pytest
 
-from repro.circuit.aig import to_aig
-from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
-from repro.circuit.graph import CircuitGraph
 from repro.models.base import ModelConfig
 from repro.models.grannite import Grannite, SourceActivity
 from repro.nn.functional import l1_loss
 from repro.nn.optim import Adam
-from repro.sim.logicsim import SimConfig, simulate
-from repro.sim.workload import random_workload
+
+from tests.conftest import build_labels
 
 CFG = ModelConfig(hidden=12, aggregator="attention", seed=0)
 
 
 @pytest.fixture()
 def problem():
-    nl = random_sequential_netlist(
-        GeneratorConfig(n_pis=4, n_dffs=4, n_gates=25), seed=19
+    graph, _, sim = build_labels(
+        seed=19, n_pis=4, n_dffs=4, n_gates=25,
+        workload_seed=3, cycles=80, sim_seed=3,
     )
-    aig = to_aig(nl).aig
-    graph = CircuitGraph(aig)
-    wl = random_workload(aig, seed=3)
-    sim = simulate(aig, wl, SimConfig(cycles=80, seed=3))
     sources = SourceActivity.from_sim(graph, sim)
     return graph, sim, sources
 

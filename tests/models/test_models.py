@@ -3,31 +3,24 @@
 import numpy as np
 import pytest
 
-from repro.circuit.aig import to_aig
-from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
-from repro.circuit.graph import CircuitGraph
 from repro.models.base import ModelConfig
 from repro.models.baselines import DagConvGnn, DagRecGnn
 from repro.models.deepseq import DeepSeq
 from repro.models.registry import MODEL_NAMES, make_model
 from repro.nn.functional import l1_loss
 from repro.nn.optim import Adam
-from repro.sim.logicsim import SimConfig, simulate
-from repro.sim.workload import random_workload
+
+from tests.conftest import build_labels
 
 CFG = ModelConfig(hidden=12, iterations=3, seed=0)
 
 
 @pytest.fixture()
 def problem():
-    nl = random_sequential_netlist(
-        GeneratorConfig(n_pis=5, n_dffs=3, n_gates=25), seed=11
+    return build_labels(
+        seed=11, n_pis=5, n_dffs=3, n_gates=25,
+        workload_seed=2, cycles=100, sim_seed=2,
     )
-    aig = to_aig(nl).aig
-    graph = CircuitGraph(aig)
-    wl = random_workload(aig, seed=2)
-    labels = simulate(aig, wl, SimConfig(cycles=100, seed=2))
-    return graph, wl, labels
 
 
 class TestRegistry:

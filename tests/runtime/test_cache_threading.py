@@ -1,0 +1,167 @@
+"""Thread-safety of the process-wide plan and pack LRU caches.
+
+Many threads hammer ``plan_for`` / ``pack_graphs`` over a shared set of
+structures; the invariants are those the serving workers rely on: a
+fingerprint maps to exactly one live plan object (no torn inserts, no
+duplicate compilations visible to callers), the LRU bound holds under
+concurrent eviction pressure, and the hit/miss counters reconcile with
+the number of calls made.
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime.pack import (
+    clear_pack_cache,
+    configure_pack_cache,
+    pack_cache_info,
+    pack_graphs,
+)
+from repro.runtime.plan import (
+    clear_plan_cache,
+    configure_plan_cache,
+    fingerprint_of,
+    plan_cache_info,
+    plan_for,
+)
+
+from tests.conftest import build_graph
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_plan_cache()
+    clear_pack_cache()
+    configure_plan_cache(128)
+    configure_pack_cache(32)
+    yield
+    clear_plan_cache()
+    clear_pack_cache()
+    configure_plan_cache(128)
+    configure_pack_cache(32)
+
+
+def run_threads(n, target):
+    threads = [threading.Thread(target=target, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+GRAPHS = [build_graph(seed=s, n_gates=15 + s) for s in range(8)]
+
+
+class TestPlanCacheThreading:
+    def test_one_plan_object_per_fingerprint(self):
+        results: list[list] = [[] for _ in range(8)]
+
+        def worker(tid):
+            for i in range(50):
+                graph = GRAPHS[(tid + i) % len(GRAPHS)]
+                results[tid].append(plan_for(graph))
+
+        run_threads(8, worker)
+        by_key: dict[str, set[int]] = {}
+        for plans in results:
+            for plan in plans:
+                by_key.setdefault(plan.key, set()).add(id(plan))
+        assert len(by_key) == len(GRAPHS)
+        # Every caller that looked up a fingerprint got the same object.
+        for key, ids in by_key.items():
+            assert len(ids) == 1, f"duplicate live plans for {key[:12]}"
+
+    def test_counters_reconcile_with_calls(self):
+        calls_per_thread, n_threads = 50, 8
+
+        def worker(tid):
+            for i in range(calls_per_thread):
+                plan_for(GRAPHS[(tid + i) % len(GRAPHS)])
+
+        run_threads(n_threads, worker)
+        info = plan_cache_info()
+        assert info.hits + info.misses == n_threads * calls_per_thread
+        # Concurrent first-misses may each build (losers adopt the cached
+        # plan), so misses can exceed the structure count — but never the
+        # thread count per structure.
+        assert len(GRAPHS) <= info.misses <= len(GRAPHS) * n_threads
+        assert info.size == len(GRAPHS)
+        assert info.evictions == 0
+
+    def test_lru_bound_holds_under_eviction_pressure(self):
+        configure_plan_cache(3)
+
+        def worker(tid):
+            for i in range(40):
+                plan_for(GRAPHS[(tid * 3 + i) % len(GRAPHS)])
+
+        run_threads(6, worker)
+        info = plan_cache_info()
+        assert info.size <= 3
+        assert info.evictions > 0
+        assert info.hits + info.misses == 6 * 40
+
+
+class TestPackCacheThreading:
+    def test_one_packed_plan_per_composition(self):
+        compositions = [
+            tuple(GRAPHS[:2]),
+            tuple(GRAPHS[2:5]),
+            tuple(GRAPHS[5:]),
+            (GRAPHS[0], GRAPHS[0]),  # duplicate members are a valid pack
+        ]
+        results: list[list] = [[] for _ in range(8)]
+
+        def worker(tid):
+            for i in range(30):
+                comp = compositions[(tid + i) % len(compositions)]
+                results[tid].append(pack_graphs(list(comp)))
+
+        run_threads(8, worker)
+        by_key: dict[tuple, set[int]] = {}
+        for packs in results:
+            for packed in packs:
+                by_key.setdefault(packed.member_keys, set()).add(id(packed))
+        assert len(by_key) == len(compositions)
+        for keys, ids in by_key.items():
+            assert len(ids) == 1, f"duplicate live packs for {keys}"
+
+    def test_counters_reconcile_with_calls(self):
+        def worker(tid):
+            for i in range(30):
+                k = 1 + (tid + i) % 4
+                pack_graphs(GRAPHS[:k])
+
+        run_threads(6, worker)
+        info = pack_cache_info()
+        assert info.hits + info.misses == 6 * 30
+        assert 4 <= info.misses <= 4 * 6
+        assert info.size == 4
+        assert info.evictions == 0
+
+    def test_lru_bound_holds_under_eviction_pressure(self):
+        configure_pack_cache(2)
+
+        def worker(tid):
+            for i in range(20):
+                k = 1 + (tid + i) % 5
+                pack_graphs(GRAPHS[:k])
+
+        run_threads(6, worker)
+        info = pack_cache_info()
+        assert info.size <= 2
+        assert info.evictions > 0
+
+    def test_pack_members_share_plan_cache_with_serving(self):
+        """A packed single is the member's own cached plan — also when the
+        first touch came from another thread."""
+        plans = {}
+
+        def worker(tid):
+            plans[tid] = pack_graphs([GRAPHS[0]]).plan
+
+        run_threads(4, worker)
+        assert len({id(p) for p in plans.values()}) == 1
+        assert plans[0] is plan_for(GRAPHS[0])
+        assert plans[0].key == fingerprint_of(GRAPHS[0])

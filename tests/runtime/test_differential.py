@@ -16,10 +16,6 @@ these tests pin the fast path to it:
 import numpy as np
 import pytest
 
-from repro.circuit import GeneratorConfig, random_sequential_netlist, to_aig
-from repro.circuit.gates import GateType
-from repro.circuit.graph import CircuitGraph
-from repro.circuit.netlist import Netlist
 from repro.models.aggregators import DualAttentionAggregator
 from repro.models.base import ModelConfig
 from repro.models.registry import make_model
@@ -52,27 +48,16 @@ def fresh_caches():
     clear_pack_cache()
 
 
+from tests.conftest import build_pair, single_node_pair
+
+
 def make_pair(seed=0, n_pis=4, n_dffs=3, n_gates=30):
-    nl = to_aig(
-        random_sequential_netlist(
-            GeneratorConfig(n_pis=n_pis, n_dffs=n_dffs, n_gates=n_gates),
-            seed=seed,
-        )
-    ).aig
-    return CircuitGraph(nl), random_workload(nl, seed=1000 + seed)
+    return build_pair(seed, n_pis, n_dffs, n_gates)
 
 
 def dff_heavy_pair(seed=7):
     """More flip-flops than gates: exercises DFF copy + baseline batches."""
     return make_pair(seed=seed, n_dffs=12, n_gates=14)
-
-
-def single_node_pair(seed=11):
-    """A lone PI: empty schedules, heads applied straight to h0."""
-    nl = Netlist("one")
-    nl.add_pi("a")
-    nl.validate()
-    return CircuitGraph(nl), random_workload(nl, seed=seed)
 
 
 def grads_of(model):

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.circuit import GeneratorConfig, random_sequential_netlist, to_aig
-from repro.circuit.graph import CircuitGraph
 from repro.runtime.pack import clear_pack_cache, configure_pack_cache, pack_graphs
 from repro.runtime.plan import clear_plan_cache, plan_for
+
+from tests.conftest import build_graph as make_graph
 
 
 @pytest.fixture(autouse=True)
@@ -18,13 +18,6 @@ def fresh_caches():
     clear_plan_cache()
     clear_pack_cache()
     configure_pack_cache(32)
-
-
-def make_graph(seed=0, n_pis=5, n_dffs=3, n_gates=40):
-    nl = random_sequential_netlist(
-        GeneratorConfig(n_pis=n_pis, n_dffs=n_dffs, n_gates=n_gates), seed=seed
-    )
-    return CircuitGraph(to_aig(nl).aig)
 
 
 def test_empty_pack_rejected():

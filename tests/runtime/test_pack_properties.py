@@ -11,10 +11,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.circuit import GeneratorConfig, random_sequential_netlist, to_aig
 from repro.circuit.graph import CircuitGraph
 from repro.runtime.pack import clear_pack_cache, pack_graphs
 from repro.runtime.plan import clear_plan_cache, fingerprint_of, plan_for
+
+from tests.conftest import build_graph
 
 
 @pytest.fixture(autouse=True)
@@ -27,10 +28,7 @@ def fresh_caches():
 
 
 def random_graph(seed: int, n_dffs: int = 3, n_gates: int = 30) -> CircuitGraph:
-    nl = random_sequential_netlist(
-        GeneratorConfig(n_pis=4, n_dffs=n_dffs, n_gates=n_gates), seed=seed
-    )
-    return CircuitGraph(to_aig(nl).aig)
+    return build_graph(seed, 4, n_dffs, n_gates)
 
 
 def graph_num_edges(graph: CircuitGraph) -> int:
@@ -85,9 +83,10 @@ class TestPlanCacheProperties:
     @given(seed=st.integers(0, 10_000))
     def test_fingerprint_equal_netlists_share_one_plan(self, seed):
         # Two independent builds of the same seed: equal structure, equal
-        # fingerprint, different objects.
+        # fingerprint, different objects (the second build deliberately
+        # bypasses the memoized factory to get a distinct graph object).
         g1 = random_graph(seed)
-        g2 = random_graph(seed)
+        g2 = CircuitGraph(g1.netlist.copy())
         assert g1 is not g2
         assert fingerprint_of(g1) == fingerprint_of(g2)
         p1 = plan_for(g1)

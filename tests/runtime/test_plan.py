@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.circuit import GeneratorConfig, random_sequential_netlist, to_aig
 from repro.circuit.gates import GateType
 from repro.circuit.graph import CircuitGraph
 from repro.circuit.netlist import Netlist
@@ -26,11 +25,11 @@ def fresh_cache():
     configure_plan_cache(128)
 
 
+from tests.conftest import build_graph
+
+
 def make_aig(seed=0, n_pis=5, n_dffs=3, n_gates=40):
-    nl = random_sequential_netlist(
-        GeneratorConfig(n_pis=n_pis, n_dffs=n_dffs, n_gates=n_gates), seed=seed
-    )
-    return to_aig(nl).aig
+    return build_graph(seed, n_pis, n_dffs, n_gates).netlist
 
 
 def toggle_netlist(name="toggle", pi_name="a"):

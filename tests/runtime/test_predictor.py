@@ -1,12 +1,10 @@
 """Batched inference equivalence and the BatchedPredictor queue."""
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.circuit import GeneratorConfig, random_sequential_netlist, to_aig
-from repro.circuit.gates import GateType
-from repro.circuit.graph import CircuitGraph
-from repro.circuit.netlist import Netlist
 from repro.models.base import ModelConfig
 from repro.models.baselines import DagConvGnn, DagRecGnn
 from repro.models.deepseq import DeepSeq
@@ -18,8 +16,10 @@ from repro.runtime.predictor import (
     PendingPrediction,
     predict_one,
     predict_packed,
+    run_packed_isolated,
 )
-from repro.sim.workload import random_workload
+
+from tests.conftest import build_pair as make_pair, mixed_fleet
 
 
 @pytest.fixture(autouse=True)
@@ -29,54 +29,6 @@ def fresh_caches():
     yield
     clear_plan_cache()
     clear_pack_cache()
-
-
-def make_pair(seed=0, n_pis=5, n_dffs=3, n_gates=40):
-    nl = to_aig(
-        random_sequential_netlist(
-            GeneratorConfig(n_pis=n_pis, n_dffs=n_dffs, n_gates=n_gates),
-            seed=seed,
-        )
-    ).aig
-    return CircuitGraph(nl), random_workload(nl, seed=1000 + seed)
-
-
-def shallow_pair(seed=99):
-    """A depth-1 circuit: packed with deep members, the union levels
-    beyond its depth contain none of its nodes (empty member levels)."""
-    nl = Netlist(name="shallow")
-    a = nl.add_pi("a")
-    b = nl.add_pi("b")
-    g = nl.add_gate(GateType.AND, [a, b], "g")
-    nl.add_po(g)
-    nl.validate()
-    return CircuitGraph(nl), random_workload(nl, seed=seed)
-
-
-def dff_chain_pair(seed=98):
-    """A DFF-heavy loop: PI -> AND -> DFF -> DFF -> NOT feeding back."""
-    nl = Netlist(name="chain")
-    a = nl.add_pi("a")
-    ff1 = nl.add_dff(None, "ff1")
-    ff2 = nl.add_dff(ff1, "ff2")
-    inv = nl.add_gate(GateType.NOT, [ff2], "inv")
-    g = nl.add_gate(GateType.AND, [a, inv], "g")
-    nl.set_fanins(ff1, [g])
-    nl.add_po(g)
-    nl.validate()
-    return CircuitGraph(nl), random_workload(nl, seed=seed)
-
-
-def mixed_fleet():
-    """Mismatched depths and DFF counts, including the corner cases."""
-    pairs = [
-        make_pair(seed=0, n_dffs=4, n_gates=60),
-        shallow_pair(),
-        make_pair(seed=1, n_dffs=0, n_gates=45),
-        dff_chain_pair(),
-        make_pair(seed=2, n_dffs=7, n_gates=25),
-    ]
-    return [g for g, _ in pairs], [w for _, w in pairs]
 
 
 MODELS = [
@@ -300,7 +252,7 @@ class TestBatchedPredictor:
         # Sneak an invalid request past submit's eager check.
         bad_wl = type(wl)(wl.pi_probs[:-1], name="bad", seed=0)
         bad = PendingPrediction(predictor)
-        predictor._queue.append((graph, bad_wl, bad))
+        predictor._queue.append((graph, bad_wl, bad, time.monotonic()))
         good_after = predictor.submit(graph, wl)
         predictor.flush()
         expected = model.predict(graph, wl)
@@ -309,12 +261,27 @@ class TestBatchedPredictor:
         with pytest.raises(ValueError):
             bad.result()
 
+    def test_run_packed_isolated_slots_errors_in_place(self):
+        """The shared chunk runner: sibling results around a poison slot."""
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=15)
+        bad_wl = type(wl)(wl.pi_probs[:-1], name="bad", seed=0)
+        results = run_packed_isolated(
+            model, [graph, graph, graph], [wl, bad_wl, wl], dtype=np.float64
+        )
+        expected = model.predict(graph, wl)
+        np.testing.assert_array_equal(results[0].tr, expected.tr)
+        assert isinstance(results[1], ValueError)
+        np.testing.assert_array_equal(results[2].tr, expected.tr)
+
     def test_invalid_configuration(self):
         model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
         with pytest.raises(ValueError):
             BatchedPredictor(model, batch_size=0)
         with pytest.raises(ValueError):
             BatchedPredictor(model, batch_size=8, max_pending=4)
+        with pytest.raises(ValueError):
+            BatchedPredictor(model, max_latency_ms=0)
 
     def test_predict_many_length_mismatch(self):
         model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
@@ -322,3 +289,68 @@ class TestBatchedPredictor:
         predictor = BatchedPredictor(model, batch_size=2)
         with pytest.raises(ValueError):
             predictor.predict_many([graph], [wl, wl])
+
+
+class TestDeadlineFlushAndShutdown:
+    """The serving-oriented extensions: timer flush, close semantics."""
+
+    def test_timer_flushes_aged_requests(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=20)
+        with BatchedPredictor(
+            model, batch_size=8, dtype=np.float64, max_latency_ms=20
+        ) as predictor:
+            handle = predictor.submit(graph, wl)
+            # No explicit flush, batch nowhere near full: the deadline
+            # timer must resolve the handle on its own.
+            deadline = time.monotonic() + 5.0
+            while not handle.done and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert handle.done
+            np.testing.assert_array_equal(
+                handle.result().tr, model.predict(graph, wl).tr
+            )
+            assert predictor.batches_flushed >= 1
+
+    def test_timer_keeps_serving_a_trickle(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=21)
+        with BatchedPredictor(
+            model, batch_size=8, dtype=np.float64, max_latency_ms=10
+        ) as predictor:
+            for _ in range(3):
+                handle = predictor.submit(graph, wl)
+                deadline = time.monotonic() + 5.0
+                while not handle.done and time.monotonic() < deadline:
+                    time.sleep(0.005)
+                assert handle.done
+
+    def test_close_flushes_pending_requests(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=22)
+        predictor = BatchedPredictor(model, batch_size=8, dtype=np.float64)
+        handles = [predictor.submit(graph, wl) for _ in range(3)]
+        predictor.close()
+        assert all(h.done for h in handles)
+        expected = model.predict(graph, wl)
+        for h in handles:
+            np.testing.assert_array_equal(h.result().tr, expected.tr)
+
+    def test_close_without_flush_fails_pending_requests(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=23)
+        predictor = BatchedPredictor(model, batch_size=8, dtype=np.float64)
+        handle = predictor.submit(graph, wl)
+        predictor.close(flush=False)
+        with pytest.raises(RuntimeError, match="closed"):
+            handle.result()
+
+    def test_submit_after_close_rejected(self):
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=24)
+        predictor = BatchedPredictor(model, batch_size=2, dtype=np.float64)
+        predictor.close()
+        assert predictor.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            predictor.submit(graph, wl)
+        predictor.close()  # idempotent

@@ -3,16 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.circuit import GeneratorConfig, random_sequential_netlist, to_aig
-from repro.circuit.graph import CircuitGraph
 from repro.models.base import ModelConfig
 from repro.models.registry import make_model
 from repro.nn.optim import Adam
 from repro.runtime.pack import clear_pack_cache
 from repro.runtime.plan import clear_plan_cache
 from repro.runtime.trainstep import make_minibatches, pack_samples, train_step
-from repro.sim.workload import random_workload
-from repro.train.dataset import CircuitSample
+
+from tests.conftest import build_sample
 
 CFG = ModelConfig(hidden=8, iterations=2, seed=0)
 
@@ -26,21 +24,8 @@ def fresh_caches():
     clear_pack_cache()
 
 
-def make_sample(seed: int, n_gates: int = 25) -> CircuitSample:
-    nl = to_aig(
-        random_sequential_netlist(
-            GeneratorConfig(n_pis=4, n_dffs=2, n_gates=n_gates), seed=seed
-        )
-    ).aig
-    graph = CircuitGraph(nl)
-    rng = np.random.default_rng(seed)
-    return CircuitSample(
-        graph=graph,
-        workload=random_workload(nl, seed=seed),
-        target_tr=rng.uniform(size=(graph.num_nodes, 2)),
-        target_lg=rng.uniform(size=graph.num_nodes),
-        name=f"s{seed}",
-    )
+def make_sample(seed: int, n_gates: int = 25):
+    return build_sample(seed, n_gates)
 
 
 @pytest.fixture(scope="module")

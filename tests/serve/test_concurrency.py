@@ -1,0 +1,285 @@
+"""Concurrency stress tests for the serving front-end.
+
+Many submitter threads hammer one server; the assertions are the queue
+invariants: no request is lost (every future resolves), none is
+duplicated or cross-wired (each result is bitwise-equal to *its own*
+circuit's sequential prediction — distinct workloads make any swap
+visible), the admission bound holds, and the metric counters reconcile
+with what the clients observed.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.models.base import ModelConfig
+from repro.models.deepseq import DeepSeq
+from repro.serve import (
+    DeadlineExceeded,
+    QueueFull,
+    ServeError,
+    Server,
+    ServerClosed,
+)
+
+from tests.conftest import build_pair
+
+MODEL = DeepSeq(ModelConfig(hidden=12, iterations=2, seed=0))
+
+
+@pytest.fixture(scope="module")
+def problem_set():
+    """12 distinct (graph, workload) pairs plus sequential expectations."""
+    pairs = [
+        build_pair(seed=s, n_dffs=s % 4, n_gates=18 + 3 * s) for s in range(12)
+    ]
+    expected = [MODEL.predict(g, w) for g, w in pairs]
+    return pairs, expected
+
+
+def hammer(server, pairs, n_threads, per_thread):
+    """Concurrent closed-loop clients; returns (pair_idx, result) lists."""
+    outcomes: list[list] = [[] for _ in range(n_threads)]
+    errors: list[Exception] = []
+
+    def client(cid):
+        try:
+            for i in range(per_thread):
+                idx = (cid * 7 + i * 3) % len(pairs)
+                future = server.submit(*pairs[idx])
+                outcomes[cid].append((idx, future.result(timeout=60)))
+        except Exception as exc:  # surface in the main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    return [item for per_client in outcomes for item in per_client]
+
+
+class TestManySubmitters:
+    def test_no_lost_or_crosswired_requests(self, problem_set):
+        pairs, expected = problem_set
+        n_threads, per_thread = 6, 10
+        with Server(
+            MODEL, workers=3, batch_size=4, max_latency_ms=5, dtype="float64"
+        ) as srv:
+            outcomes = hammer(srv, pairs, n_threads, per_thread)
+            srv.drain(timeout=30)
+            snap = srv.metrics.snapshot()
+        assert len(outcomes) == n_threads * per_thread
+        for idx, result in outcomes:
+            np.testing.assert_array_equal(expected[idx].tr, result.tr)
+            np.testing.assert_array_equal(expected[idx].lg, result.lg)
+        assert snap["submitted"] == n_threads * per_thread
+        assert snap["completed"] == n_threads * per_thread
+        assert snap["failed"] == snap["expired"] == snap["rejected"] == 0
+        assert snap["batched_circuits"] == n_threads * per_thread
+        assert snap["e2e_ms"]["count"] == n_threads * per_thread
+
+    def test_admission_bound_holds_under_pressure(self, problem_set):
+        pairs, _ = problem_set
+        max_pending = 8
+        with Server(
+            MODEL,
+            workers=1,
+            batch_size=4,
+            max_latency_ms=5,
+            max_pending=max_pending,
+            dtype="float64",
+        ) as srv:
+            observed = []
+
+            def client(cid):
+                for i in range(12):
+                    srv.submit(*pairs[(cid + i) % len(pairs)])
+                    observed.append(srv.pending)
+
+            threads = [
+                threading.Thread(target=client, args=(c,)) for c in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            srv.drain(timeout=60)
+        assert max(observed) <= max_pending
+
+    def test_nonblocking_submit_rejects_when_full(self, problem_set):
+        pairs, _ = problem_set
+        # One worker, long flush deadline: the queue genuinely fills.
+        srv = Server(
+            MODEL,
+            workers=1,
+            batch_size=4,
+            max_latency_ms=10_000,
+            max_pending=4,
+            dtype="float64",
+        )
+        try:
+            futures = [srv.submit(*pairs[0], block=True) for _ in range(4)]
+            # Queue may momentarily dip as the worker claims a batch; keep
+            # pushing non-blocking submissions until one bounces.
+            with pytest.raises(QueueFull):
+                for _ in range(200):
+                    futures.append(srv.submit(*pairs[0], block=False))
+            assert srv.metrics.count("rejected") >= 1
+        finally:
+            srv.close()
+        for f in futures:
+            f.result(timeout=60)
+
+
+class TestDeadlines:
+    def test_expired_requests_fail_not_hang(self, problem_set):
+        pairs, expected = problem_set
+        with Server(
+            MODEL,
+            workers=1,
+            batch_size=2,
+            max_latency_ms=1,
+            deadline_ms=0.01,  # expires before any batch can start
+            dtype="float64",
+        ) as srv:
+            futures = [srv.submit(*pairs[i % 4]) for i in range(8)]
+            time.sleep(0.05)
+            outcomes = [f.exception(timeout=30) for f in futures]
+        # Every future resolved; any that ran matched its deadline budget.
+        assert all(
+            exc is None or isinstance(exc, DeadlineExceeded) for exc in outcomes
+        )
+        assert any(isinstance(exc, DeadlineExceeded) for exc in outcomes)
+        snap = srv.metrics.snapshot()
+        assert snap["expired"] + snap["completed"] == 8
+
+    def test_per_request_deadline_overrides_config(self, problem_set):
+        pairs, expected = problem_set
+        with Server(
+            MODEL, workers=1, batch_size=4, max_latency_ms=5, dtype="float64"
+        ) as srv:
+            relaxed = srv.submit(*pairs[0])  # no deadline
+            result = relaxed.result(timeout=30)
+        np.testing.assert_array_equal(expected[0].tr, result.tr)
+
+
+class TestShutdown:
+    def test_close_drains_pending(self, problem_set):
+        pairs, expected = problem_set
+        srv = Server(
+            MODEL, workers=2, batch_size=4, max_latency_ms=1_000, dtype="float64"
+        )
+        futures = [srv.submit(*pairs[i % len(pairs)]) for i in range(10)]
+        srv.close(drain=True)  # flush deadline far away: close must flush
+        for i, f in enumerate(futures):
+            np.testing.assert_array_equal(
+                expected[i % len(pairs)].tr, f.result(timeout=1).tr
+            )
+        assert srv.closed
+
+    def test_close_without_drain_fails_pending(self, problem_set):
+        pairs, _ = problem_set
+        srv = Server(
+            MODEL, workers=1, batch_size=64, max_latency_ms=10_000,
+            max_pending=64, dtype="float64",
+        )
+        futures = [srv.submit(*pairs[i % len(pairs)]) for i in range(10)]
+        srv.close(drain=False)
+        resolved = [f.exception(timeout=5) for f in futures]
+        # Workers may have claimed a batch before close; the rest fail.
+        assert all(
+            exc is None or isinstance(exc, ServerClosed) for exc in resolved
+        )
+        assert any(isinstance(exc, ServerClosed) for exc in resolved)
+
+    def test_submit_after_close_raises(self, problem_set):
+        pairs, _ = problem_set
+        srv = Server(MODEL, workers=1, dtype="float64")
+        srv.close()
+        with pytest.raises(ServerClosed):
+            srv.submit(*pairs[0])
+
+    def test_close_idempotent_and_concurrent(self, problem_set):
+        pairs, _ = problem_set
+        srv = Server(MODEL, workers=2, dtype="float64")
+        srv.submit(*pairs[0])
+        threads = [threading.Thread(target=srv.close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        srv.close()
+        assert srv.closed
+
+    def test_submitters_racing_shutdown_never_hang(self, problem_set):
+        """Clients submitting while another thread closes the server either
+        get served or get a clean ServeError — never a hang."""
+        pairs, _ = problem_set
+        srv = Server(
+            MODEL, workers=2, batch_size=2, max_latency_ms=5, dtype="float64"
+        )
+        stop_errors: list[Exception] = []
+
+        def client(cid):
+            for i in range(20):
+                try:
+                    srv.submit(*pairs[(cid + i) % len(pairs)]).result(timeout=30)
+                except ServeError:
+                    return
+                except Exception as exc:
+                    stop_errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=client, args=(c,)) for c in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.2)
+        srv.close()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive()
+        assert not stop_errors, stop_errors
+
+
+class TestReplicaIsolation:
+    def test_refresh_parameters_propagates_new_weights(self, problem_set):
+        pairs, expected = problem_set
+        model = DeepSeq(ModelConfig(hidden=12, iterations=2, seed=0))
+        with Server(model, workers=2, batch_size=2, max_latency_ms=5,
+                    dtype="float64") as srv:
+            before = srv.predict(*pairs[0])
+            np.testing.assert_array_equal(expected[0].tr, before.tr)
+            for p in model.parameters():
+                p.data[...] += 0.05
+            stale = srv.predict(*pairs[0])  # replicas unaffected by edit
+            np.testing.assert_array_equal(before.tr, stale.tr)
+            srv.refresh_parameters()
+            fresh = srv.predict(*pairs[0])
+            np.testing.assert_array_equal(
+                model.predict(*pairs[0]).tr, fresh.tr
+            )
+            assert np.abs(fresh.tr - before.tr).max() > 0
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_sustained_load_square(self, problem_set):
+        """A longer soak: 8 clients x 40 requests over 4 workers."""
+        pairs, expected = problem_set
+        with Server(
+            MODEL, workers=4, batch_size=8, max_latency_ms=10, dtype="float64"
+        ) as srv:
+            outcomes = hammer(srv, pairs, n_threads=8, per_thread=40)
+            srv.drain(timeout=120)
+            snap = srv.metrics.snapshot()
+        assert len(outcomes) == 8 * 40
+        for idx, result in outcomes:
+            np.testing.assert_array_equal(expected[idx].tr, result.tr)
+        assert snap["completed"] == 8 * 40
+        assert snap["mean_batch_size"] > 1.0  # load actually batched

@@ -1,0 +1,156 @@
+"""Differential fuzzing: the server vs sequential ``predict``.
+
+Hypothesis drives random fleets of ``random_sequential_netlist`` circuits
+(plus the known corner shapes) through a :class:`repro.serve.Server` and
+pins the served results to sequential :meth:`RecurrentDagGnn.predict` on
+the *source* model — float64 bitwise, float32 within the documented
+tolerance — across random worker counts, batch sizes and flush deadlines.
+This is the enforcement of the serving layer's equivalence guarantee.
+"""
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.models.base import ModelConfig
+from repro.models.deepseq import DeepSeq
+from repro.serve import Server
+
+from tests.conftest import build_pair, dff_chain_pair, shallow_pair, single_node_pair
+
+#: One shared model: the differential target is the *server* machinery,
+#: not the weights, and rebuilding a model per hypothesis example would
+#: dominate the suite's wall-time.
+MODEL = DeepSeq(ModelConfig(hidden=12, iterations=2, seed=0))
+
+#: Hypothesis picks fleet members from this pool of builders by index.
+#: Small circuits keep each example cheap; the pool still spans DFF-free,
+#: DFF-heavy, shallow and single-node shapes.
+POOL = [
+    lambda: build_pair(seed=0, n_dffs=3, n_gates=30),
+    lambda: build_pair(seed=1, n_dffs=0, n_gates=25),
+    lambda: build_pair(seed=2, n_dffs=6, n_gates=20),
+    lambda: build_pair(seed=3, n_dffs=1, n_gates=45),
+    lambda: build_pair(seed=4, n_pis=3, n_dffs=2, n_gates=15),
+    shallow_pair,
+    dff_chain_pair,
+    single_node_pair,
+]
+
+
+@lru_cache(maxsize=None)
+def expected(pool_idx: int):
+    """Sequential float64 prediction for pool member ``pool_idx``."""
+    graph, wl = POOL[pool_idx]()
+    return MODEL.predict(graph, wl)
+
+
+fleet_indices = st.lists(
+    st.integers(0, len(POOL) - 1), min_size=1, max_size=12
+)
+
+
+class TestFloat64Bitwise:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        indices=fleet_indices,
+        workers=st.integers(1, 3),
+        batch_size=st.integers(1, 5),
+        max_latency_ms=st.sampled_from([1.0, 10.0, 50.0]),
+    )
+    def test_streamed_results_bitwise(
+        self, indices, workers, batch_size, max_latency_ms
+    ):
+        pairs = [POOL[i]() for i in indices]
+        with Server(
+            MODEL,
+            workers=workers,
+            batch_size=batch_size,
+            max_latency_ms=max_latency_ms,
+            dtype="float64",
+        ) as srv:
+            futures = [srv.submit(g, w) for g, w in pairs]
+            results = [f.result(timeout=60) for f in futures]
+        for idx, res in zip(indices, results):
+            exp = expected(idx)
+            np.testing.assert_array_equal(exp.tr, res.tr)
+            np.testing.assert_array_equal(exp.lg, res.lg)
+
+    def test_repeated_structures_one_big_stream(self):
+        """The steady-state serving case: few structures, many requests."""
+        indices = [i % len(POOL) for i in range(40)]
+        with Server(
+            MODEL, workers=2, batch_size=8, max_latency_ms=5, dtype="float64"
+        ) as srv:
+            futures = [srv.submit(*POOL[i]()) for i in indices]
+            results = [f.result(timeout=60) for f in futures]
+        for idx, res in zip(indices, results):
+            np.testing.assert_array_equal(expected(idx).tr, res.tr)
+
+
+class TestFloat32Tolerance:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(indices=fleet_indices, batch_size=st.integers(1, 5))
+    def test_streamed_results_close(self, indices, batch_size):
+        pairs = [POOL[i]() for i in indices]
+        with Server(
+            MODEL,
+            workers=2,
+            batch_size=batch_size,
+            max_latency_ms=10,
+            dtype="float32",
+        ) as srv:
+            results = [f.result(timeout=60) for f in
+                       [srv.submit(g, w) for g, w in pairs]]
+        for idx, res in zip(indices, results):
+            exp = expected(idx)
+            assert res.tr.dtype == np.float32
+            assert np.abs(exp.tr - res.tr).max() <= 1e-4
+            assert np.abs(exp.lg - res.lg).max() <= 1e-4
+
+
+@pytest.mark.slow
+class TestDeepFuzz:
+    """The nightly tier: more examples, fresh structures per example."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seeds=st.lists(st.integers(0, 500), min_size=1, max_size=8),
+        n_dffs=st.integers(0, 8),
+        n_gates=st.integers(8, 60),
+        workers=st.integers(1, 4),
+        batch_size=st.integers(1, 8),
+    )
+    def test_fresh_structures_bitwise(
+        self, seeds, n_dffs, n_gates, workers, batch_size
+    ):
+        pairs = [
+            build_pair(seed=s, n_dffs=n_dffs, n_gates=n_gates) for s in seeds
+        ]
+        sequential = [MODEL.predict(g, w) for g, w in pairs]
+        with Server(
+            MODEL,
+            workers=workers,
+            batch_size=batch_size,
+            max_latency_ms=2,
+            dtype="float64",
+        ) as srv:
+            results = [f.result(timeout=60) for f in
+                       [srv.submit(g, w) for g, w in pairs]]
+        for exp, res in zip(sequential, results):
+            np.testing.assert_array_equal(exp.tr, res.tr)
+            np.testing.assert_array_equal(exp.lg, res.lg)

@@ -25,6 +25,7 @@ class TestExamples:
             "reliability_analysis.py",
             "train_deepseq.py",
             "family_classification.py",
+            "serve_deepseq.py",
         } <= names
 
     @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
@@ -44,7 +45,12 @@ class TestExamples:
 
     @pytest.mark.parametrize(
         "name",
-        ["power_estimation", "reliability_analysis", "family_classification"],
+        [
+            "power_estimation",
+            "reliability_analysis",
+            "family_classification",
+            "serve_deepseq",
+        ],
     )
     def test_heavy_examples_importable(self, name):
         import importlib.util

@@ -3,23 +3,21 @@
 import numpy as np
 import pytest
 
-from repro.circuit.benchmarks import family_subcircuits
 from repro.models.base import ModelConfig
 from repro.models.registry import make_model
-from repro.sim.logicsim import SimConfig
 from repro.train.analysis import (
     analyze_model,
     calibration_curve,
     error_by_gate_type,
     error_by_level,
 )
-from repro.train.dataset import build_dataset
+
+from tests.conftest import build_dataset_cached
 
 
 @pytest.fixture(scope="module")
 def setup():
-    circuits = family_subcircuits("iscas89", 3, seed=50)
-    samples = build_dataset(circuits, SimConfig(cycles=40, seed=1), seed=0)
+    samples = build_dataset_cached("iscas89", 3, 50, 40, 1)
     model = make_model(
         "deepseq", ModelConfig(hidden=8, iterations=2, seed=0), "dual_attention"
     )

@@ -3,23 +3,21 @@
 import numpy as np
 import pytest
 
-from repro.circuit.benchmarks import family_subcircuits
 from repro.models.base import ModelConfig
 from repro.models.registry import make_model
 from repro.nn.optim import Adam
 from repro.nn.serialize import load_checkpoint, save_checkpoint
-from repro.sim.logicsim import SimConfig
-from repro.train.dataset import build_dataset
 from repro.train.trainer import TrainConfig, Trainer
 
+from tests.conftest import build_dataset_cached
+
 CFG = ModelConfig(hidden=10, iterations=2, seed=0)
-SIM = SimConfig(cycles=30, streams=64, seed=1)
 
 
 @pytest.fixture(scope="module")
 def dataset():
-    circuits = family_subcircuits("iscas89", 4, seed=6)
-    return build_dataset(circuits, SIM, seed=0)
+    # Same build as tests/train/test_trainer.py — shared session-wide.
+    return build_dataset_cached("iscas89", 4, 6, 40, 1)
 
 
 def params_of(model):

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.circuit.benchmarks import family_subcircuits
 from repro.models.base import ModelConfig
 from repro.models.grannite import Grannite
 from repro.models.registry import make_model
@@ -21,9 +20,12 @@ CFG = ModelConfig(hidden=12, iterations=2, seed=0)
 SIM = SimConfig(cycles=30, streams=64, seed=1)
 
 
+from tests.conftest import build_subcircuits
+
+
 @pytest.fixture(scope="module")
 def circuit():
-    return family_subcircuits("opencores", 1, seed=8)[0]
+    return build_subcircuits("opencores", 1, 8)[0]
 
 
 class TestWorkloadSuite:
