@@ -1,0 +1,169 @@
+"""Dataset-generation benchmark: serial vs pooled vs warm-cache.
+
+Times the three ways the repo can label a training corpus:
+
+1. **serial** — the reference ``repro.train.dataset.build_dataset`` loop
+   (one simulation after another in this process);
+2. **pooled** — ``repro.data.DataFactory`` fanning the same jobs over a
+   process pool (near-linear with cores; on a 1-CPU runner it degrades to
+   serial plus pool overhead);
+3. **warm-memory** — the same factory again (in-process LRU serves every
+   label);
+4. **warm-disk** — a *fresh* factory pointed at the populated on-disk
+   cache (what a rerun CI job or a second trainer process sees).
+
+Every path is verified float64-bitwise-identical to the serial reference
+before any number is reported.  Results go to stdout and optionally
+``--json`` (CI uploads it as ``datagen-benchmark.json``).
+
+Run:  python benchmarks/bench_datagen.py [--family opencores] [--count 16]
+      [--cycles 80] [--workers N] [--reliability] [--json out.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+
+def check_bitwise(reference, candidate, path_name):
+    if len(reference) != len(candidate):
+        raise SystemExit(
+            f"SAMPLE COUNT MISMATCH: {path_name} built {len(candidate)} "
+            f"samples, serial built {len(reference)}"
+        )
+    for a, b in zip(reference, candidate):
+        if not (
+            np.array_equal(a.target_tr, b.target_tr)
+            and np.array_equal(a.target_lg, b.target_lg)
+        ):
+            raise SystemExit(
+                f"BITWISE MISMATCH: {path_name} differs from serial on {a.name}"
+            )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--family", default="opencores")
+    parser.add_argument("--count", type=int, default=16)
+    parser.add_argument("--cycles", type=int, default=80)
+    parser.add_argument("--streams", type=int, default=64)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for the pooled run (default: all usable CPUs)",
+    )
+    parser.add_argument(
+        "--reliability", action="store_true",
+        help="benchmark the Monte-Carlo fault-labelling path instead",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None)
+    args = parser.parse_args()
+
+    from repro.circuit.benchmarks import family_subcircuits
+    from repro.data import DataFactory, FactoryConfig
+    from repro.sim.faults import FaultConfig
+    from repro.sim.logicsim import SimConfig
+    from repro.train.dataset import build_dataset, build_reliability_dataset
+
+    circuits = family_subcircuits(args.family, args.count, seed=args.seed + 4)
+    sim = SimConfig(cycles=args.cycles, streams=args.streams, seed=1)
+    fault = FaultConfig(seed=2)
+    nodes = sum(len(nl) for nl in circuits)
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+    workers = args.workers if args.workers is not None else cpus
+    kind = "reliability" if args.reliability else "pretraining"
+    print(
+        f"datagen: {len(circuits)} {args.family} circuits ({nodes} nodes), "
+        f"{sim.cycles}x{sim.streams} samples, {kind} labels, "
+        f"{workers} workers ({cpus} usable CPUs)"
+    )
+
+    def serial_build():
+        if args.reliability:
+            return build_reliability_dataset(
+                circuits, sim, fault, seed=args.seed, keep_sim=False
+            )
+        return build_dataset(circuits, sim, seed=args.seed, keep_sim=False)
+
+    def factory_build(factory):
+        if args.reliability:
+            return factory.build_reliability(circuits, sim, fault, seed=args.seed)
+        return factory.build(circuits, sim, seed=args.seed)
+
+    results = {}
+
+    t0 = time.perf_counter()
+    reference = serial_build()
+    results["serial_s"] = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-datagen-") as cache_dir:
+        pooled_factory = DataFactory(
+            FactoryConfig(workers=workers, cache_dir=cache_dir)
+        )
+        t0 = time.perf_counter()
+        pooled = factory_build(pooled_factory)
+        results["pooled_s"] = time.perf_counter() - t0
+        check_bitwise(reference, pooled, "pooled")
+
+        t0 = time.perf_counter()
+        warm = factory_build(pooled_factory)
+        results["warm_memory_s"] = time.perf_counter() - t0
+        check_bitwise(reference, warm, "warm-memory")
+
+        fresh = DataFactory(FactoryConfig(workers=workers, cache_dir=cache_dir))
+        t0 = time.perf_counter()
+        disk_warm = factory_build(fresh)
+        results["warm_disk_s"] = time.perf_counter() - t0
+        check_bitwise(reference, disk_warm, "warm-disk")
+        disk_stats = fresh.stats
+        if disk_stats.disk_hits != len(circuits):
+            raise SystemExit(
+                f"warm-disk run expected {len(circuits)} disk hits, got "
+                f"{disk_stats.disk_hits} (misses={disk_stats.misses})"
+            )
+
+    results.update(
+        {
+            "family": args.family,
+            "count": len(circuits),
+            "nodes": nodes,
+            "cycles": sim.cycles,
+            "streams": sim.streams,
+            "kind": kind,
+            "workers": workers,
+            "usable_cpus": cpus,
+            "pooled_speedup": results["serial_s"] / results["pooled_s"],
+            "warm_memory_speedup": results["serial_s"] / results["warm_memory_s"],
+            "warm_disk_speedup": results["serial_s"] / results["warm_disk_s"],
+            "bitwise_identical": True,
+        }
+    )
+
+    print(f"  serial       {results['serial_s'] * 1e3:9.1f} ms  (reference)")
+    for label, key in (
+        ("pooled", "pooled_s"),
+        ("warm memory", "warm_memory_s"),
+        ("warm disk", "warm_disk_s"),
+    ):
+        speed = results["serial_s"] / results[key]
+        print(f"  {label:<12} {results[key] * 1e3:9.1f} ms  ({speed:5.1f}x)")
+    print("  all paths float64-bitwise-identical to serial")
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

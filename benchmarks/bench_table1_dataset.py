@@ -1,7 +1,9 @@
 """Table I regenerator: training-dataset statistics.
 
 Checks the reproduced shape: three families, ITC'99 largest on average,
-ISCAS'89 smallest, sizes in the paper's sub-circuit range.
+ISCAS'89 smallest, sizes in the paper's sub-circuit range.  A second
+benchmark labels the quick-scale corpus through the data factory and
+checks the content-addressed cache makes the rebuild ~free.
 """
 
 from benchmarks.conftest import run_once
@@ -32,3 +34,24 @@ def test_table1_dataset_statistics(benchmark, scale):
     for fam, st in stats.items():
         target = FAMILY_STATS[fam].mean_nodes
         assert abs(st.mean_nodes - target) / target < 0.4
+
+
+def test_table1_labelled_dataset_via_factory(benchmark, scale):
+    """Label the Table I corpus through the factory; rebuilds hit the cache."""
+    from repro.experiments.common import data_factory, training_dataset
+
+    factory = data_factory(scale)
+    dataset = run_once(benchmark, training_dataset, scale, factory=factory)
+    assert len(dataset) == sum(scale.family_counts.values())
+    assert all(not s.extras for s in dataset), "factory samples stay lean"
+
+    # A rebuild — same corpus, same configs — must be served by the cache.
+    before = factory.stats
+    rebuilt = training_dataset(scale, factory=factory)
+    after = factory.stats
+    assert after.misses == before.misses, "warm rebuild must not re-simulate"
+    import numpy as np
+
+    for a, b in zip(dataset, rebuilt):
+        assert np.array_equal(a.target_tr, b.target_tr)
+        assert np.array_equal(a.target_lg, b.target_lg)

@@ -14,6 +14,13 @@ def test_table7_reliability(benchmark, scale):
     result = run_once(benchmark, run_table7, scale)
     print("\n" + result.text)
 
+    # Monte-Carlo fault labels flow through the data factory and persist
+    # in the session's content-addressed cache (see benchmarks/conftest).
+    from pathlib import Path
+
+    assert scale.data_cache_dir is not None
+    assert any(Path(scale.data_cache_dir).glob("*/*.npz"))
+
     for name, cmp in result.comparisons.items():
         assert 0.9 <= cmp.gt <= 1.0, (name, cmp.gt)
         assert 0.0 <= cmp.analytical <= 1.0

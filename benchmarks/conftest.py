@@ -10,7 +10,12 @@ experiment runs exactly once (``pedantic`` with one round) — these are
 minutes-long training pipelines, not microbenchmarks.
 
 Environment knobs:
-    REPRO_SCALE=paper   run at full publication scale (hours).
+    REPRO_SCALE=paper        run at full publication scale (hours).
+    REPRO_DATA_CACHE=DIR     persistent label-cache directory (default: a
+                             session tmp dir, so tables regenerated in one
+                             run share labels; point it at a fixed path to
+                             make labels survive across runs).
+    REPRO_DATA_WORKERS=N     data-factory pool size (0 = serial).
 """
 
 import os
@@ -25,10 +30,27 @@ if str(_SRC) not in sys.path:
 
 
 @pytest.fixture(scope="session")
-def scale():
+def scale(tmp_path_factory):
+    """The experiment scale, with its data factory wired for the session.
+
+    Every table driver labels circuits through :mod:`repro.data`; giving
+    the whole benchmark session one cache directory means e.g. Tables V,
+    VI and VII build the pre-training corpus labels exactly once.
+    """
+    from dataclasses import replace
+
     from repro.experiments.config import get_scale
 
-    return get_scale(os.environ.get("REPRO_SCALE", "quick"))
+    base = get_scale(os.environ.get("REPRO_SCALE", "quick"))
+    cache_dir = os.environ.get("REPRO_DATA_CACHE") or str(
+        tmp_path_factory.mktemp("label-cache")
+    )
+    workers_env = os.environ.get("REPRO_DATA_WORKERS")
+    return replace(
+        base,
+        data_cache_dir=cache_dir,
+        data_workers=int(workers_env) if workers_env else None,
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -7,8 +7,14 @@ accumulation and a resumable checkpoint.  Interrupt it (Ctrl-C) and run it
 again with the same arguments — it continues from the last completed epoch
 and lands on the same parameters as an uninterrupted run.
 
+Label generation runs through the data factory: ``--workers N`` fans the
+simulations over N processes and ``--data-cache DIR`` persists labels in a
+content-addressed cache, so re-running this script (or any other driver
+labelling the same circuits) skips simulation entirely.
+
 Run:  python examples/train_deepseq.py [--epochs 10] [--circuits 24]
       [--schedule cosine] [--grad-accum 2] [--checkpoint deepseq.npz]
+      [--workers 4] [--data-cache .repro-cache]
       [--table2]   (the original all-models Table II comparison)
 """
 
@@ -36,6 +42,14 @@ def main() -> None:
         help="resumable checkpoint path (.npz); reruns continue from it",
     )
     parser.add_argument(
+        "--workers", type=int, default=None,
+        help="data-factory processes for label simulation (default: auto)",
+    )
+    parser.add_argument(
+        "--data-cache", default=None,
+        help="on-disk label-cache dir; reruns skip identical simulations",
+    )
+    parser.add_argument(
         "--table2", action="store_true",
         help="run the full Table II model comparison instead",
     )
@@ -52,6 +66,8 @@ def main() -> None:
         batch_size=args.batch_size,
         schedule=args.schedule,
         grad_accum=args.grad_accum,
+        data_workers=args.workers,
+        data_cache_dir=args.data_cache,
         family_counts={
             "iscas89": per_family,
             "itc99": per_family,
@@ -63,11 +79,21 @@ def main() -> None:
         result = run_table2(scale)
         print(result.text)
     else:
-        from repro.experiments.common import model_config, training_dataset
+        from repro.experiments.common import (
+            data_factory,
+            model_config,
+            training_dataset,
+        )
         from repro.models.deepseq import DeepSeq
         from repro.train.trainer import TrainConfig, Trainer, evaluate
 
-        dataset = training_dataset(scale)
+        factory = data_factory(scale)
+        dataset = training_dataset(scale, factory=factory)
+        st = factory.stats
+        print(
+            f"labels: {st.misses} simulated, {st.hits} from cache "
+            f"({st.disk_hits} disk)"
+        )
         val_count = max(1, len(dataset) // 5)
         train_split, val_split = dataset[val_count:], dataset[:val_count]
         model = DeepSeq(model_config(scale))

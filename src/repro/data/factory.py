@@ -1,0 +1,325 @@
+"""Process-parallel, cache-backed construction of labelled datasets.
+
+The serial builders in :mod:`repro.train.dataset` simulate one circuit at
+a time in the trainer's process.  The :class:`DataFactory` keeps their
+exact label semantics (bitwise — simulation is deterministic and runs the
+same code in every path) while adding the two properties the ROADMAP's
+scale goal needs:
+
+* **fan-out** — labelling jobs are distributed over a
+  ``concurrent.futures.ProcessPoolExecutor``; each worker receives the
+  raw :class:`~repro.circuit.netlist.Netlist` (cheap to pickle), compiles
+  it locally and returns plain label arrays, so no simulator state or
+  graph object ever crosses the process boundary;
+* **memoization** — results are stored in a content-addressed
+  :class:`~repro.data.cache.LabelCache` keyed by
+  ``(fingerprint, workload, SimConfig[, FaultConfig])``, so repeated
+  trainer runs, benchmark regenerations, workload sweeps and CI jobs
+  never re-simulate identical work.
+
+Samples built here are *lean* by default (``keep_sim=False``): extras do
+not pin ``SimResult``/``FaultSimResult`` objects (and through them whole
+netlists) per sample — opt back in where a consumer genuinely needs them
+(the Grannite fine-tune reads ``extras["sim"]``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.netlist import Netlist
+from repro.data.cache import LabelCache, label_key
+from repro.sim.faults import FaultConfig, FaultSimResult, simulate_with_faults
+from repro.sim.logicsim import SimConfig, SimResult, simulate
+from repro.sim.workload import Workload
+from repro.train.dataset import CircuitSample, dataset_workloads
+
+__all__ = ["FactoryConfig", "DataFactory", "get_factory", "set_factory"]
+
+
+# ----------------------------------------------------------------------
+# worker entry points (module-level: picklable by ProcessPoolExecutor)
+# ----------------------------------------------------------------------
+
+def _sim_job(args: tuple[Netlist, Workload, SimConfig]) -> dict[str, np.ndarray]:
+    nl, workload, sim_config = args
+    res = simulate(nl, workload, sim_config)
+    return {
+        "logic_prob": res.logic_prob,
+        "tr01_prob": res.tr01_prob,
+        "tr10_prob": res.tr10_prob,
+        "cycles": np.asarray(res.cycles, dtype=np.int64),
+        "streams": np.asarray(res.streams, dtype=np.int64),
+    }
+
+
+def _fault_job(
+    args: tuple[Netlist, Workload, SimConfig, FaultConfig]
+) -> dict[str, np.ndarray]:
+    nl, workload, sim_config, fault_config = args
+    res = simulate_with_faults(nl, workload, sim_config, fault_config)
+    return {
+        "err01": res.err01,
+        "err10": res.err10,
+        "reliability": np.asarray(res.reliability, dtype=np.float64),
+        "observed0": res.observed0,
+        "observed1": res.observed1,
+    }
+
+
+def _labels_to_sim_result(labels: dict[str, np.ndarray], nl: Netlist) -> SimResult:
+    return SimResult(
+        logic_prob=labels["logic_prob"],
+        tr01_prob=labels["tr01_prob"],
+        tr10_prob=labels["tr10_prob"],
+        cycles=int(labels["cycles"]),
+        streams=int(labels["streams"]),
+        netlist=nl,
+    )
+
+
+def _labels_to_fault_result(
+    labels: dict[str, np.ndarray], nl: Netlist
+) -> FaultSimResult:
+    return FaultSimResult(
+        err01=labels["err01"],
+        err10=labels["err10"],
+        reliability=float(labels["reliability"]),
+        observed0=labels["observed0"],
+        observed1=labels["observed1"],
+        netlist=nl,
+    )
+
+
+@dataclass(frozen=True)
+class FactoryConfig:
+    """Knobs of the data factory.
+
+    Attributes:
+        workers: simulation processes.  ``None`` sizes the pool to the
+            CPUs this process may use; ``0``/``1`` runs serially in-process
+            (no pool, still cached).  Results are independent of the
+            worker count — scheduling never touches label values.
+        cache_dir: on-disk label-cache directory (``None`` = memory only).
+        memory_entries: in-process LRU capacity (label dicts).
+        keep_sim: default for stashing full ``SimResult``/``FaultSimResult``
+            objects in ``extras`` — off in the factory path, overridable
+            per build.
+        min_chunk: smallest number of jobs worth sending one worker.
+    """
+
+    workers: int | None = None
+    cache_dir: str | os.PathLike | None = None
+    memory_entries: int = 512
+    keep_sim: bool = False
+    min_chunk: int = 1
+
+    def resolve_workers(self) -> int:
+        if self.workers is not None:
+            return max(0, int(self.workers))
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return os.cpu_count() or 1
+
+
+class DataFactory:
+    """Parallel, cache-backed labelling of circuits under workloads."""
+
+    def __init__(self, config: FactoryConfig | None = None, **overrides) -> None:
+        config = config or FactoryConfig()
+        if overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        self.cache = LabelCache(
+            cache_dir=config.cache_dir, memory_entries=config.memory_entries
+        )
+
+    # ------------------------------------------------------------------
+    # single-job cached entry points (pipelines: power GT, reliability GT)
+    # ------------------------------------------------------------------
+    def simulate(
+        self, nl: Netlist, workload: Workload, sim_config: SimConfig | None = None
+    ) -> SimResult:
+        """Cached :func:`repro.sim.logicsim.simulate` (bitwise-identical)."""
+        sim_config = sim_config or SimConfig()
+        labels = self._run_many(
+            "sim", [nl], [workload], sim_config, None
+        )[0]
+        return _labels_to_sim_result(labels, nl)
+
+    def simulate_faults(
+        self,
+        nl: Netlist,
+        workload: Workload,
+        sim_config: SimConfig | None = None,
+        fault_config: FaultConfig | None = None,
+    ) -> FaultSimResult:
+        """Cached :func:`repro.sim.faults.simulate_with_faults`."""
+        sim_config = sim_config or SimConfig()
+        fault_config = fault_config or FaultConfig()
+        labels = self._run_many(
+            "fault", [nl], [workload], sim_config, fault_config
+        )[0]
+        return _labels_to_fault_result(labels, nl)
+
+    # ------------------------------------------------------------------
+    # dataset builders (drop-in for repro.train.dataset)
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        circuits: list[Netlist],
+        sim_config: SimConfig | None = None,
+        seed: int = 0,
+        workloads: list[Workload] | None = None,
+        keep_sim: bool | None = None,
+    ) -> list[CircuitSample]:
+        """Parallel equivalent of :func:`repro.train.dataset.build_dataset`."""
+        sim_config = sim_config or SimConfig()
+        keep = self.config.keep_sim if keep_sim is None else keep_sim
+        wls = dataset_workloads(circuits, seed, workloads)
+        results = self._run_many("sim", circuits, wls, sim_config, None)
+        samples: list[CircuitSample] = []
+        for nl, wl, labels in zip(circuits, wls, results):
+            extras = {"sim": _labels_to_sim_result(labels, nl)} if keep else {}
+            samples.append(
+                CircuitSample(
+                    graph=CircuitGraph(nl),
+                    workload=wl,
+                    target_tr=np.stack(
+                        [labels["tr01_prob"], labels["tr10_prob"]], axis=1
+                    ),
+                    target_lg=labels["logic_prob"],
+                    name=nl.name,
+                    extras=extras,
+                )
+            )
+        return samples
+
+    def build_reliability(
+        self,
+        circuits: list[Netlist],
+        sim_config: SimConfig | None = None,
+        fault_config: FaultConfig | None = None,
+        seed: int = 0,
+        workloads: list[Workload] | None = None,
+        keep_sim: bool | None = None,
+    ) -> list[CircuitSample]:
+        """Parallel equivalent of
+        :func:`repro.train.dataset.build_reliability_dataset`."""
+        sim_config = sim_config or SimConfig()
+        fault_config = fault_config or FaultConfig()
+        keep = self.config.keep_sim if keep_sim is None else keep_sim
+        wls = dataset_workloads(circuits, seed, workloads)
+        results = self._run_many("fault", circuits, wls, sim_config, fault_config)
+        samples: list[CircuitSample] = []
+        for nl, wl, labels in zip(circuits, wls, results):
+            fault_res = _labels_to_fault_result(labels, nl)
+            samples.append(
+                CircuitSample(
+                    graph=CircuitGraph(nl),
+                    workload=wl,
+                    target_tr=fault_res.error_prob,
+                    target_lg=fault_res.golden_logic_prob,
+                    name=nl.name,
+                    extras={"faults": fault_res} if keep else {},
+                )
+            )
+        return samples
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _run_many(
+        self,
+        kind: str,
+        circuits: list[Netlist],
+        workloads: list[Workload],
+        sim_config: SimConfig,
+        fault_config: FaultConfig | None,
+    ) -> list[dict[str, np.ndarray]]:
+        """Resolve one labelling job per (circuit, workload), cache-first.
+
+        Jobs whose digest is already cached are served from the cache;
+        the rest fan out to the process pool (or run serially).  Result
+        order always matches the input order, and duplicate digests within
+        one call are simulated once.
+        """
+        keys = [
+            label_key(kind, nl.fingerprint(), wl, sim_config, fault_config)
+            for nl, wl in zip(circuits, workloads)
+        ]
+        results: dict[str, dict[str, np.ndarray]] = {}
+        pending: list[int] = []
+        pending_keys: set[str] = set()
+        for i, key in enumerate(keys):
+            if key in results or key in pending_keys:
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending.append(i)
+                pending_keys.add(key)
+
+        if pending:
+            job = _sim_job if kind == "sim" else _fault_job
+            args = [
+                (circuits[i], workloads[i], sim_config)
+                if fault_config is None
+                else (circuits[i], workloads[i], sim_config, fault_config)
+                for i in pending
+            ]
+            workers = min(self.config.resolve_workers(), len(pending))
+            if workers > 1:
+                chunk = max(
+                    self.config.min_chunk, len(pending) // (4 * workers) or 1
+                )
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(pool.map(job, args, chunksize=chunk))
+            else:
+                fresh = [job(a) for a in args]
+            for i, labels in zip(pending, fresh):
+                results[keys[i]] = labels
+                self.cache.put(keys[i], labels)
+        return [results[key] for key in keys]
+
+    @property
+    def stats(self):
+        """Label-cache hit/miss counters (see :class:`CacheStats`)."""
+        return self.cache.stats
+
+
+# ----------------------------------------------------------------------
+# process-default factory (mirrors the runtime's process-wide plan cache)
+# ----------------------------------------------------------------------
+
+_DEFAULT: list[DataFactory | None] = [None]
+
+
+def get_factory() -> DataFactory:
+    """The process-default factory, configured from the environment.
+
+    ``REPRO_DATA_CACHE`` sets the on-disk cache directory and
+    ``REPRO_DATA_WORKERS`` the pool size (``0`` = serial) for callers that
+    don't thread an explicit factory — benchmarks, examples, CI.
+    """
+    if _DEFAULT[0] is None:
+        workers_env = os.environ.get("REPRO_DATA_WORKERS")
+        _DEFAULT[0] = DataFactory(
+            FactoryConfig(
+                workers=int(workers_env) if workers_env else None,
+                cache_dir=os.environ.get("REPRO_DATA_CACHE") or None,
+            )
+        )
+    return _DEFAULT[0]
+
+
+def set_factory(factory: DataFactory | None) -> None:
+    """Replace (or with ``None`` reset) the process-default factory."""
+    _DEFAULT[0] = factory

@@ -66,6 +66,13 @@ class ExperimentScale:
     grad_accum: int = 1
     #: Directory for resumable pre-training checkpoints (None = off).
     checkpoint_dir: str | None = None
+    #: Data-factory pool size for label generation (None = auto-size to
+    #: the CPUs this process may use, 0 = serial in-process).
+    data_workers: int | None = None
+    #: On-disk label-cache directory (None = in-memory LRU only).  Point
+    #: repeated table regenerations / CI jobs at one directory and
+    #: identical (circuit, workload, config) labels are never re-simulated.
+    data_cache_dir: str | None = None
 
     @property
     def effective_samples(self) -> int:

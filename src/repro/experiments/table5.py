@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.circuit.benchmarks import LARGE_DESIGN_SPECS, large_design
 from repro.experiments.common import (
+    data_factory,
     model_config,
     pretrain,
     sim_config,
@@ -67,7 +68,8 @@ def run_table5(
 ) -> Table5Result:
     """Run the full power-estimation comparison."""
     designs = designs or tuple(LARGE_DESIGN_SPECS)
-    dataset = training_dataset(scale)
+    factory = data_factory(scale)
+    dataset = training_dataset(scale, factory=factory)
     deepseq_pre = pretrain("deepseq", "dual_attention", scale, dataset)
     grannite_pre_state = None
 
@@ -100,19 +102,20 @@ def run_table5(
         nl.name = name
 
         deepseq = _clone_deepseq(scale, pretrained_state)
-        finetune_on_workloads(deepseq, nl, ft)
+        finetune_on_workloads(deepseq, nl, ft, factory=factory)
 
         grannite = Grannite(model_config(scale, "attention"))
         if grannite_pre_state is not None:
             grannite.load_state_dict(grannite_pre_state)
-        finetune_grannite(grannite, nl, ft)
+        finetune_grannite(grannite, nl, ft, factory=factory)
 
         test_wl = testbench_workload(
             nl, seed=scale.seed + 911, name="test",
             active_fraction=scale.workload_activity,
         )
         cmp = run_power_pipeline(
-            nl, test_wl, deepseq=deepseq, grannite=grannite, sim_config=sim
+            nl, test_wl, deepseq=deepseq, grannite=grannite, sim_config=sim,
+            factory=factory,
         )
         comparisons[name] = cmp
         prob = cmp.method("probabilistic")

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.circuit.benchmarks import LARGE_DESIGN_SPECS, large_design
 from repro.experiments.common import (
+    data_factory,
     pretrain,
     sim_config,
     training_circuits,
@@ -70,9 +71,10 @@ def run_table7(
     designs = designs or tuple(LARGE_DESIGN_SPECS)
     fault_config = FaultConfig(seed=scale.seed + 5)
     sim = sim_config(scale)
+    factory = data_factory(scale)
 
     # Pre-train on the standard objective, then fine-tune for reliability.
-    dataset = training_dataset(scale)
+    dataset = training_dataset(scale, factory=factory)
     model = pretrain("deepseq", "dual_attention", scale, dataset)
     corpus = training_circuits(scale)
     ft_circuits = [nl for fam in sorted(corpus) for nl in corpus[fam]]
@@ -84,7 +86,8 @@ def run_table7(
         sim=sim,
     )
     finetune_for_reliability(
-        model, ft_circuits, ft_config, fault_config=fault_config
+        model, ft_circuits, ft_config, fault_config=fault_config,
+        factory=factory,
     )
 
     table = TextTable(
@@ -113,6 +116,7 @@ def run_table7(
             sim_config=sim,
             fault_config=fault_config,
             error_scale=ft_config.target_scale,
+            factory=factory,
         )
         comparisons[name] = cmp
         table.add(

@@ -73,7 +73,14 @@ class FaultConfig:
 
 @dataclass
 class FaultSimResult:
-    """Per-node error probabilities plus circuit-level reliability."""
+    """Per-node error probabilities plus circuit-level reliability.
+
+    ``observed0``/``observed1`` are the golden machine's per-node 0/1
+    sample counts, so the fault-free activity statistics of the *same*
+    stimulus come for free — consumers that need the golden logic
+    probability (e.g. the reliability dataset's auxiliary LG target) read
+    :attr:`golden_logic_prob` instead of paying a second full simulation.
+    """
 
     err01: np.ndarray
     err10: np.ndarray
@@ -86,6 +93,17 @@ class FaultSimResult:
     def error_prob(self) -> np.ndarray:
         """Per-node 2-d supervision vector [err01, err10], shape (N, 2)."""
         return np.stack([self.err01, self.err10], axis=1)
+
+    @property
+    def samples(self) -> int:
+        """Observed (cycle, stream) samples per node in the golden run."""
+        return int(self.observed0[0] + self.observed1[0]) if self.observed0.size else 0
+
+    @property
+    def golden_logic_prob(self) -> np.ndarray:
+        """Fault-free logic-1 probability under the lockstep stimulus."""
+        total = self.observed0 + self.observed1
+        return np.divide(self.observed1, np.maximum(total, 1), dtype=np.float64)
 
 
 class _FaultInjector:
@@ -126,8 +144,16 @@ def simulate_with_faults(
     workload: Workload,
     sim_config: SimConfig | None = None,
     fault_config: FaultConfig | None = None,
+    *,
+    replay_seed: int | None = None,
 ) -> FaultSimResult:
-    """Run golden and faulty simulations in lockstep; collect error stats."""
+    """Run golden and faulty simulations in lockstep; collect error stats.
+
+    Golden and faulty machines always share one :class:`PatternSource`, so
+    their stimulus is identical bit-for-bit regardless of seeding.  The
+    stream itself defaults to the workload's own seed (matching
+    :func:`repro.sim.logicsim.simulate`); ``replay_seed`` overrides it.
+    """
     sim_config = sim_config or SimConfig()
     fault_config = fault_config or FaultConfig()
     compiled = (
@@ -140,7 +166,7 @@ def simulate_with_faults(
         golden.words,
         np.random.default_rng(fault_config.seed),
     )
-    source = PatternSource(workload, streams=sim_config.streams, seed=sim_config.seed)
+    source = PatternSource(workload, streams=sim_config.streams, seed=replay_seed)
 
     n = compiled.num_nodes
     obs0 = np.zeros(n, dtype=np.int64)

@@ -233,6 +233,8 @@ class SimConfig:
     ``cycles`` counts *observed* cycles per stream; with ``streams`` lanes
     the effective sample count is ``cycles * streams``.  ``warmup`` cycles
     run first without being counted, flushing the all-zero reset state.
+    ``seed`` drives simulator-side randomness (random DFF initialization,
+    episode resets) — PI stimulus comes from the workload's own seed.
     """
 
     cycles: int = 156
@@ -290,14 +292,24 @@ def simulate(
     circuit: Netlist | CompiledCircuit,
     workload: Workload,
     config: SimConfig | None = None,
+    *,
+    replay_seed: int | None = None,
 ) -> SimResult:
-    """Run a workload and collect per-node activity statistics."""
+    """Run a workload and collect per-node activity statistics.
+
+    Stimulus is drawn from the *workload's own* seed, so two workloads
+    with different seeds produce decorrelated pattern streams even under
+    one :class:`SimConfig` (``config.seed`` only drives random DFF
+    initialization).  Pass ``replay_seed`` to force a specific pattern
+    stream instead — the lockstep-replay hook
+    :func:`repro.sim.faults.simulate_with_faults` relies on.
+    """
     config = config or SimConfig()
     sim = Simulator(circuit, streams=config.streams)
     compiled = sim.compiled
     rng = np.random.default_rng(config.seed)
     sim.reset(config.init_state, rng)
-    source = PatternSource(workload, streams=config.streams, seed=config.seed)
+    source = PatternSource(workload, streams=config.streams, seed=replay_seed)
     counter = ActivityCounter(compiled.num_nodes, sim.words)
     total = config.warmup + config.cycles
     for cycle in range(total):

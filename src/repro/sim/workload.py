@@ -29,7 +29,28 @@ import numpy as np
 from repro.circuit.netlist import Netlist
 from repro.sim.bitvec import biased_words, words_for
 
-__all__ = ["Workload", "random_workload", "testbench_workload", "PatternSource"]
+__all__ = [
+    "Workload",
+    "random_workload",
+    "testbench_workload",
+    "PatternSource",
+    "spawn_seeds",
+]
+
+
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from one dataset seed.
+
+    Children come from :class:`numpy.random.SeedSequence` spawning, so the
+    streams are statistically independent *and* collision-free across
+    parent seeds — unlike affine schemes such as ``seed * K + k``, where
+    ``(seed, k)`` and ``(seed + 1, k - K)`` collide exactly.  Each child is
+    reduced to a single 64-bit integer usable anywhere a plain seed is.
+    """
+    parent = np.random.SeedSequence(seed)
+    return [
+        int(child.generate_state(1, np.uint64)[0]) for child in parent.spawn(count)
+    ]
 
 
 @dataclass(frozen=True)

@@ -85,12 +85,15 @@ def run_power_pipeline(
     analyzer: PowerAnalyzer | None = None,
     saif_duration: int = 10_000,
     gt_result: SimResult | None = None,
+    factory=None,
 ) -> PowerComparison:
     """Run all methods on one circuit+workload; returns the comparison row.
 
     Models may be omitted (e.g. the quickstart compares only GT vs the
     probabilistic baseline); pass ``gt_result`` to reuse an existing
-    simulation.
+    simulation, or ``factory`` (a :class:`repro.data.DataFactory`) to
+    source ground truth from the content-addressed label cache — repeated
+    sweeps over one (design, workload) then skip simulation entirely.
     """
     analyzer = analyzer or PowerAnalyzer()
     sim_config = sim_config or SimConfig()
@@ -99,7 +102,12 @@ def run_power_pipeline(
     plan = plan_for(nl)
     graph = plan.graph
 
-    gt = gt_result or simulate(nl, workload, sim_config)
+    if gt_result is not None:
+        gt = gt_result
+    elif factory is not None:
+        gt = factory.simulate(nl, workload, sim_config)
+    else:
+        gt = simulate(nl, workload, sim_config)
     gt_report = _through_saif(
         nl, gt.logic_prob, gt.tr01_prob, gt.tr10_prob, analyzer, saif_duration
     )

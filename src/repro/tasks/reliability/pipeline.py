@@ -51,17 +51,23 @@ def run_reliability_pipeline(
     fault_config: FaultConfig | None = None,
     analytical_config: AnalyticalConfig | None = None,
     error_scale: float = 1.0,
+    factory=None,
 ) -> ReliabilityComparison:
     """Compare reliability estimates for one circuit.
 
     ``error_scale`` undoes the target scaling of
     :func:`repro.train.finetune.finetune_for_reliability` — pass the same
     value used there (predictions are divided by it before the
-    PO-reliability reduction).
+    PO-reliability reduction).  ``factory`` (a
+    :class:`repro.data.DataFactory`) sources the Monte-Carlo ground truth
+    from the label cache when available.
     """
     sim_config = sim_config or SimConfig()
     fault_config = fault_config or FaultConfig()
-    gt = simulate_with_faults(nl, workload, sim_config, fault_config)
+    if factory is not None:
+        gt = factory.simulate_faults(nl, workload, sim_config, fault_config)
+    else:
+        gt = simulate_with_faults(nl, workload, sim_config, fault_config)
 
     analytical_config = analytical_config or AnalyticalConfig(
         eps=fault_config.effective_cycle_rate

@@ -11,6 +11,7 @@ from repro.train.dataset import (
     CircuitSample,
     build_dataset,
     build_reliability_dataset,
+    dataset_workloads,
     merge_samples,
 )
 from repro.train.finetune import (
@@ -32,6 +33,7 @@ __all__ = [
     "CircuitSample",
     "build_dataset",
     "build_reliability_dataset",
+    "dataset_workloads",
     "merge_samples",
     "FinetuneConfig",
     "finetune_for_reliability",

@@ -18,10 +18,11 @@ from repro.circuit.graph import CircuitGraph
 from repro.circuit.netlist import Netlist
 from repro.sim.faults import FaultConfig, simulate_with_faults
 from repro.sim.logicsim import SimConfig, simulate
-from repro.sim.workload import Workload, random_workload
+from repro.sim.workload import Workload, random_workload, spawn_seeds
 
 __all__ = [
     "CircuitSample",
+    "dataset_workloads",
     "build_dataset",
     "build_reliability_dataset",
     "merge_samples",
@@ -52,21 +53,42 @@ class CircuitSample:
         return self.graph.num_nodes
 
 
+def dataset_workloads(
+    circuits: list[Netlist], seed: int, workloads: list[Workload] | None = None
+) -> list[Workload]:
+    """The per-circuit workloads a dataset build uses (given or derived).
+
+    Derived workload seeds come from :func:`repro.sim.workload.spawn_seeds`
+    so two dataset seeds can never alias each other's per-circuit streams
+    (the old affine ``seed * K + k`` derivation collided across seeds).
+    Shared between the serial builders below and the parallel
+    :class:`repro.data.DataFactory`, which keeps the two paths
+    bitwise-identical.
+    """
+    if workloads is not None:
+        if len(workloads) != len(circuits):
+            raise ValueError("need exactly one workload per circuit")
+        return list(workloads)
+    seeds = spawn_seeds(seed, len(circuits))
+    return [random_workload(nl, seed=s) for nl, s in zip(circuits, seeds)]
+
+
 def build_dataset(
     circuits: list[Netlist],
     sim_config: SimConfig | None = None,
     seed: int = 0,
     workloads: list[Workload] | None = None,
+    keep_sim: bool = True,
 ) -> list[CircuitSample]:
-    """Simulate one (given or random) workload per circuit; label all nodes."""
+    """Simulate one (given or random) workload per circuit; label all nodes.
+
+    ``keep_sim=True`` stashes the full :class:`SimResult` under
+    ``extras["sim"]`` (the Grannite fine-tune consumes it); pass ``False``
+    for lean samples that hold only graphs and label arrays.
+    """
     sim_config = sim_config or SimConfig()
     samples: list[CircuitSample] = []
-    for k, nl in enumerate(circuits):
-        wl = (
-            workloads[k]
-            if workloads is not None
-            else random_workload(nl, seed=seed * 100_003 + k)
-        )
+    for nl, wl in zip(circuits, dataset_workloads(circuits, seed, workloads)):
         result = simulate(nl, wl, sim_config)
         samples.append(
             CircuitSample(
@@ -75,7 +97,7 @@ def build_dataset(
                 target_tr=result.transition_prob,
                 target_lg=result.logic_prob,
                 name=nl.name,
-                extras={"sim": result},
+                extras={"sim": result} if keep_sim else {},
             )
         )
     return samples
@@ -86,28 +108,29 @@ def build_reliability_dataset(
     sim_config: SimConfig | None = None,
     fault_config: FaultConfig | None = None,
     seed: int = 0,
+    workloads: list[Workload] | None = None,
+    keep_sim: bool = True,
 ) -> list[CircuitSample]:
     """Label nodes with 0→1 / 1→0 *error* probabilities (fault injection).
 
     ``target_tr`` carries the 2-d error-probability vector the paper
     fine-tunes on; ``target_lg`` keeps the fault-free logic probability as
-    the auxiliary task.
+    the auxiliary task — read off the lockstep golden run inside
+    :func:`simulate_with_faults` (one simulation per circuit, not two).
     """
     sim_config = sim_config or SimConfig()
     fault_config = fault_config or FaultConfig()
     samples: list[CircuitSample] = []
-    for k, nl in enumerate(circuits):
-        wl = random_workload(nl, seed=seed * 100_003 + k)
+    for nl, wl in zip(circuits, dataset_workloads(circuits, seed, workloads)):
         fault_res = simulate_with_faults(nl, wl, sim_config, fault_config)
-        golden = simulate(nl, wl, sim_config)
         samples.append(
             CircuitSample(
                 graph=CircuitGraph(nl),
                 workload=wl,
                 target_tr=fault_res.error_prob,
-                target_lg=golden.logic_prob,
+                target_lg=fault_res.golden_logic_prob,
                 name=nl.name,
-                extras={"faults": fault_res},
+                extras={"faults": fault_res} if keep_sim else {},
             )
         )
     return samples

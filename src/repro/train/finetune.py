@@ -90,24 +90,59 @@ def workload_suite(
     ]
 
 
+def _build(
+    factory,
+    circuits: list[Netlist],
+    sim_config: SimConfig,
+    seed: int,
+    workloads: list[Workload] | None = None,
+    keep_sim: bool = False,
+    fault_config: FaultConfig | None = None,
+) -> list[CircuitSample]:
+    """Factory-backed dataset build, serial when no factory is given.
+
+    ``fault_config`` switches to the reliability (fault-injection) builder.
+    """
+    if fault_config is not None:
+        if factory is not None:
+            return factory.build_reliability(
+                circuits, sim_config, fault_config, seed=seed,
+                workloads=workloads, keep_sim=keep_sim,
+            )
+        return build_reliability_dataset(
+            circuits, sim_config=sim_config, fault_config=fault_config,
+            seed=seed, workloads=workloads, keep_sim=keep_sim,
+        )
+    if factory is not None:
+        return factory.build(
+            circuits, sim_config, seed=seed, workloads=workloads, keep_sim=keep_sim
+        )
+    return build_dataset(
+        circuits, sim_config=sim_config, seed=seed, workloads=workloads,
+        keep_sim=keep_sim,
+    )
+
+
 def finetune_on_workloads(
     model: RecurrentDagGnn,
     nl: Netlist,
     config: FinetuneConfig | None = None,
+    factory=None,
 ) -> list[CircuitSample]:
     """Fine-tune on one circuit under many workloads (power task).
 
     Returns the fine-tuning dataset (useful for evaluation/reuse).  The
-    model is updated in place.
+    model is updated in place.  ``factory`` (a
+    :class:`repro.data.DataFactory`) parallelizes and caches the label
+    simulations — with 1,000 workloads per design (paper scale) this is
+    the dominant fine-tuning setup cost.
     """
     config = config or FinetuneConfig()
     workloads = workload_suite(
         nl, config.num_workloads, config.seed, config.workload_activity
     )
-    dataset = build_dataset(
-        [nl] * len(workloads),
-        sim_config=config.sim,
-        seed=config.seed,
+    dataset = _build(
+        factory, [nl] * len(workloads), config.sim, config.seed,
         workloads=workloads,
     )
     trainer = Trainer(config.train_config())
@@ -119,6 +154,7 @@ def finetune_grannite(
     model,
     nl: Netlist,
     config: FinetuneConfig | None = None,
+    factory=None,
 ) -> list[CircuitSample]:
     """Fine-tune a Grannite model on one circuit under many workloads.
 
@@ -137,11 +173,11 @@ def finetune_grannite(
     workloads = workload_suite(
         nl, config.num_workloads, config.seed, config.workload_activity
     )
-    dataset = build_dataset(
-        [nl] * len(workloads),
-        sim_config=config.sim,
-        seed=config.seed,
-        workloads=workloads,
+    # Grannite's source-activity inputs read ``extras["sim"]``, so this is
+    # the one fine-tune that keeps full SimResults on its samples.
+    dataset = _build(
+        factory, [nl] * len(workloads), config.sim, config.seed,
+        workloads=workloads, keep_sim=True,
     )
     opt = Adam(model.parameters(), lr=config.lr)
     rng = np.random.default_rng(config.seed)
@@ -166,6 +202,7 @@ def finetune_for_reliability(
     circuits: list[Netlist],
     config: FinetuneConfig | None = None,
     fault_config: FaultConfig | None = None,
+    factory=None,
 ) -> list[CircuitSample]:
     """Fine-tune the backbone to predict per-node error probabilities.
 
@@ -176,11 +213,9 @@ def finetune_for_reliability(
     import numpy as np
 
     config = config or FinetuneConfig()
-    dataset = build_reliability_dataset(
-        circuits,
-        sim_config=config.sim,
+    dataset = _build(
+        factory, circuits, config.sim, config.seed,
         fault_config=fault_config or FaultConfig(),
-        seed=config.seed,
     )
     for sample in dataset:
         sample.target_tr = np.clip(

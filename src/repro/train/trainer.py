@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -125,17 +126,22 @@ class Trainer:
     def train(
         self,
         model: RecurrentDagGnn,
-        dataset: list[CircuitSample],
+        dataset: Sequence[CircuitSample],
         optimizer: Adam | None = None,
-        val_dataset: list[CircuitSample] | None = None,
+        val_dataset: Sequence[CircuitSample] | None = None,
     ) -> list[EpochStats]:
         """Run the schedule; returns per-epoch loss statistics.
+
+        ``dataset`` is any sequence of samples — a plain list, or a
+        streaming :class:`repro.data.ShardReader` over a persisted
+        dataset, which decodes shards on demand instead of holding every
+        sample (let alone every ``SimResult``) in memory.
 
         When resuming (``config.resume`` with an existing checkpoint), the
         returned history includes the checkpointed epochs, so the caller
         always sees the full run.
         """
-        if not dataset:
+        if not len(dataset):
             raise ValueError("empty dataset")
         cfg = self.config
         opt = optimizer or Adam(model.parameters(), lr=cfg.lr)
@@ -254,7 +260,7 @@ class Trainer:
         return history
 
     def _make_batches(
-        self, dataset: list[CircuitSample], rng: np.random.Generator
+        self, dataset: Sequence[CircuitSample], rng: np.random.Generator
     ) -> list[PackedBatch]:
         """Randomized membership partition into packed minibatches."""
         return make_minibatches(dataset, self.config.batch_size, rng)
@@ -262,7 +268,7 @@ class Trainer:
 
 def evaluate(
     model: RecurrentDagGnn,
-    dataset: list[CircuitSample],
+    dataset: Sequence[CircuitSample],
     batch_size: int = 8,
     dtype=np.float64,
 ) -> EvalMetrics:

@@ -1,0 +1,176 @@
+"""Differential tests for the parallel data factory (repro.data.factory).
+
+The factory's core guarantee: serial, pooled and warm-cache builds are
+float64-bitwise-identical to the reference loops in
+:mod:`repro.train.dataset` — scheduling and caching never touch label
+values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.benchmarks import family_subcircuits
+from repro.data import DataFactory, FactoryConfig, get_factory, set_factory
+from repro.sim.faults import FaultConfig, simulate_with_faults
+from repro.sim.logicsim import SimConfig, simulate
+from repro.sim.workload import random_workload
+from repro.train.dataset import build_dataset, build_reliability_dataset
+
+SIM = SimConfig(cycles=30, streams=64, seed=1)
+FAULT = FaultConfig(fault_rate=1e-2, per_pattern=False, seed=2)
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    return family_subcircuits("iscas89", 3, seed=4)
+
+
+@pytest.fixture(scope="module")
+def reference(circuits):
+    return build_dataset(circuits, SIM, seed=0)
+
+
+def assert_bitwise(a, b):
+    assert a.name == b.name
+    assert np.array_equal(a.target_tr, b.target_tr)
+    assert np.array_equal(a.target_lg, b.target_lg)
+    assert np.array_equal(a.workload.pi_probs, b.workload.pi_probs)
+    assert a.workload.seed == b.workload.seed
+
+
+class TestBuildDifferential:
+    def test_serial_factory_matches_reference(self, circuits, reference):
+        built = DataFactory(FactoryConfig(workers=0)).build(circuits, SIM, seed=0)
+        for a, b in zip(reference, built):
+            assert_bitwise(a, b)
+
+    def test_pooled_factory_matches_reference(self, circuits, reference):
+        built = DataFactory(FactoryConfig(workers=2)).build(circuits, SIM, seed=0)
+        for a, b in zip(reference, built):
+            assert_bitwise(a, b)
+
+    def test_warm_memory_matches_reference(self, circuits, reference):
+        factory = DataFactory(FactoryConfig(workers=0))
+        factory.build(circuits, SIM, seed=0)
+        warm = factory.build(circuits, SIM, seed=0)
+        assert factory.stats.misses == len(circuits), "second build all-hit"
+        assert factory.stats.memory_hits >= len(circuits)
+        for a, b in zip(reference, warm):
+            assert_bitwise(a, b)
+
+    def test_warm_disk_matches_reference(self, circuits, reference, tmp_path):
+        DataFactory(FactoryConfig(workers=0, cache_dir=tmp_path)).build(
+            circuits, SIM, seed=0
+        )
+        fresh = DataFactory(FactoryConfig(workers=0, cache_dir=tmp_path))
+        warm = fresh.build(circuits, SIM, seed=0)
+        assert fresh.stats.misses == 0
+        assert fresh.stats.disk_hits == len(circuits)
+        for a, b in zip(reference, warm):
+            assert_bitwise(a, b)
+
+    def test_reliability_matches_reference(self, circuits):
+        serial = build_reliability_dataset(circuits[:2], SIM, FAULT, seed=0)
+        built = DataFactory(FactoryConfig(workers=0)).build_reliability(
+            circuits[:2], SIM, FAULT, seed=0
+        )
+        for a, b in zip(serial, built):
+            assert_bitwise(a, b)
+
+    def test_explicit_workloads(self, circuits, reference):
+        wls = [s.workload for s in reference]
+        built = DataFactory(FactoryConfig(workers=0)).build(
+            circuits, SIM, workloads=wls
+        )
+        for a, b in zip(reference, built):
+            assert_bitwise(a, b)
+
+
+class TestExtras:
+    def test_lean_by_default(self, circuits):
+        built = DataFactory(FactoryConfig(workers=0)).build(circuits, SIM, seed=0)
+        assert all(s.extras == {} for s in built)
+
+    def test_keep_sim_reconstructs_full_result(self, circuits):
+        built = DataFactory(FactoryConfig(workers=0)).build(
+            circuits, SIM, seed=0, keep_sim=True
+        )
+        s = built[0]
+        res = s.extras["sim"]
+        direct = simulate(circuits[0], s.workload, SIM)
+        assert np.array_equal(res.logic_prob, direct.logic_prob)
+        assert np.array_equal(res.transition_prob, direct.transition_prob)
+        assert res.cycles == direct.cycles and res.streams == direct.streams
+        assert res.netlist is circuits[0]
+
+    def test_keep_sim_reliability(self, circuits):
+        built = DataFactory(FactoryConfig(workers=0)).build_reliability(
+            circuits[:1], SIM, FAULT, seed=0, keep_sim=True
+        )
+        res = built[0].extras["faults"]
+        direct = simulate_with_faults(circuits[0], built[0].workload, SIM, FAULT)
+        assert np.array_equal(res.error_prob, direct.error_prob)
+        assert res.reliability == direct.reliability
+
+
+class TestScheduling:
+    def test_duplicate_jobs_simulated_once(self, circuits):
+        factory = DataFactory(FactoryConfig(workers=0))
+        nl = circuits[0]
+        wl = random_workload(nl, seed=5)
+        built = factory.build([nl, nl, nl], SIM, workloads=[wl, wl, wl])
+        assert factory.stats.misses == 1, "identical digests collapse"
+        for a, b in zip(built, built[1:]):
+            assert np.array_equal(a.target_tr, b.target_tr)
+
+    def test_single_sim_cached(self, circuits):
+        factory = DataFactory(FactoryConfig(workers=0))
+        wl = random_workload(circuits[0], seed=6)
+        a = factory.simulate(circuits[0], wl, SIM)
+        b = factory.simulate(circuits[0], wl, SIM)
+        assert factory.stats.misses == 1
+        assert np.array_equal(a.logic_prob, b.logic_prob)
+        direct = simulate(circuits[0], wl, SIM)
+        assert np.array_equal(a.logic_prob, direct.logic_prob)
+        assert np.array_equal(a.tr01_prob, direct.tr01_prob)
+
+    def test_single_fault_sim_cached(self, circuits):
+        factory = DataFactory(FactoryConfig(workers=0))
+        wl = random_workload(circuits[0], seed=6)
+        a = factory.simulate_faults(circuits[0], wl, SIM, FAULT)
+        factory.simulate_faults(circuits[0], wl, SIM, FAULT)
+        assert factory.stats.misses == 1
+        direct = simulate_with_faults(circuits[0], wl, SIM, FAULT)
+        assert np.array_equal(a.error_prob, direct.error_prob)
+        assert np.array_equal(a.golden_logic_prob, direct.golden_logic_prob)
+        assert a.reliability == direct.reliability
+
+    def test_mixed_kinds_do_not_collide(self, circuits):
+        factory = DataFactory(FactoryConfig(workers=0))
+        wl = random_workload(circuits[0], seed=6)
+        sim_res = factory.simulate(circuits[0], wl, SIM)
+        fault_res = factory.simulate_faults(circuits[0], wl, SIM, FAULT)
+        assert factory.stats.misses == 2
+        assert not np.array_equal(sim_res.transition_prob, fault_res.error_prob)
+
+
+class TestDefaultFactory:
+    def test_env_configuration(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_CACHE", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_DATA_WORKERS", "0")
+        set_factory(None)
+        try:
+            factory = get_factory()
+            assert factory is get_factory(), "singleton"
+            assert factory.config.resolve_workers() == 0
+            assert str(factory.cache.cache_dir) == str(tmp_path / "cache")
+        finally:
+            set_factory(None)
+
+    def test_set_factory_overrides(self):
+        custom = DataFactory(FactoryConfig(workers=0))
+        set_factory(custom)
+        try:
+            assert get_factory() is custom
+        finally:
+            set_factory(None)

@@ -1,0 +1,116 @@
+"""Tests for coverage-screened workload sweeps (repro.data.sweep)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.benchmarks import large_design
+from repro.circuit.library import library_circuit
+from repro.data import DataFactory, FactoryConfig, SweepConfig, sweep_workloads
+from repro.sim.logicsim import SimConfig
+
+SIM = SimConfig(cycles=32, streams=64, seed=1)
+
+
+@pytest.fixture(scope="module")
+def design():
+    nl = large_design("ptc", scale=0.0625)
+    nl.name = "ptc_small"
+    return nl
+
+
+def factory():
+    return DataFactory(FactoryConfig(workers=0))
+
+
+class TestScreening:
+    def test_returns_requested_count_with_coverage(self, design):
+        cfg = SweepConfig(count=4, min_full_coverage=0.05, sim=SIM)
+        res = sweep_workloads(design, cfg, seed=0, factory=factory())
+        assert len(res.workloads) == 4
+        assert len(res.coverages) == 4
+        for cov in res.coverages:
+            assert cov.full_coverage >= 0.05
+        names = [w.name for w in res.workloads]
+        assert len(set(names)) == 4
+
+    def test_strict_floor_rejects_candidates(self, design):
+        fac = factory()
+        loose = sweep_workloads(
+            design, SweepConfig(count=3, min_full_coverage=0.0, sim=SIM),
+            seed=0, factory=fac,
+        )
+        strict = sweep_workloads(
+            design,
+            SweepConfig(
+                count=3,
+                min_full_coverage=max(c.full_coverage for c in loose.coverages),
+                sim=SIM,
+                max_draws=64,
+            ),
+            seed=0,
+            factory=fac,
+        )
+        assert strict.rejected >= 1, "raising the floor must reject someone"
+        for cov in strict.coverages:
+            assert cov.full_coverage >= max(
+                c.full_coverage for c in loose.coverages
+            )
+
+    def test_impossible_floor_raises(self, design):
+        cfg = SweepConfig(count=2, min_full_coverage=1.01, max_draws=6, sim=SIM)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            sweep_workloads(design, cfg, seed=0, factory=factory())
+
+    def test_deterministic(self, design):
+        cfg = SweepConfig(count=3, sim=SIM)
+        a = sweep_workloads(design, cfg, seed=5, factory=factory())
+        b = sweep_workloads(design, cfg, seed=5, factory=factory())
+        for x, y in zip(a.workloads, b.workloads):
+            assert np.array_equal(x.pi_probs, y.pi_probs)
+            assert x.seed == y.seed
+
+    def test_parent_seeds_do_not_alias(self, design):
+        cfg = SweepConfig(count=3, sim=SIM)
+        fac = factory()
+        a = sweep_workloads(design, cfg, seed=0, factory=fac)
+        b = sweep_workloads(design, cfg, seed=1, factory=fac)
+        seeds_a = {w.seed for w in a.workloads}
+        seeds_b = {w.seed for w in b.workloads}
+        assert not seeds_a & seeds_b
+
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            SweepConfig(kinds=("telepathy",))
+        with pytest.raises(ValueError):
+            SweepConfig(kinds=())
+        with pytest.raises(ValueError):
+            SweepConfig(count=0)
+
+
+class TestCacheReuse:
+    def test_build_after_sweep_is_free(self, design):
+        fac = factory()
+        cfg = SweepConfig(count=3, sim=SIM)
+        res = sweep_workloads(design, cfg, seed=0, factory=fac)
+        misses_after_sweep = fac.stats.misses
+        dataset = fac.build([design] * 3, SIM, workloads=res.workloads)
+        assert fac.stats.misses == misses_after_sweep, (
+            "labels for accepted workloads must come from the sweep's cache"
+        )
+        assert len(dataset) == 3
+
+    def test_acceptance_rate(self, design):
+        res = sweep_workloads(
+            design, SweepConfig(count=2, sim=SIM), seed=0, factory=factory()
+        )
+        assert 0.0 < res.acceptance_rate <= 1.0
+
+
+class TestFullyCoverableCircuit:
+    def test_counter_accepts_everything(self):
+        # gray3 is a free-running counter: full coverage under any stimulus,
+        # so even a floor of 1.0 accepts the first candidates drawn.
+        nl = library_circuit("gray3")
+        cfg = SweepConfig(count=2, min_full_coverage=1.0, sim=SIM)
+        res = sweep_workloads(nl, cfg, seed=0, factory=factory())
+        assert res.rejected == 0

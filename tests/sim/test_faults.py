@@ -119,3 +119,42 @@ class TestObservationCounts:
         res = simulate_with_faults(circuit, workload, cfg, FaultConfig())
         total = res.observed0 + res.observed1
         assert (total == total[0]).all(), "every node observed equally often"
+
+
+class TestGoldenActivityStats:
+    def test_golden_logic_prob_matches_standalone_sim(self, circuit, workload):
+        # With a single episode (episode_cycles >= cycles) the golden
+        # machine runs exactly the schedule of ``simulate`` — reset, one
+        # warmup stretch, observed cycles — on the same pattern stream, so
+        # the exposed golden stats must be float64-bitwise identical to a
+        # standalone fault-free simulation.  This is what lets
+        # build_reliability_dataset drop its second full simulation.
+        from repro.sim.logicsim import simulate
+
+        cfg = SimConfig(cycles=60, seed=3)
+        fault = FaultConfig(episode_cycles=60, seed=4)
+        res = simulate_with_faults(circuit, workload, cfg, fault)
+        golden = simulate(circuit, workload, cfg)
+        assert np.array_equal(res.golden_logic_prob, golden.logic_prob)
+
+    def test_sample_counts_cover_every_observed_cycle(self, circuit, workload):
+        cfg = SimConfig(cycles=50, streams=64, seed=3)
+        res = simulate_with_faults(circuit, workload, cfg, FaultConfig())
+        total = res.observed0 + res.observed1
+        assert (total == total[0]).all(), "every node observed every sample"
+        assert res.samples == 50 * 64
+        assert (res.golden_logic_prob >= 0).all()
+        assert (res.golden_logic_prob <= 1).all()
+
+    def test_workload_seed_drives_fault_sim_stimulus(self, circuit):
+        # The lockstep source follows the workload's seed (like simulate);
+        # distinct seeds must decorrelate the golden statistics.
+        cfg = SimConfig(cycles=40, seed=3)
+        probs = np.full(len(circuit.pis), 0.5)
+        res_a = simulate_with_faults(
+            circuit, Workload(probs, seed=1), cfg, FaultConfig()
+        )
+        res_b = simulate_with_faults(
+            circuit, Workload(probs, seed=2), cfg, FaultConfig()
+        )
+        assert not np.array_equal(res_a.golden_logic_prob, res_b.golden_logic_prob)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
 from repro.sim.bitvec import WORD_BITS, popcount
-from repro.sim.workload import PatternSource, Workload, random_workload
+from repro.sim.workload import PatternSource, Workload, random_workload, spawn_seeds
 from repro.sim.workload import testbench_workload as make_tb_workload
 
 
@@ -83,3 +83,30 @@ class TestPatternSource:
             counts += popcount(src.next_cycle(), axis=1)
         density = counts / (cycles * WORD_BITS)
         assert np.abs(density - probs).max() < 0.03
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(3, 5) == spawn_seeds(3, 5)
+
+    def test_distinct_within_parent(self):
+        seeds = spawn_seeds(0, 200)
+        assert len(set(seeds)) == 200
+
+    def test_no_collision_across_parents(self):
+        # Regression: the old affine derivation ``seed * 100_003 + k``
+        # aliased (seed=0, k=100003) with (seed=1, k=0) — whole samples of
+        # one dataset silently replayed another dataset's stimulus.
+        assert 0 * 100_003 + 100_003 == 1 * 100_003 + 0  # the old bug
+        a = set(spawn_seeds(0, 300))
+        b = set(spawn_seeds(1, 300))
+        c = set(spawn_seeds(2, 300))
+        assert not a & b and not a & c and not b & c
+
+    def test_children_decorrelate_pattern_streams(self):
+        s0, s1 = spawn_seeds(0, 2)
+        wl0 = Workload(np.full(4, 0.5), seed=s0)
+        wl1 = Workload(np.full(4, 0.5), seed=s1)
+        a = PatternSource(wl0, streams=64).next_cycle()
+        b = PatternSource(wl1, streams=64).next_cycle()
+        assert not np.array_equal(a, b)

@@ -60,6 +60,32 @@ class TestBuildDataset:
         ds = build_dataset(circuits, SIM, seed=0)
         assert "sim" in ds[0].extras
 
+    def test_keep_sim_false_gives_lean_samples(self, circuits):
+        lean = build_dataset(circuits, SIM, seed=0, keep_sim=False)
+        full = build_dataset(circuits, SIM, seed=0)
+        for a, b in zip(lean, full):
+            assert a.extras == {}
+            assert (a.target_tr == b.target_tr).all()
+            assert (a.target_lg == b.target_lg).all()
+
+    def test_dataset_seeds_do_not_alias(self, circuits):
+        # Regression: with the affine per-circuit seed derivation,
+        # different dataset seeds could hand two circuits the same
+        # workload stream.  Spawned seeds never collide across datasets.
+        from repro.train.dataset import dataset_workloads
+
+        seeds = set()
+        for ds_seed in range(4):
+            for wl in dataset_workloads(circuits, ds_seed):
+                assert wl.seed not in seeds
+                seeds.add(wl.seed)
+
+    def test_workload_count_mismatch_rejected(self, circuits):
+        from repro.train.dataset import dataset_workloads
+
+        with pytest.raises(ValueError):
+            dataset_workloads(circuits, 0, workloads=[])
+
 
 class TestReliabilityDataset:
     def test_error_prob_targets(self, circuits):
@@ -72,10 +98,33 @@ class TestReliabilityDataset:
             assert "faults" in s.extras
 
     def test_lg_target_is_fault_free(self, circuits):
-        ds = build_reliability_dataset(circuits[:1], SIM, FaultConfig(), seed=0)
+        # One episode == the standalone-simulate schedule, so the golden
+        # stats read off the lockstep run must equal a direct fault-free
+        # simulation bitwise (no second simulation needed to label LG).
+        fault = FaultConfig(episode_cycles=SIM.cycles)
+        ds = build_reliability_dataset(circuits[:1], SIM, fault, seed=0)
         s = ds[0]
         golden = simulate(circuits[0], s.workload, SIM)
         assert (s.target_lg == golden.logic_prob).all()
+
+    def test_no_redundant_fault_free_simulation(self, circuits, monkeypatch):
+        # Regression: build_reliability_dataset used to run a second full
+        # fault-free simulation per circuit; the golden activity now comes
+        # off the lockstep run inside simulate_with_faults.
+        import repro.train.dataset as dataset_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("build_reliability_dataset must not re-simulate")
+
+        monkeypatch.setattr(dataset_mod, "simulate", boom)
+        ds = build_reliability_dataset(circuits[:1], SIM, FaultConfig(), seed=0)
+        assert (ds[0].target_lg >= 0).all()
+
+    def test_keep_sim_false_drops_extras(self, circuits):
+        ds = build_reliability_dataset(
+            circuits[:1], SIM, FaultConfig(), seed=0, keep_sim=False
+        )
+        assert ds[0].extras == {}
 
 
 class TestMergeSamples:
