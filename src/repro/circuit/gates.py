@@ -27,6 +27,7 @@ __all__ = [
     "ONE_HOT_DIM",
     "one_hot",
     "eval_gate",
+    "eval_gate_into",
     "gate_truth_table",
 ]
 
@@ -164,6 +165,63 @@ def eval_gate(gate_type: GateType, inputs: Sequence[np.ndarray]) -> np.ndarray:
     raise ValueError(f"{gate_type} is not combinationally evaluable")
 
 
+def eval_gate_into(
+    gate_type: GateType, inputs: np.ndarray, out: np.ndarray
+) -> None:
+    """Allocation-free :func:`eval_gate`: write the result into ``out``.
+
+    ``inputs`` is the stacked fanin array ``(arity, m, words)`` (a plan's
+    gather buffer); ``out`` is a preallocated ``(m, words)`` buffer.  The
+    contents of ``inputs`` may be clobbered (MUX reuses a fanin row as
+    scratch), which is safe because gather buffers are refilled before
+    every evaluation.  Results are bitwise-identical to :func:`eval_gate`;
+    unlike it, the constant gates are accepted here so the fault-injection
+    path can re-materialize and flip them in place each cycle.
+    """
+    n = inputs.shape[0]
+    if gate_type is GateType.AND:
+        _require_min(gate_type, n, 2)
+        _reduce_into(np.bitwise_and, inputs, out)
+    elif gate_type is GateType.NOT:
+        _require_exact(gate_type, n, 1)
+        np.invert(inputs[0], out=out)
+    elif gate_type is GateType.BUF:
+        _require_exact(gate_type, n, 1)
+        np.copyto(out, inputs[0])
+    elif gate_type is GateType.OR:
+        _require_min(gate_type, n, 2)
+        _reduce_into(np.bitwise_or, inputs, out)
+    elif gate_type is GateType.NAND:
+        _require_min(gate_type, n, 2)
+        _reduce_into(np.bitwise_and, inputs, out)
+        np.invert(out, out=out)
+    elif gate_type is GateType.NOR:
+        _require_min(gate_type, n, 2)
+        _reduce_into(np.bitwise_or, inputs, out)
+        np.invert(out, out=out)
+    elif gate_type is GateType.XOR:
+        _require_min(gate_type, n, 2)
+        _reduce_into(np.bitwise_xor, inputs, out)
+    elif gate_type is GateType.XNOR:
+        _require_min(gate_type, n, 2)
+        _reduce_into(np.bitwise_xor, inputs, out)
+        np.invert(out, out=out)
+    elif gate_type is GateType.MUX:
+        # MUX(sel, a, b) = a when sel=0 else b.
+        _require_exact(gate_type, n, 3)
+        sel, a, b = inputs
+        np.invert(sel, out=out)
+        np.bitwise_and(out, a, out=out)
+        np.bitwise_and(b, sel, out=inputs[0])
+        np.bitwise_or(out, inputs[0], out=out)
+    elif gate_type is GateType.CONST0:
+        out.fill(0)
+    elif gate_type is GateType.CONST1:
+        out.fill(np.iinfo(out.dtype).max if out.dtype.kind == "u" else True)
+    else:
+        raise ValueError(f"{gate_type} is not combinationally evaluable")
+
+
 def gate_truth_table(gate_type: GateType, arity: int) -> np.ndarray:
     """Return the output column of the gate's truth table.
 
@@ -186,6 +244,13 @@ def gate_truth_table(gate_type: GateType, arity: int) -> np.ndarray:
     rows = np.arange(2**arity, dtype=np.uint32)
     columns = [((rows >> k) & 1).astype(bool) for k in range(arity)]
     return eval_gate(gate_type, columns)
+
+
+def _reduce_into(ufunc: np.ufunc, inputs: np.ndarray, out: np.ndarray) -> None:
+    if inputs.shape[0] == 2:
+        ufunc(inputs[0], inputs[1], out=out)
+    else:
+        ufunc.reduce(inputs, axis=0, out=out)
 
 
 def _reduce_and(inputs: Sequence[np.ndarray]) -> np.ndarray:

@@ -4,7 +4,11 @@ The serial builders in :mod:`repro.train.dataset` simulate one circuit at
 a time in the trainer's process.  The :class:`DataFactory` keeps their
 exact label semantics (bitwise — simulation is deterministic and runs the
 same code in every path) while adding the two properties the ROADMAP's
-scale goal needs:
+scale goal needs.  Cache *misses* run on the block-stepped simulation
+engine (``repro.sim`` default), which is float64-bitwise-identical to the
+per-cycle reference loop — cold-path labelling got ~2x (fault-free) to
+~7x (fault-sim) faster without any ``CACHE_VERSION`` bump, and entries
+written by either engine hit for both.
 
 * **fan-out** — labelling jobs are distributed over a
   ``concurrent.futures.ProcessPoolExecutor``; each worker receives the

@@ -5,14 +5,17 @@ from repro.sim.bitvec import (
     biased_words,
     pack_bits,
     popcount,
+    popcount_int64,
     unpack_bits,
     words_for,
 )
 from repro.sim.faults import FaultConfig, FaultSimResult, simulate_with_faults
 from repro.sim.logicsim import (
+    DEFAULT_BLOCK_CYCLES,
     ActivityCounter,
     CompiledCircuit,
     SimConfig,
+    SimPlan,
     SimResult,
     Simulator,
     compile_netlist,
@@ -39,6 +42,7 @@ __all__ = [
     "biased_words",
     "pack_bits",
     "popcount",
+    "popcount_int64",
     "unpack_bits",
     "words_for",
     "FaultConfig",
@@ -46,7 +50,9 @@ __all__ = [
     "simulate_with_faults",
     "ActivityCounter",
     "CompiledCircuit",
+    "DEFAULT_BLOCK_CYCLES",
     "SimConfig",
+    "SimPlan",
     "SimResult",
     "Simulator",
     "compile_netlist",

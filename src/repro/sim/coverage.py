@@ -47,13 +47,20 @@ class ToggleCoverage:
 
 
 def toggle_coverage(result: SimResult) -> ToggleCoverage:
-    """Compute coverage from a simulation's empirical probabilities."""
+    """Compute coverage from a simulation's empirical probabilities.
+
+    Raises:
+        ValueError: for an empty netlist — coverage fractions over zero
+            nodes are undefined (and used to surface as NaN plus a
+            RuntimeWarning, which screening floors silently mishandled).
+    """
     lp = result.logic_prob
+    if lp.size == 0:
+        raise ValueError("toggle coverage of an empty netlist is undefined")
     both_values = (lp > 0.0) & (lp < 1.0)
     rose = result.tr01_prob > 0.0
     fell = result.tr10_prob > 0.0
     untoggled = np.flatnonzero(~(rose | fell))
-    n = max(1, lp.size)
     return ToggleCoverage(
         value_coverage=float(both_values.mean()),
         rise_coverage=float(rose.mean()),
@@ -72,6 +79,8 @@ def coverage_of_suite(results: list[SimResult]) -> ToggleCoverage:
     if not results:
         raise ValueError("empty result list")
     n = results[0].logic_prob.size
+    if n == 0:
+        raise ValueError("toggle coverage of an empty netlist is undefined")
     for r in results:
         if r.logic_prob.size != n:
             raise ValueError("results cover different netlists")

@@ -23,8 +23,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.circuit.netlist import Netlist
-from repro.sim.bitvec import popcount
-from repro.sim.logicsim import CompiledCircuit, SimConfig, Simulator, compile_netlist
+from repro.sim.bitvec import popcount, popcount_int64
+from repro.sim.logicsim import (
+    CompiledCircuit,
+    SimConfig,
+    SimPlan,
+    Simulator,
+    compile_netlist,
+)
 from repro.sim.workload import PatternSource, Workload
 
 __all__ = ["FaultConfig", "FaultSimResult", "simulate_with_faults"]
@@ -113,11 +119,27 @@ class _FaultInjector:
     cycle; instead we AND ``k`` uniform random words, giving density
     ``2**-k``, and mix two adjacent ``k`` values so the *expected* density
     equals ``fault_rate`` exactly.
+
+    ``batch_draws`` selects how the ``k`` uniform words are drawn: the
+    reference path makes ``k`` sequential ``(m, words)`` draws; the block
+    engine requests one ``(k, m, words)`` draw and AND-reduces it.  A
+    C-order fill of ``(k, m, words)`` consumes the PCG64 stream element
+    for element like ``k`` successive ``(m, words)`` fills, so both paths
+    return bitwise-identical masks from identical generator states (a
+    regression test pins this) — which is what keeps block-engine fault
+    labels, and therefore every cached fault digest, valid.
     """
 
-    def __init__(self, rate: float, words: int, rng: np.random.Generator):
+    def __init__(
+        self,
+        rate: float,
+        words: int,
+        rng: np.random.Generator,
+        batch_draws: bool = False,
+    ):
         self.words = words
         self.rng = rng
+        self.batch_draws = batch_draws
         if rate <= 0.0:
             self.k_lo = None
             return
@@ -133,10 +155,54 @@ class _FaultInjector:
         if self.k_lo is None:
             return np.zeros(shape, dtype=np.uint64)
         k = self.k_lo if self.rng.random() < self.w_lo else self.k_hi
+        if self.batch_draws and k > 1:
+            draws = self.rng.integers(
+                0, 2**64, size=(k,) + shape, dtype=np.uint64
+            )
+            return np.bitwise_and.reduce(draws, axis=0)
         out = self.rng.integers(0, 2**64, size=shape, dtype=np.uint64)
         for _ in range(k - 1):
             out &= self.rng.integers(0, 2**64, size=shape, dtype=np.uint64)
         return out
+
+
+class _FaultStats:
+    """Accumulators shared by the per-cycle and block fault engines."""
+
+    def __init__(self, compiled: CompiledCircuit) -> None:
+        n = compiled.num_nodes
+        self.obs0 = np.zeros(n, dtype=np.int64)
+        self.obs1 = np.zeros(n, dtype=np.int64)
+        self.e01 = np.zeros(n, dtype=np.int64)
+        self.e10 = np.zeros(n, dtype=np.int64)
+        self.po_ok = 0
+        self.po_total = 0
+        self.po_ids = np.asarray(compiled.netlist.pos, dtype=np.int64)
+
+    def result(self, compiled: CompiledCircuit) -> FaultSimResult:
+        err01 = np.divide(self.e01, np.maximum(self.obs0, 1), dtype=np.float64)
+        err10 = np.divide(self.e10, np.maximum(self.obs1, 1), dtype=np.float64)
+        reliability = self.po_ok / self.po_total if self.po_total else 1.0
+        return FaultSimResult(
+            err01=err01,
+            err10=err10,
+            reliability=float(reliability),
+            observed0=self.obs0,
+            observed1=self.obs1,
+            netlist=compiled.netlist,
+        )
+
+
+def _episode_schedule(sim_config: SimConfig, fault_config: FaultConfig):
+    """Observed-cycle count per episode (both engines share the split)."""
+    episodes = max(1, -(-sim_config.cycles // fault_config.episode_cycles))
+    remaining = sim_config.cycles
+    spans = []
+    for _ in range(episodes):
+        observe = min(fault_config.episode_cycles, remaining)
+        remaining -= observe
+        spans.append(observe)
+    return spans
 
 
 def simulate_with_faults(
@@ -146,6 +212,8 @@ def simulate_with_faults(
     fault_config: FaultConfig | None = None,
     *,
     replay_seed: int | None = None,
+    engine: str = "block",
+    block_cycles: int | None = None,
 ) -> FaultSimResult:
     """Run golden and faulty simulations in lockstep; collect error stats.
 
@@ -153,6 +221,14 @@ def simulate_with_faults(
     their stimulus is identical bit-for-bit regardless of seeding.  The
     stream itself defaults to the workload's own seed (matching
     :func:`repro.sim.logicsim.simulate`); ``replay_seed`` overrides it.
+
+    ``engine="block"`` (default) runs both machines block-stepped with
+    per-block statistics; ``"cycle"`` is the original per-cycle loop kept
+    as the pinned reference.  Stimulus draws, episode resets and fault
+    injector draws happen in identical generator order under both engines
+    (the injector only draws inside faulty steps, whose cycle order is
+    unchanged), so results are float64-bitwise-identical and cached fault
+    labels keep their digests.
     """
     sim_config = sim_config or SimConfig()
     fault_config = fault_config or FaultConfig()
@@ -165,30 +241,49 @@ def simulate_with_faults(
         fault_config.effective_cycle_rate,
         golden.words,
         np.random.default_rng(fault_config.seed),
+        batch_draws=engine == "block",
     )
     source = PatternSource(workload, streams=sim_config.streams, seed=replay_seed)
+    stats = _FaultStats(compiled)
+    if engine == "cycle":
+        _run_faults_cycle(
+            golden, faulty, injector, source, sim_config, fault_config, stats
+        )
+    elif engine == "block":
+        _run_faults_block(
+            golden,
+            faulty,
+            injector,
+            source,
+            sim_config,
+            fault_config,
+            stats,
+            block_cycles,
+        )
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    return stats.result(compiled)
 
-    n = compiled.num_nodes
-    obs0 = np.zeros(n, dtype=np.int64)
-    obs1 = np.zeros(n, dtype=np.int64)
-    e01 = np.zeros(n, dtype=np.int64)
-    e10 = np.zeros(n, dtype=np.int64)
-    po_ok = 0
-    po_total = 0
-    po_ids = np.asarray(compiled.netlist.pos, dtype=np.int64)
 
-    episodes = max(1, -(-sim_config.cycles // fault_config.episode_cycles))
-    remaining = sim_config.cycles
+def _run_faults_cycle(
+    golden: Simulator,
+    faulty: Simulator,
+    injector: _FaultInjector,
+    source: PatternSource,
+    sim_config: SimConfig,
+    fault_config: FaultConfig,
+    stats: _FaultStats,
+) -> None:
+    """The reference per-cycle lockstep loop (golden-hash pinned)."""
+    po_ids = stats.po_ids
     cycle = 0
-    for episode in range(episodes):
+    for episode, observe in enumerate(_episode_schedule(sim_config, fault_config)):
         # Pattern boundary: both machines restart from the reset state.
         init_rng = np.random.default_rng(sim_config.seed + episode)
         golden.reset(sim_config.init_state, init_rng)
         faulty.reset(
             sim_config.init_state, np.random.default_rng(sim_config.seed + episode)
         )
-        observe = min(fault_config.episode_cycles, remaining)
-        remaining -= observe
         for k in range(sim_config.warmup + observe):
             pi_words = source.next_cycle()
             gv = golden.step(pi_words, cycle)
@@ -196,28 +291,79 @@ def simulate_with_faults(
             cycle += 1
             if k >= sim_config.warmup:
                 zeros = ~gv
-                obs0 += popcount(zeros, axis=1).astype(np.int64)
-                obs1 += popcount(gv, axis=1).astype(np.int64)
-                e01 += popcount(zeros & fv, axis=1).astype(np.int64)
-                e10 += popcount(gv & ~fv, axis=1).astype(np.int64)
+                stats.obs0 += popcount(zeros, axis=1).astype(np.int64)
+                stats.obs1 += popcount(gv, axis=1).astype(np.int64)
+                stats.e01 += popcount(zeros & fv, axis=1).astype(np.int64)
+                stats.e10 += popcount(gv & ~fv, axis=1).astype(np.int64)
                 if po_ids.size:
                     mismatch = gv[po_ids] ^ fv[po_ids]
-                    any_bad = np.zeros(golden.words, dtype=np.uint64)
-                    for row in mismatch:
-                        any_bad |= row
-                    po_total += golden.streams
-                    po_ok += golden.streams - int(popcount(any_bad))
+                    any_bad = np.bitwise_or.reduce(mismatch, axis=0)
+                    stats.po_total += golden.streams
+                    stats.po_ok += golden.streams - int(popcount(any_bad))
             golden.latch()
             faulty.latch()
 
-    err01 = np.divide(e01, np.maximum(obs0, 1), dtype=np.float64)
-    err10 = np.divide(e10, np.maximum(obs1, 1), dtype=np.float64)
-    reliability = po_ok / po_total if po_total else 1.0
-    return FaultSimResult(
-        err01=err01,
-        err10=err10,
-        reliability=float(reliability),
-        observed0=obs0,
-        observed1=obs1,
-        netlist=compiled.netlist,
-    )
+
+def _run_faults_block(
+    golden: Simulator,
+    faulty: Simulator,
+    injector: _FaultInjector,
+    source: PatternSource,
+    sim_config: SimConfig,
+    fault_config: FaultConfig,
+    stats: _FaultStats,
+    block_cycles: int | None,
+) -> None:
+    """Block-stepped lockstep: two plans, shared stimulus blocks.
+
+    Per block, the golden machine runs hook-free, then the faulty machine
+    replays the same stimulus with the injector attached — the injector
+    draws per (cycle, group) in exactly the per-cycle engine's order
+    because golden steps never draw.  Statistics reduce over whole
+    observed history slices; all accumulators are integers, so block
+    summation is arithmetically identical to per-cycle summation.
+    """
+    compiled = golden.compiled
+    plan_g = SimPlan(compiled, golden.words, block_cycles)
+    plan_f = SimPlan(compiled, golden.words, block_cycles)
+    po_ids = stats.po_ids
+    streams = golden.streams
+    cycle = 0
+    for episode, observe in enumerate(_episode_schedule(sim_config, fault_config)):
+        init_rng = np.random.default_rng(sim_config.seed + episode)
+        golden.reset(sim_config.init_state, init_rng)
+        faulty.reset(
+            sim_config.init_state, np.random.default_rng(sim_config.seed + episode)
+        )
+        total = sim_config.warmup + observe
+        done = 0
+        while done < total:
+            b = min(plan_g.block_cycles, total - done)
+            block = source.next_block(b)
+            gh = plan_g.history[:b]
+            fh = plan_f.history[:b]
+            golden.run_block(block, plan_g, history=gh, start_cycle=cycle)
+            faulty.run_block(
+                block,
+                plan_f,
+                history=fh,
+                fault_hook=injector.mask,
+                start_cycle=cycle,
+            )
+            lo = max(sim_config.warmup - done, 0)
+            if lo < b:
+                g = gh[lo:]
+                f = fh[lo:]
+                nobs = g.shape[0]
+                ones = popcount_int64(g, axis=2).sum(axis=0)
+                stats.obs1 += ones
+                stats.obs0 += nobs * streams - ones
+                diff = g ^ f
+                stats.e01 += popcount_int64(diff & f, axis=2).sum(axis=0)
+                stats.e10 += popcount_int64(diff & g, axis=2).sum(axis=0)
+                if po_ids.size:
+                    any_bad = np.bitwise_or.reduce(diff[:, po_ids], axis=1)
+                    stats.po_total += nobs * streams
+                    stats.po_ok += nobs * streams - int(popcount_int64(any_bad))
+            cycle += b
+            done += b

@@ -18,6 +18,21 @@ is exactly the paper's per-node 0→1 / 1→0 transition probability definition.
 Bit-packing runs 64·``words`` independent streams of the same workload in
 parallel, so "10,000 cycles" can be realised as e.g. 64 × 157 cycles with
 identical statistics (stationary workloads) and ~64x less wall-clock.
+
+Two execution engines share these semantics:
+
+* the **per-cycle loop** (:meth:`Simulator.step` / :meth:`Simulator.latch`
+  driven by ``simulate(engine="cycle")``) — the original engine, kept as
+  the pinned reference whose value traces the golden-hash tests freeze;
+* the **block-stepped engine** (:class:`SimPlan` + :meth:`Simulator.run`)
+  — stimulus pregenerated in blocks, gate groups evaluated through
+  preallocated gather/output buffers with in-place ufuncs, and activity
+  statistics reduced once per block over a value-history buffer.
+
+The block engine is the default everywhere because it is provably
+float64-bitwise-identical to the per-cycle loop (same RNG consumption
+order, same integer accumulators) at roughly half the wall-clock or
+better; the engine choice therefore never enters label-cache digests.
 """
 
 from __future__ import annotations
@@ -27,16 +42,18 @@ from typing import Callable
 
 import numpy as np
 
-from repro.circuit.gates import GateType, eval_gate
+from repro.circuit.gates import GateType, eval_gate, eval_gate_into
 from repro.circuit.levelize import levelize
 from repro.circuit.netlist import Netlist
-from repro.sim.bitvec import popcount, words_for
+from repro.sim.bitvec import popcount, popcount_int64, words_for
 from repro.sim.workload import PatternSource, Workload
 
 __all__ = [
     "CompiledCircuit",
     "compile_netlist",
     "Simulator",
+    "SimPlan",
+    "DEFAULT_BLOCK_CYCLES",
     "ActivityCounter",
     "SimConfig",
     "SimResult",
@@ -115,6 +132,95 @@ def compile_netlist(nl: Netlist) -> CompiledCircuit:
     )
 
 
+#: Cycles evaluated per block by default (one history buffer's depth).
+DEFAULT_BLOCK_CYCLES = 64
+
+#: Memory bound for one plan's value-history buffer; the block depth is
+#: capped so huge netlists keep flat memory instead of scaling with the
+#: requested cycle count.
+MAX_BLOCK_BYTES = 8 << 20
+
+
+class SimPlan:
+    """Preallocated block-execution state for one compiled circuit.
+
+    The per-cycle engine pays, every cycle and for every evaluation group,
+    a fresh fanin gather list, a fresh output array and a byte-LUT
+    popcount.  A plan hoists all of that out of the loop: one stacked
+    ``(arity, m, words)`` gather buffer and one ``(m, words)`` output
+    buffer per :class:`_LevelOp`, a ``(block_cycles, nodes, words)``
+    value-history buffer that statistics are reduced over once per
+    *block*, and the DFF next-state staging buffer.  Building a plan never touches values —
+    execution through a plan is bitwise-identical to per-cycle stepping.
+
+    ``block_cycles`` is clamped so the history stays under
+    ``max_block_bytes`` regardless of netlist size.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledCircuit,
+        words: int,
+        block_cycles: int | None = None,
+        max_block_bytes: int = MAX_BLOCK_BYTES,
+    ) -> None:
+        if block_cycles is not None and block_cycles < 1:
+            raise ValueError("block_cycles must be >= 1")
+        self.compiled = compiled
+        self.words = words
+        bytes_per_cycle = max(1, compiled.num_nodes * words * 8)
+        cap = max(1, max_block_bytes // bytes_per_cycle)
+        want = DEFAULT_BLOCK_CYCLES if block_cycles is None else block_cycles
+        self.block_cycles = max(1, min(want, cap))
+        self.history = np.empty(
+            (self.block_cycles, compiled.num_nodes, words), dtype=np.uint64
+        )
+        self.state_buf = np.empty(
+            (compiled.dff_ids.size, words), dtype=np.uint64
+        )
+        # Per-op entry: (gate_type, nodes, flat fanin ids, gather view,
+        # stacked input view, output buffer).  The gather view is the
+        # stacked buffer reshaped flat so one np.take fills every fanin row.
+        self.entries: list[tuple] = []
+        const_rows: list[np.ndarray] = []
+        const_fill: list[np.ndarray] = []
+        for op in compiled.ops:
+            arity, m = op.fanins.shape
+            in_buf = np.empty((arity, m, words), dtype=np.uint64)
+            out = np.empty((m, words), dtype=np.uint64)
+            flat = np.ascontiguousarray(op.fanins.reshape(arity * m))
+            gather = in_buf.reshape(arity * m, words)
+            self.entries.append(
+                (op.gate_type, op.nodes, flat, gather, in_buf, out)
+            )
+            if arity == 0:
+                const_rows.append(op.nodes)
+                fill = (
+                    np.uint64(0xFFFFFFFFFFFFFFFF)
+                    if op.gate_type is GateType.CONST1
+                    else np.uint64(0)
+                )
+                const_fill.append(np.full((m, words), fill, dtype=np.uint64))
+        # Constants never change: the fault-free path scatters them once
+        # per run and skips their entries in the cycle loop entirely.
+        self.dyn_entries = [e for e in self.entries if e[2].size]
+        self._const_nodes = (
+            np.concatenate(const_rows)
+            if const_rows
+            else np.empty(0, dtype=np.int64)
+        )
+        self._const_vals = (
+            np.concatenate(const_fill, axis=0)
+            if const_fill
+            else np.empty((0, words), dtype=np.uint64)
+        )
+
+    def scatter_consts(self, values: np.ndarray) -> None:
+        """Write the constant gates' fixed outputs into a value array."""
+        if self._const_nodes.size:
+            values[self._const_nodes] = self._const_vals
+
+
 class Simulator:
     """Stateful bit-parallel simulator over a compiled circuit.
 
@@ -139,6 +245,7 @@ class Simulator:
         self.values = np.zeros(
             (self.compiled.num_nodes, self.words), dtype=np.uint64
         )
+        self._pending_state: np.ndarray | None = None
 
     def reset(
         self,
@@ -147,6 +254,7 @@ class Simulator:
     ) -> None:
         """Reset node values; DFFs to zero or per-stream random bits."""
         self.values[:] = 0
+        self._pending_state = None  # pre-reset state must not latch
         if init_state == "random":
             rng = rng or np.random.default_rng(0)
             dffs = self.compiled.dff_ids
@@ -199,7 +307,134 @@ class Simulator:
 
     def latch(self) -> None:
         """Commit the pending DFF next-state (end of the clock cycle)."""
+        if self._pending_state is None:
+            raise RuntimeError(
+                "latch() without a preceding step(); run_block()/run() "
+                "latch internally and invalidate any pending state"
+            )
         self.values[self.compiled.dff_ids] = self._pending_state
+
+    def run_block(
+        self,
+        pi_block: np.ndarray,
+        plan: SimPlan,
+        *,
+        history: np.ndarray | None = None,
+        fault_hook: FaultHook | None = None,
+        start_cycle: int = 0,
+    ) -> np.ndarray:
+        """Advance ``len(pi_block)`` clock cycles through ``plan`` buffers.
+
+        ``pi_block`` is ``(cycles, num_pis, words)`` uint64 stimulus.  The
+        settled (pre-latch) values of block cycle ``b`` are copied into
+        ``history[b]`` when a history array is given; latching happens
+        internally, so do not interleave with :meth:`step`/:meth:`latch`.
+        Value sequences are bitwise-identical to per-cycle stepping: the
+        only differences are preallocated buffers (``np.take`` + in-place
+        ufuncs via :func:`repro.circuit.gates.eval_gate_into`) and the
+        constant gates being scattered once instead of re-evaluated — or,
+        under a ``fault_hook``, re-materialized in the loop so their flip
+        masks are drawn exactly like the per-cycle engine's.
+        """
+        if plan.compiled is not self.compiled or plan.words != self.words:
+            raise ValueError("plan was built for a different simulator")
+        # Block execution latches inline; a stale pending state from an
+        # earlier step() must not be committable over the block's values.
+        self._pending_state = None
+        vals = self.values
+        pi_ids = self.compiled.pi_ids
+        dff_ids = self.compiled.dff_ids
+        dff_src = self.compiled.dff_src
+        state_buf = plan.state_buf
+        has_pis = pi_ids.size > 0
+        has_dffs = dff_ids.size > 0
+        if fault_hook is None:
+            plan.scatter_consts(vals)
+            entries = plan.dyn_entries
+        else:
+            entries = plan.entries
+        for b in range(len(pi_block)):
+            if has_pis:
+                vals[pi_ids] = pi_block[b]
+            for gate_type, nodes, flat, gather, in_buf, out in entries:
+                if flat.size:
+                    vals.take(flat, 0, gather, "clip")
+                eval_gate_into(gate_type, in_buf, out)
+                if fault_hook is not None:
+                    np.bitwise_xor(
+                        out, fault_hook(start_cycle + b, nodes), out=out
+                    )
+                vals[nodes] = out
+            if history is not None:
+                history[b] = vals
+            if has_dffs:
+                vals.take(dff_src, 0, state_buf, "clip")
+                vals[dff_ids] = state_buf
+        return vals
+
+    def run(
+        self,
+        cycles: int,
+        source: PatternSource | np.ndarray,
+        counter: "ActivityCounter | None" = None,
+        *,
+        warmup: int = 0,
+        fault_hook: FaultHook | None = None,
+        plan: SimPlan | None = None,
+        block_cycles: int | None = None,
+        start_cycle: int = 0,
+    ) -> "ActivityCounter | None":
+        """Block-stepped execution of ``warmup + cycles`` clock cycles.
+
+        ``source`` is either a :class:`PatternSource` — stimulus is drawn
+        in blocks via :meth:`~repro.sim.workload.PatternSource.next_block`,
+        which consumes the generator stream in exactly the per-cycle order,
+        so bitstreams match the per-cycle engine bit-for-bit — or a
+        precompiled ``(warmup + cycles, num_pis, words)`` stimulus array
+        (testbench programs).  Observed cycles (the ones past ``warmup``)
+        are accumulated into ``counter`` whole blocks at a time.  The
+        caller owns :meth:`reset`; passing an explicit ``plan`` amortizes
+        buffer construction across runs.  Returns ``counter``.
+        """
+        if cycles < 0 or warmup < 0:
+            raise ValueError("cycles and warmup must be >= 0")
+        if plan is not None and block_cycles is not None:
+            raise ValueError(
+                "pass either a prebuilt plan or block_cycles, not both "
+                "(a plan's history depth is fixed at construction)"
+            )
+        plan = plan or SimPlan(self.compiled, self.words, block_cycles)
+        from_source = hasattr(source, "next_block")
+        total = warmup + cycles
+        if not from_source:
+            stim = np.asarray(source, dtype=np.uint64)
+            expected = (total, self.compiled.pi_ids.size, self.words)
+            if stim.shape != expected:
+                raise ValueError(
+                    f"stimulus array has shape {stim.shape}, expected {expected}"
+                )
+        done = 0
+        while done < total:
+            b = min(plan.block_cycles, total - done)
+            block = (
+                source.next_block(b) if from_source else stim[done : done + b]
+            )
+            lo = max(warmup - done, 0)
+            # Skip the per-cycle history copy when nothing observes it
+            # (no counter, or the block lies entirely inside warmup).
+            observing = counter is not None and lo < b
+            hist = plan.history[:b] if observing else None
+            self.run_block(
+                block,
+                plan,
+                history=hist,
+                fault_hook=fault_hook,
+                start_cycle=start_cycle + done,
+            )
+            if observing:
+                counter.observe_block(hist[lo:])
+            done += b
+        return counter
 
 
 class ActivityCounter:
@@ -224,6 +459,34 @@ class ActivityCounter:
             self.pairs += 1
         self._prev = values.copy()
         self.cycles += 1
+
+    def observe_block(self, history: np.ndarray) -> None:
+        """Feed a ``(block, num_nodes, words)`` run of consecutive cycles.
+
+        Count-identical to calling :meth:`observe` once per cycle (the
+        accumulators are integers, so summation order cannot change them):
+        ones and transitions are popcounted over the whole block in one
+        pass, and the transition pair spanning a block boundary is formed
+        against the previous block's last observed cycle.
+        """
+        block = history.shape[0]
+        if block == 0:
+            return
+        self.ones += popcount_int64(history, axis=2).sum(axis=0)
+        if self._prev is not None:
+            # Boundary pair against the previous block's last cycle —
+            # formed separately so the history never needs re-copying.
+            first = history[0]
+            self.tr01 += popcount_int64(~self._prev & first, axis=1)
+            self.tr10 += popcount_int64(self._prev & ~first, axis=1)
+            self.pairs += 1
+        if block > 1:
+            pre, cur = history[:-1], history[1:]
+            self.tr01 += popcount_int64(~pre & cur, axis=2).sum(axis=0)
+            self.tr10 += popcount_int64(pre & ~cur, axis=2).sum(axis=0)
+            self.pairs += block - 1
+        self._prev = history[-1].copy()
+        self.cycles += block
 
 
 @dataclass
@@ -294,6 +557,8 @@ def simulate(
     config: SimConfig | None = None,
     *,
     replay_seed: int | None = None,
+    engine: str = "block",
+    block_cycles: int | None = None,
 ) -> SimResult:
     """Run a workload and collect per-node activity statistics.
 
@@ -303,6 +568,15 @@ def simulate(
     initialization).  Pass ``replay_seed`` to force a specific pattern
     stream instead — the lockstep-replay hook
     :func:`repro.sim.faults.simulate_with_faults` relies on.
+
+    ``engine`` selects the execution strategy, never the result:
+    ``"block"`` (default) runs the block-stepped :meth:`Simulator.run`
+    path, ``"cycle"`` the original per-cycle loop kept as the pinned
+    reference.  The two are float64-bitwise-identical (golden-hash and
+    differential tests enforce it), so the engine choice is deliberately
+    excluded from label-cache digests.  ``block_cycles`` tunes the block
+    engine's history depth (default :data:`DEFAULT_BLOCK_CYCLES`, capped
+    by a flat memory bound) without affecting results.
     """
     config = config or SimConfig()
     sim = Simulator(circuit, streams=config.streams)
@@ -311,12 +585,23 @@ def simulate(
     sim.reset(config.init_state, rng)
     source = PatternSource(workload, streams=config.streams, seed=replay_seed)
     counter = ActivityCounter(compiled.num_nodes, sim.words)
-    total = config.warmup + config.cycles
-    for cycle in range(total):
-        values = sim.step(source.next_cycle(), cycle)
-        if cycle >= config.warmup:
-            counter.observe(values)
-        sim.latch()
+    if engine == "block":
+        sim.run(
+            config.cycles,
+            source,
+            counter,
+            warmup=config.warmup,
+            block_cycles=block_cycles,
+        )
+    elif engine == "cycle":
+        total = config.warmup + config.cycles
+        for cycle in range(total):
+            values = sim.step(source.next_cycle(), cycle)
+            if cycle >= config.warmup:
+                counter.observe(values)
+            sim.latch()
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
     samples = counter.cycles * sim.streams
     pair_samples = max(counter.pairs, 1) * sim.streams
     return SimResult(

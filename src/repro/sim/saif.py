@@ -52,6 +52,13 @@ class SaifDocument:
         return {s.name: s.t1 / max(self.duration, 1) for s in self.signals}
 
     def dumps(self) -> str:
+        """Serialize; rejects signal names the format cannot carry.
+
+        A name containing whitespace or parentheses would serialize into
+        a record that :func:`parse_saif` (and real SAIF consumers) either
+        drops or truncates at the first delimiter — a silent round-trip
+        corruption.  Such names fail loudly here instead.
+        """
         lines = [
             "(SAIFILE",
             '  (SAIFVERSION "2.0")',
@@ -62,6 +69,12 @@ class SaifDocument:
             "    (NET",
         ]
         for s in self.signals:
+            if not _SAFE_NAME_RE.fullmatch(s.name):
+                raise ValueError(
+                    f"signal name {s.name!r} cannot be written to SAIF: "
+                    "names must be non-empty and free of whitespace and "
+                    "parentheses"
+                )
             lines.append(
                 f"      ({s.name} (T0 {s.t0}) (T1 {s.t1}) (TC {s.tc}))"
             )
@@ -106,6 +119,10 @@ def activity_from_probs(
         )
     return SaifDocument(design=nl.name, duration=duration, signals=signals)
 
+
+#: Names that survive a dump → parse round trip verbatim (must be a subset
+#: of what ``_NET_RE`` matches as one token).
+_SAFE_NAME_RE = re.compile(r"[^\s()]+")
 
 _NET_RE = re.compile(
     r"\(\s*(?P<name>[^\s()]+)\s*\(T0\s+(?P<t0>\d+)\)\s*\(T1\s+(?P<t1>\d+)\)"

@@ -104,17 +104,19 @@ class StimulusProgram:
         )
 
     def simulate(self, sim_seed: int = 0, streams: int = 64):
-        """Run the program through the simulator; returns a SimResult."""
+        """Run the program through the simulator; returns a SimResult.
+
+        Programs precompile their whole stimulus, which is exactly the
+        shape the block-stepped engine consumes — :meth:`Simulator.run`
+        slices it into blocks (bitwise-identical to per-cycle stepping).
+        """
         from repro.sim.logicsim import ActivityCounter, Simulator, SimResult
 
         sim = Simulator(self.netlist, streams=streams)
         sim.reset()
         stimulus = self.compile(streams=streams, seed=sim_seed)
         counter = ActivityCounter(len(self.netlist), sim.words)
-        for cycle in range(stimulus.shape[0]):
-            values = sim.step(stimulus[cycle], cycle)
-            counter.observe(values)
-            sim.latch()
+        sim.run(stimulus.shape[0], stimulus, counter)
         samples = counter.cycles * sim.streams
         pairs = max(counter.pairs, 1) * sim.streams
         return SimResult(

@@ -52,12 +52,24 @@ class VcdTracer:
         if self.nodes is None:
             self.nodes = list(self.netlist.nodes())
         self.nodes = [int(n) for n in self.nodes]
+        if self.stream < 0:
+            raise ValueError("stream index must be >= 0")
 
     def observe(self, values: np.ndarray) -> None:
-        """Record one settled cycle (the simulator's (N, words) uint64)."""
-        word = self.stream // 64
-        bit = np.uint64(self.stream % 64)
-        lane = (values[self.nodes, word] >> bit) & np.uint64(1)
+        """Record one settled cycle (the simulator's (N, words) uint64).
+
+        Raises:
+            ValueError: when the tracer's ``stream`` lane does not exist
+                in ``values`` — out-of-range lanes used to silently read
+                the wrong word or die with an opaque IndexError.
+        """
+        word, bit = divmod(self.stream, 64)
+        if word >= values.shape[1]:
+            raise ValueError(
+                f"stream {self.stream} out of range: observed values carry "
+                f"{values.shape[1] * 64} streams"
+            )
+        lane = (values[self.nodes, word] >> np.uint64(bit)) & np.uint64(1)
         self._history.append(lane.astype(np.uint8))
 
     @property
@@ -65,7 +77,12 @@ class VcdTracer:
         return len(self._history)
 
     def dumps(self) -> str:
-        """Serialize the recorded trace as VCD text."""
+        """Serialize the recorded trace as VCD text.
+
+        Cycle 0 is emitted as an IEEE 1364 ``$dumpvars`` initial-value
+        block covering every declared signal, so strict viewers render
+        the first cycle instead of treating all signals as unknown.
+        """
         if not self._history:
             raise ValueError("no cycles recorded")
         ids = {node: _identifier(k) for k, node in enumerate(self.nodes)}
@@ -81,14 +98,23 @@ class VcdTracer:
         lines += ["$upscope $end", "$enddefinitions $end"]
         prev: dict[int, int] = {}
         for cycle, lane in enumerate(self._history):
-            changes = [
-                f"{int(v)}{ids[node]}"
-                for node, v in zip(self.nodes, lane)
-                if prev.get(node) != int(v)
-            ]
-            if changes or cycle == 0:
-                lines.append(f"#{cycle}")
-                lines.extend(changes)
+            if cycle == 0:
+                lines.append("#0")
+                lines.append("$dumpvars")
+                lines.extend(
+                    f"{int(v)}{ids[node]}"
+                    for node, v in zip(self.nodes, lane)
+                )
+                lines.append("$end")
+            else:
+                changes = [
+                    f"{int(v)}{ids[node]}"
+                    for node, v in zip(self.nodes, lane)
+                    if prev.get(node) != int(v)
+                ]
+                if changes:
+                    lines.append(f"#{cycle}")
+                    lines.extend(changes)
             for node, v in zip(self.nodes, lane):
                 prev[node] = int(v)
         lines.append(f"#{len(self._history)}")

@@ -102,6 +102,9 @@ def run_power_pipeline(
     plan = plan_for(nl)
     graph = plan.graph
 
+    # Power GT runs on the block-stepped engine (the simulate default) —
+    # bitwise-equal to the per-cycle reference, so SAIF files and cached
+    # labels are unchanged.
     if gt_result is not None:
         gt = gt_result
     elif factory is not None:

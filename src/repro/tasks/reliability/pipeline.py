@@ -64,6 +64,9 @@ def run_reliability_pipeline(
     """
     sim_config = sim_config or SimConfig()
     fault_config = fault_config or FaultConfig()
+    # Monte-Carlo GT runs on the block-stepped lockstep engine (the
+    # simulate_with_faults default) — bitwise-equal to the per-cycle
+    # reference, so cached reliability labels keep their digests.
     if factory is not None:
         gt = factory.simulate_faults(nl, workload, sim_config, fault_config)
     else:

@@ -5,6 +5,10 @@ workload, simulate it, and record each node's logic-1 probability and
 0→1 / 1→0 transition probabilities.  :func:`build_dataset` runs that
 pipeline; :func:`build_reliability_dataset` runs the fault-injection
 variant used for the reliability fine-tuning task (Section V-B1).
+
+Both builders label through the block-stepped simulation engine (the
+``repro.sim`` default) — bitwise-identical to the per-cycle reference
+loop, so labels, cached digests and existing datasets are unchanged.
 """
 
 from __future__ import annotations

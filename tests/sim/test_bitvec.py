@@ -9,6 +9,7 @@ from repro.sim.bitvec import (
     biased_words,
     pack_bits,
     popcount,
+    popcount_int64,
     unpack_bits,
     words_for,
 )
@@ -48,6 +49,29 @@ class TestPopcount:
         words = np.array(values, dtype=np.uint64)
         expected = sum(bin(v).count("1") for v in values)
         assert popcount(words) == expected
+
+
+class TestPopcountInt64:
+    """The SWAR popcount must agree with the byte-LUT reference exactly."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_property_matches_lut_popcount(self, seed):
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 2**64, size=(5, 4, 3), dtype=np.uint64)
+        assert int(popcount_int64(words)) == int(popcount(words))
+        for axis in (0, 1, 2):
+            got = popcount_int64(words, axis=axis)
+            assert got.dtype == np.int64
+            assert np.array_equal(got, popcount(words, axis=axis).astype(np.int64))
+
+    def test_extremes(self):
+        words = np.array([0, 1, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert popcount_int64(words) == 65
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            popcount_int64(np.zeros(3, dtype=np.int64))
 
 
 class TestPackUnpack:

@@ -70,6 +70,25 @@ class TestSuiteCoverage:
         with pytest.raises(ValueError):
             coverage_of_suite([])
 
+    def test_empty_netlist_rejected(self):
+        """Regression: zero-node results used to yield NaN coverage plus a
+        RuntimeWarning instead of a defined outcome."""
+        from repro.circuit.netlist import Netlist
+        from repro.sim.logicsim import SimResult
+
+        empty = SimResult(
+            logic_prob=np.zeros(0),
+            tr01_prob=np.zeros(0),
+            tr10_prob=np.zeros(0),
+            cycles=16,
+            streams=64,
+            netlist=Netlist("empty"),
+        )
+        with pytest.raises(ValueError, match="empty netlist"):
+            toggle_coverage(empty)
+        with pytest.raises(ValueError, match="empty netlist"):
+            coverage_of_suite([empty])
+
     def test_mismatched_netlists_rejected(self):
         a = simulate(
             library_circuit("s27"),

@@ -1,0 +1,341 @@
+"""Differential tests: block-stepped engine vs the per-cycle reference.
+
+The block engine's only correctness claim is *bitwise equality* with the
+per-cycle loop under every parameterization — streams, warmup, block
+sizes that do and don't divide the cycle count, episode splits, fault
+rates, constants under injection.  Hypothesis drives the sweeps so new
+engine work keeps being fuzzed against the pinned reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.gates import (
+    FANIN_ARITY,
+    GateType,
+    eval_gate,
+    eval_gate_into,
+)
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.sim.faults import FaultConfig, _FaultInjector, simulate_with_faults
+from repro.sim.logicsim import (
+    ActivityCounter,
+    SimConfig,
+    SimPlan,
+    Simulator,
+    compile_netlist,
+    simulate,
+)
+from repro.sim.workload import PatternSource, Workload, random_workload
+
+from tests.sim._engines import gate_zoo_netlist, zoo_workload
+
+
+def assert_results_equal(a, b):
+    assert np.array_equal(a.logic_prob, b.logic_prob)
+    assert np.array_equal(a.tr01_prob, b.tr01_prob)
+    assert np.array_equal(a.tr10_prob, b.tr10_prob)
+    assert a.cycles == b.cycles and a.streams == b.streams
+
+
+def assert_fault_results_equal(a, b):
+    assert np.array_equal(a.err01, b.err01)
+    assert np.array_equal(a.err10, b.err10)
+    assert np.array_equal(a.observed0, b.observed0)
+    assert np.array_equal(a.observed1, b.observed1)
+    assert a.reliability == b.reliability
+
+
+class TestBlockStimulus:
+    def test_next_block_matches_per_cycle_draws(self):
+        wl = Workload(np.array([0.2, 0.5, 0.9]), seed=3)
+        a = PatternSource(wl, streams=130)
+        b = PatternSource(wl, streams=130)
+        block = b.next_block(9)
+        stacked = np.stack([a.next_cycle() for _ in range(9)])
+        assert np.array_equal(block, stacked)
+
+    def test_chunking_is_invisible(self):
+        wl = Workload(np.array([0.4, 0.6]), seed=8)
+        a = PatternSource(wl, streams=64)
+        b = PatternSource(wl, streams=64)
+        whole = a.next_block(10)
+        parts = np.concatenate(
+            [b.next_block(3), b.next_block(1), b.next_block(6)]
+        )
+        assert np.array_equal(whole, parts)
+        # Continuation after differently-chunked prefixes stays in sync.
+        assert np.array_equal(a.next_cycle(), b.next_cycle())
+
+
+class TestGateKernels:
+    """eval_gate_into vs eval_gate on every combinational gate kind."""
+
+    CASES = [
+        (gt, arity)
+        for gt in GateType
+        if gt not in (GateType.PI, GateType.DFF)
+        for arity in (
+            [FANIN_ARITY[gt]] if FANIN_ARITY[gt] is not None else [2, 3, 5]
+        )
+    ]
+
+    @pytest.mark.parametrize("gate_type,arity", CASES)
+    def test_matches_eval_gate(self, gate_type, arity):
+        rng = np.random.default_rng(hash((gate_type.value, arity)) % 2**32)
+        inputs = rng.integers(0, 2**64, size=(arity, 6, 2), dtype=np.uint64)
+        out = np.empty((6, 2), dtype=np.uint64)
+        eval_gate_into(gate_type, inputs.copy(), out)
+        if gate_type is GateType.CONST0:
+            assert not out.any()
+        elif gate_type is GateType.CONST1:
+            assert (out == np.uint64(0xFFFFFFFFFFFFFFFF)).all()
+        else:
+            expected = eval_gate(gate_type, list(inputs))
+            assert np.array_equal(out, expected)
+
+    def test_wrong_arity_rejected(self):
+        out = np.empty((1, 1), dtype=np.uint64)
+        one = np.zeros((1, 1, 1), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            eval_gate_into(GateType.AND, one, out)
+        with pytest.raises(ValueError):
+            eval_gate_into(GateType.PI, one, out)
+
+
+class TestFaultFreeDifferential:
+    def test_zoo_covers_all_gates_bitwise(self):
+        nl = gate_zoo_netlist()
+        wl = zoo_workload()
+        cfg = SimConfig(cycles=40, streams=128, warmup=3, seed=2)
+        ref = simulate(nl, wl, cfg, engine="cycle")
+        for bc in (1, 4, 40, None):
+            assert_results_equal(
+                ref, simulate(nl, wl, cfg, engine="block", block_cycles=bc)
+            )
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        streams=st.sampled_from([1, 64, 96, 200]),
+        warmup=st.integers(0, 9),
+        cycles=st.integers(2, 70),
+        block_cycles=st.sampled_from([1, 2, 5, 17, 64]),
+        init_state=st.sampled_from(["zero", "random"]),
+    )
+    def test_property_block_equals_cycle(
+        self, seed, streams, warmup, cycles, block_cycles, init_state
+    ):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=4, n_dffs=3, n_gates=30), seed=seed
+        )
+        wl = random_workload(nl, seed=seed + 1)
+        cfg = SimConfig(
+            cycles=cycles,
+            streams=streams,
+            warmup=warmup,
+            seed=seed,
+            init_state=init_state,
+        )
+        ref = simulate(nl, wl, cfg, engine="cycle")
+        got = simulate(nl, wl, cfg, engine="block", block_cycles=block_cycles)
+        assert_results_equal(ref, got)
+
+    def test_replay_seed_respected(self):
+        nl = gate_zoo_netlist()
+        cfg = SimConfig(cycles=30, streams=64, seed=0)
+        via_workload = simulate(nl, zoo_workload(seed=21), cfg, engine="block")
+        via_replay = simulate(
+            nl, zoo_workload(seed=4), cfg, replay_seed=21, engine="block"
+        )
+        assert_results_equal(via_workload, via_replay)
+
+
+class TestFaultDifferential:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        cycles=st.integers(2, 90),
+        episode_cycles=st.sampled_from([2, 10, 33, 100]),
+        warmup=st.integers(0, 6),
+        fault_rate=st.sampled_from([0.0, 5e-4, 0.02, 0.3]),
+        block_cycles=st.sampled_from([1, 6, 64]),
+    )
+    def test_property_block_equals_cycle(
+        self, seed, cycles, episode_cycles, warmup, fault_rate, block_cycles
+    ):
+        nl = random_sequential_netlist(
+            GeneratorConfig(n_pis=4, n_dffs=3, n_gates=25), seed=seed
+        )
+        wl = random_workload(nl, seed=seed + 7)
+        cfg = SimConfig(cycles=cycles, streams=70, warmup=warmup, seed=seed)
+        fc = FaultConfig(
+            fault_rate=fault_rate, episode_cycles=episode_cycles, seed=seed + 2
+        )
+        ref = simulate_with_faults(nl, wl, cfg, fc, engine="cycle")
+        got = simulate_with_faults(
+            nl, wl, cfg, fc, engine="block", block_cycles=block_cycles
+        )
+        assert_fault_results_equal(ref, got)
+
+    def test_zoo_constants_under_injection(self):
+        """Constant gates must be re-materialized per cycle when a fault
+        hook can flip them — the zoo pins that path."""
+        nl = gate_zoo_netlist()
+        wl = zoo_workload()
+        cfg = SimConfig(cycles=50, streams=64, warmup=2, seed=1)
+        fc = FaultConfig(fault_rate=0.2, episode_cycles=25, seed=3)
+        ref = simulate_with_faults(nl, wl, cfg, fc, engine="cycle")
+        got = simulate_with_faults(nl, wl, cfg, fc, engine="block")
+        assert_fault_results_equal(ref, got)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        rate=st.floats(0.0, 0.9),
+        seed=st.integers(0, 1000),
+        words=st.integers(1, 3),
+    )
+    def test_property_batched_injector_draws_identical(self, rate, seed, words):
+        """One C-order (k, m, words) draw consumes the PCG64 stream like k
+        successive (m, words) draws — the invariant cached fault labels
+        depend on."""
+        a = _FaultInjector(rate, words, np.random.default_rng(seed))
+        b = _FaultInjector(
+            rate, words, np.random.default_rng(seed), batch_draws=True
+        )
+        nodes = np.arange(23)
+        for cycle in range(12):
+            assert np.array_equal(a.mask(cycle, nodes), b.mask(cycle, nodes))
+
+
+class TestActivityCounterBlocks:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        splits=st.lists(st.integers(1, 7), min_size=1, max_size=5),
+    )
+    def test_property_observe_block_equals_observe(self, seed, splits):
+        rng = np.random.default_rng(seed)
+        total = sum(splits)
+        history = rng.integers(0, 2**64, size=(total, 9, 2), dtype=np.uint64)
+        per_cycle = ActivityCounter(9, 2)
+        for values in history:
+            per_cycle.observe(values)
+        blocked = ActivityCounter(9, 2)
+        start = 0
+        for span in splits:
+            blocked.observe_block(history[start : start + span])
+            start += span
+        assert np.array_equal(per_cycle.ones, blocked.ones)
+        assert np.array_equal(per_cycle.tr01, blocked.tr01)
+        assert np.array_equal(per_cycle.tr10, blocked.tr10)
+        assert per_cycle.cycles == blocked.cycles
+        assert per_cycle.pairs == blocked.pairs
+
+    def test_empty_block_is_noop(self):
+        counter = ActivityCounter(3, 1)
+        counter.observe_block(np.empty((0, 3, 1), dtype=np.uint64))
+        assert counter.cycles == 0 and counter.pairs == 0
+
+
+class TestRunApi:
+    def test_array_source_equals_pattern_source(self):
+        nl = gate_zoo_netlist()
+        wl = zoo_workload()
+        cfg = SimConfig(cycles=20, streams=64, warmup=2, seed=0)
+        ref = simulate(nl, wl, cfg, engine="cycle")
+        compiled = compile_netlist(nl)
+        sim = Simulator(compiled, streams=cfg.streams)
+        sim.reset(cfg.init_state, np.random.default_rng(cfg.seed))
+        stim = PatternSource(wl, streams=cfg.streams).next_block(
+            cfg.warmup + cfg.cycles
+        )
+        counter = ActivityCounter(compiled.num_nodes, sim.words)
+        sim.run(cfg.cycles, stim, counter, warmup=cfg.warmup, block_cycles=6)
+        samples = counter.cycles * sim.streams
+        pairs = max(counter.pairs, 1) * sim.streams
+        assert np.array_equal(ref.logic_prob, counter.ones / samples)
+        assert np.array_equal(ref.tr01_prob, counter.tr01 / pairs)
+
+    def test_plan_reuse_across_runs(self):
+        nl = gate_zoo_netlist()
+        wl = zoo_workload()
+        cfg = SimConfig(cycles=25, streams=64, seed=4)
+        compiled = compile_netlist(nl)
+        plan = SimPlan(compiled, 1)
+        results = []
+        for _ in range(2):
+            sim = Simulator(compiled, streams=cfg.streams)
+            sim.reset(cfg.init_state, np.random.default_rng(cfg.seed))
+            counter = ActivityCounter(compiled.num_nodes, sim.words)
+            sim.run(
+                cfg.cycles,
+                PatternSource(wl, streams=cfg.streams),
+                counter,
+                plan=plan,
+            )
+            results.append(counter.ones.copy())
+        assert np.array_equal(results[0], results[1])
+
+    def test_plan_for_wrong_circuit_rejected(self):
+        zoo = compile_netlist(gate_zoo_netlist())
+        other = compile_netlist(
+            random_sequential_netlist(
+                GeneratorConfig(n_pis=3, n_dffs=2, n_gates=10), seed=0
+            )
+        )
+        plan = SimPlan(other, 1)
+        sim = Simulator(zoo, streams=64)
+        with pytest.raises(ValueError, match="different simulator"):
+            sim.run_block(np.zeros((1, 3, 1), dtype=np.uint64), plan)
+
+    def test_bad_stimulus_shape_rejected(self):
+        sim = Simulator(gate_zoo_netlist(), streams=64)
+        sim.reset()
+        with pytest.raises(ValueError, match="stimulus array"):
+            sim.run(4, np.zeros((4, 99, 1), dtype=np.uint64))
+
+    def test_bad_engine_rejected(self):
+        nl = gate_zoo_netlist()
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate(nl, zoo_workload(), SimConfig(cycles=4), engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate_with_faults(
+                nl, zoo_workload(), SimConfig(cycles=4), engine="warp"
+            )
+
+    def test_latch_after_run_block_rejected(self):
+        """run_block latches internally; committing a stale step() state
+        over its values must fail loudly, not corrupt silently."""
+        compiled = compile_netlist(gate_zoo_netlist())
+        plan = SimPlan(compiled, 1)
+        sim = Simulator(compiled, streams=64)
+        sim.reset()
+        with pytest.raises(RuntimeError, match="without a preceding step"):
+            sim.latch()  # fresh simulator: nothing pending
+        sim.step(np.zeros((3, 1), dtype=np.uint64), 0)
+        sim.run_block(np.zeros((2, 3, 1), dtype=np.uint64), plan)
+        with pytest.raises(RuntimeError, match="without a preceding step"):
+            sim.latch()  # step()'s pending state was invalidated
+        sim.step(np.zeros((3, 1), dtype=np.uint64), 0)
+        sim.reset()
+        with pytest.raises(RuntimeError, match="without a preceding step"):
+            sim.latch()  # reset() also drops pre-reset pending state
+
+    def test_plan_and_block_cycles_conflict_rejected(self):
+        compiled = compile_netlist(gate_zoo_netlist())
+        sim = Simulator(compiled, streams=64)
+        sim.reset()
+        plan = SimPlan(compiled, 1)
+        stim = np.zeros((4, 3, 1), dtype=np.uint64)
+        with pytest.raises(ValueError, match="not both"):
+            sim.run(4, stim, plan=plan, block_cycles=2)
+
+    def test_block_cycles_validation_and_memory_cap(self):
+        compiled = compile_netlist(gate_zoo_netlist())
+        with pytest.raises(ValueError):
+            SimPlan(compiled, 1, block_cycles=0)
+        tiny = SimPlan(compiled, 1, max_block_bytes=1)
+        assert tiny.block_cycles == 1  # capped, never zero
+        assert tiny.history.shape[0] == 1

@@ -2,11 +2,24 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
 from repro.sim.logicsim import SimConfig, simulate
 from repro.sim.saif import SaifDocument, SignalActivity, activity_from_probs, parse_saif
 from repro.sim.workload import random_workload
+
+#: Printable names the format can carry verbatim (no whitespace/parens).
+_safe_names = st.text(
+    alphabet=st.characters(
+        codec="ascii",
+        min_codepoint=33,
+        max_codepoint=126,
+        exclude_characters="()",
+    ),
+    min_size=1,
+    max_size=12,
+)
 
 
 @pytest.fixture()
@@ -121,6 +134,39 @@ class TestRoundTrip:
             assert probs[netlist.node_name(i)] == pytest.approx(
                 sim_result.logic_prob[i], abs=1e-4
             )
+
+
+class TestSpecialNames:
+    """Regression: names with whitespace/parens used to serialize into
+    records the parser silently dropped or truncated."""
+
+    @pytest.mark.parametrize(
+        "bad", ["a b", "a(b", "x)", "", "tab\tname", "new\nline", "(("]
+    )
+    def test_unwritable_names_rejected_at_dump_time(self, bad):
+        doc = SaifDocument(
+            design="d", duration=10, signals=[SignalActivity(bad, 4, 6, 3)]
+        )
+        with pytest.raises(ValueError, match="SAIF"):
+            doc.dumps()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        names=st.lists(_safe_names, min_size=1, max_size=6, unique=True),
+        duration=st.integers(2, 10_000),
+        data=st.data(),
+    )
+    def test_property_round_trip_exact(self, names, duration, data):
+        signals = []
+        for name in names:
+            t1 = data.draw(st.integers(0, duration))
+            tc = data.draw(st.integers(0, duration - 1))
+            signals.append(SignalActivity(name, duration - t1, t1, tc))
+        doc = SaifDocument(design="rt", duration=duration, signals=signals)
+        parsed = parse_saif(doc.dumps())
+        assert parsed.duration == doc.duration
+        assert parsed.design == doc.design
+        assert parsed.signals == doc.signals
 
 
 class TestParser:

@@ -67,6 +67,38 @@ class TestTracer:
         with pytest.raises(ValueError):
             VcdTracer(nl).dumps()
 
+    def test_dumpvars_initial_value_block(self, traced):
+        """Cycle 0 must arrive as a $dumpvars section declaring every
+        signal's initial value, so strict viewers render cycle 0."""
+        nl, tracer = traced
+        lines = tracer.dumps().splitlines()
+        start = lines.index("#0")
+        assert lines[start + 1] == "$dumpvars"
+        end = lines.index("$end", start)
+        values = lines[start + 2 : end]
+        # one initial value per declared signal, each a 0/1 plus an id
+        assert len(values) == len(tracer.nodes)
+        assert all(v[0] in "01" for v in values)
+
+    def test_out_of_range_stream_rejected(self):
+        nl = library_circuit("gray3")
+        tracer = VcdTracer(nl, stream=64)  # one word = streams 0..63
+        values = np.zeros((len(nl), 1), dtype=np.uint64)
+        with pytest.raises(ValueError, match="out of range"):
+            tracer.observe(values)
+
+    def test_in_range_high_stream_reads_correct_word(self):
+        nl = library_circuit("gray3")
+        tracer = VcdTracer(nl, nodes=[0], stream=65)
+        values = np.zeros((len(nl), 2), dtype=np.uint64)
+        values[0, 1] = np.uint64(2)  # bit 1 of word 1 == stream 65
+        tracer.observe(values)
+        assert tracer._history[0][0] == 1
+
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            VcdTracer(library_circuit("gray3"), stream=-1)
+
     def test_subset_of_nodes(self):
         nl = library_circuit("gray3")
         keep = [nl.node_by_name("g0")]
