@@ -1,0 +1,37 @@
+"""Shared speedup-floor regression gate for benchmark scripts.
+
+Benchmark scripts report many scenario speedups and must fail loudly (for
+CI) when any falls below a configured floor.  The pattern started as an
+inline check in ``bench_sim.py``; this module is the shared version so
+every script gates the same way: collect violations while scenarios run,
+then exit non-zero with all of them at once — a partial report with only
+the first offender is useless for triaging a perf regression.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SpeedupGate"]
+
+
+class SpeedupGate:
+    """Collects speedup-floor violations; raises on :meth:`finish`.
+
+    A floor of ``0`` disables the gate (every script's default), so call
+    sites never need to branch on whether gating was requested.
+    """
+
+    def __init__(self, floor: float) -> None:
+        self.floor = float(floor)
+        self.failures: list[str] = []
+
+    def check(self, scenario: str, speedup: float) -> None:
+        """Record ``scenario`` as failing when below the floor."""
+        if self.floor and speedup < self.floor:
+            self.failures.append(
+                f"{scenario}: {speedup:.2f}x < {self.floor:.2f}x"
+            )
+
+    def finish(self) -> None:
+        """Exit non-zero listing every recorded violation, if any."""
+        if self.failures:
+            raise SystemExit("SPEEDUP BELOW FLOOR: " + "; ".join(self.failures))

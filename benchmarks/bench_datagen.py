@@ -10,14 +10,20 @@ Times the three ways the repo can label a training corpus:
 3. **warm-memory** — the same factory again (in-process LRU serves every
    label);
 4. **warm-disk** — a *fresh* factory pointed at the populated on-disk
-   cache (what a rerun CI job or a second trainer process sees).
+   cache (what a rerun CI job or a second trainer process sees);
+5. **packed** — a cold single-process factory (``workers=0``) fusing
+   circuits into ``pack_size``-member super-graph sweeps
+   (:mod:`repro.sim.pack`).  Because no pool is involved, this speedup
+   isolates the packing win and is independent of the runner's CPU
+   count — so it can be gated with ``--min-speedup`` even on 1-CPU CI.
 
 Every path is verified float64-bitwise-identical to the serial reference
 before any number is reported.  Results go to stdout and optionally
 ``--json`` (CI uploads it as ``datagen-benchmark.json``).
 
 Run:  python benchmarks/bench_datagen.py [--family opencores] [--count 16]
-      [--cycles 80] [--workers N] [--reliability] [--json out.json]
+      [--cycles 80] [--workers N] [--reliability] [--pack-size K]
+      [--min-speedup X] [--json out.json]
 """
 
 import argparse
@@ -28,9 +34,12 @@ import tempfile
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
+
+from _speedup import SpeedupGate
 
 
 def check_bitwise(reference, candidate, path_name):
@@ -62,6 +71,15 @@ def main() -> None:
     parser.add_argument(
         "--reliability", action="store_true",
         help="benchmark the Monte-Carlo fault-labelling path instead",
+    )
+    parser.add_argument(
+        "--pack-size", type=int, default=8,
+        help="members per packed sweep for the packed run (0 skips it)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="fail when the single-process packed-factory speedup over "
+        "serial falls below this factor (0 disables)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", default=None)
@@ -133,6 +151,23 @@ def main() -> None:
                 f"{disk_stats.disk_hits} (misses={disk_stats.misses})"
             )
 
+    gate = SpeedupGate(args.min_speedup)
+    if args.pack_size > 1:
+        # Cold memory-only factory, no pool: the only difference from the
+        # serial reference is the packed super-graph sweep.
+        packed_factory = DataFactory(
+            FactoryConfig(workers=0, pack_size=args.pack_size)
+        )
+        t0 = time.perf_counter()
+        packed = factory_build(packed_factory)
+        results["packed_factory_s"] = time.perf_counter() - t0
+        check_bitwise(reference, packed, "packed")
+        results["packed_factory_speedup"] = (
+            results["serial_s"] / results["packed_factory_s"]
+        )
+        results["pack_size"] = args.pack_size
+        gate.check("packed-factory", results["packed_factory_speedup"])
+
     results.update(
         {
             "family": args.family,
@@ -155,7 +190,10 @@ def main() -> None:
         ("pooled", "pooled_s"),
         ("warm memory", "warm_memory_s"),
         ("warm disk", "warm_disk_s"),
+        ("packed", "packed_factory_s"),
     ):
+        if key not in results:
+            continue
         speed = results["serial_s"] / results[key]
         print(f"  {label:<12} {results[key] * 1e3:9.1f} ms  ({speed:5.1f}x)")
     print("  all paths float64-bitwise-identical to serial")
@@ -163,6 +201,7 @@ def main() -> None:
     if args.json:
         Path(args.json).write_text(json.dumps(results, indent=2, sort_keys=True))
         print(f"wrote {args.json}")
+    gate.finish()
 
 
 if __name__ == "__main__":

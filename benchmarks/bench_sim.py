@@ -1,24 +1,29 @@
-"""Simulation-engine benchmark: per-cycle loop vs block-stepped engine.
+"""Simulation-engine benchmark: per-cycle vs block vs packed engines.
 
-Times the ground-truth simulator's two engines on the small and medium
-bench circuits, fault-free and with Monte-Carlo fault injection:
+Times the ground-truth simulator's engines on the small and medium bench
+circuits, fault-free and with Monte-Carlo fault injection:
 
 * **cycle** — the original per-cycle loop (``engine="cycle"``), kept as
   the pinned reference;
 * **block** — the block-stepped engine (``engine="block"``): stimulus
   pregenerated per block, preallocated gather/output buffers with
   in-place ufuncs, whole-block SWAR popcount statistics, and batched
-  fault-injector draws.
+  fault-injector draws;
+* **packed** — K circuits fused into one disjoint super-graph sweep
+  (:mod:`repro.sim.pack`), timed against K sequential *block*-engine
+  runs, so the reported packed speedup is multiplicative with block's.
 
 Every run is *verified before it is reported*: the block engine's
 ``SimResult``/``FaultSimResult`` must be float64-bitwise-identical to the
-per-cycle engine's, and (at default parameters) the label-cache digests
-must equal the constants pinned from the pre-refactor engine — i.e. the
-speedup comes with a proof that every cached label stays valid and no
-``CACHE_VERSION`` bump is owed.
+per-cycle engine's, packed results must be member-wise identical to
+sequential block runs, and (at default parameters) the label-cache
+digests must equal the constants pinned from the pre-refactor engine —
+i.e. the speedups come with a proof that every cached label stays valid
+and no ``CACHE_VERSION`` bump is owed.
 
 Run:  python benchmarks/bench_sim.py [--cycles 128] [--streams 64]
-      [--reps 3] [--block-cycles N] [--min-speedup X] [--json out.json]
+      [--reps 3] [--block-cycles N] [--min-speedup X]
+      [--pack-members K] [--packed-min-speedup X] [--json out.json]
 """
 
 import argparse
@@ -27,9 +32,12 @@ import sys
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
+
+from _speedup import SpeedupGate
 
 #: Label-cache digests of the default scenarios, produced by the
 #: pre-refactor engine (label_key has no engine input; these move only if
@@ -98,6 +106,15 @@ def main() -> None:
         "--min-speedup", type=float, default=0.0,
         help="fail when any block/cycle speedup falls below this factor",
     )
+    parser.add_argument(
+        "--pack-members", type=int, default=8,
+        help="members per packed scenario (0 skips packed scenarios)",
+    )
+    parser.add_argument(
+        "--packed-min-speedup", type=float, default=2.0,
+        help="fail when a packed fault-sim speedup over sequential block "
+        "runs falls below this factor (0 disables)",
+    )
     parser.add_argument("--json", default=None)
     args = parser.parse_args()
 
@@ -105,13 +122,19 @@ def main() -> None:
     from repro.data.cache import label_key
     from repro.sim.faults import FaultConfig, simulate_with_faults
     from repro.sim.logicsim import SimConfig, compile_netlist, simulate
-    from repro.sim.workload import testbench_workload
+    from repro.sim.pack import (
+        pack_circuits,
+        simulate_packed,
+        simulate_with_faults_packed,
+    )
+    from repro.sim.workload import Workload, testbench_workload
 
     sim_cfg = SimConfig(cycles=args.cycles, streams=args.streams, seed=0)
     fault_cfg = FaultConfig(seed=2)
     default_params = args.cycles == 128 and args.streams == 64
     results = {}
-    failures = []
+    gate = SpeedupGate(args.min_speedup)
+    packed_gate = SpeedupGate(args.packed_min_speedup)
 
     for label, scale in (("small", 0.125), ("medium", 0.5)):
         nl = large_design("ptc", scale=scale)
@@ -188,10 +211,74 @@ def main() -> None:
                 "bitwise_verified": True,
                 "digest_verified": digest_checked,
             }
-            if args.min_speedup and speedup < args.min_speedup:
-                failures.append(
-                    f"{scenario}: {speedup:.2f}x < {args.min_speedup:.2f}x"
+            gate.check(scenario, speedup)
+
+        # Packed scenarios: K members (same circuit, distinct stimulus
+        # streams) in one fused sweep vs K sequential block-engine runs.
+        K = args.pack_members
+        if K > 1:
+            member_wls = [
+                Workload(wl.pi_probs, name=f"{wl.name}.{i}", seed=100 + i)
+                for i in range(K)
+            ]
+            packed_plan = pack_circuits([compiled] * K)
+            for kind, faulty in kinds:
+                scenario = f"{label}/packed-{kind}@K{K}"
+                if faulty:
+                    def run_seq():
+                        return [
+                            simulate_with_faults(
+                                compiled, w, sim_cfg, fault_cfg
+                            )
+                            for w in member_wls
+                        ]
+
+                    def run_packed():
+                        return simulate_with_faults_packed(
+                            [compiled] * K,
+                            member_wls,
+                            sim_cfg,
+                            fault_cfg,
+                            packed=packed_plan,
+                        )
+                else:
+                    def run_seq():
+                        return [
+                            simulate(compiled, w, sim_cfg)
+                            for w in member_wls
+                        ]
+
+                    def run_packed():
+                        return simulate_packed(
+                            [compiled] * K,
+                            member_wls,
+                            sim_cfg,
+                            packed=packed_plan,
+                        )
+
+                seq_res, seq_s = best_of(run_seq, args.reps)
+                pk_res, packed_s = best_of(run_packed, args.reps)
+                for i, (ref, got) in enumerate(zip(seq_res, pk_res)):
+                    member = f"{scenario}[{i}]"
+                    if faulty:
+                        check_fault_bitwise(ref, got, member)
+                    else:
+                        check_sim_bitwise(ref, got, member)
+                speedup = seq_s / packed_s
+                print(
+                    f"  {('packed-' + kind):<12s}  seq {seq_s * 1000:8.1f} ms"
+                    f"   packed {packed_s * 1000:8.1f} ms   {speedup:5.2f}x"
+                    f"   bitwise ok (K={K})"
                 )
+                results[scenario] = {
+                    "sequential_s": seq_s,
+                    "packed_s": packed_s,
+                    "speedup": speedup,
+                    "members": K,
+                    "bitwise_verified": True,
+                }
+                if faulty:
+                    packed_gate.check(scenario, speedup)
 
     if args.json:
         payload = {
@@ -202,8 +289,8 @@ def main() -> None:
         }
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
-    if failures:
-        raise SystemExit("SPEEDUP BELOW FLOOR: " + "; ".join(failures))
+    gate.finish()
+    packed_gate.finish()
 
 
 if __name__ == "__main__":

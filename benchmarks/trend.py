@@ -1,0 +1,264 @@
+"""Rolling benchmark-trend snapshots with one shared schema.
+
+CI produces five benchmark artifacts in five different shapes: two
+pytest-benchmark reports (``benchmark.json``, ``training-benchmark.json``)
+and three custom dicts (``serve-benchmark.json``, ``datagen-benchmark.json``,
+``sim-benchmark.json``).  Comparing a PR against history means opening five
+formats — so this tool normalizes each into one flat schema
+(``repro-bench-trend-v1``) and maintains a rolling ``BENCH_<NAME>.json``
+snapshot at the repo root per benchmark:
+
+    {
+      "schema":  "repro-bench-trend-v1",
+      "bench":   "sim",
+      "source":  "sim-benchmark.json",
+      "entries": [                       # oldest first, rolling window
+        {"commit": "abc1234",
+         "metrics": {"small/fault.speedup": {"value": 9.2, "unit": "x"},
+                     ...}},
+        ...
+      ]
+    }
+
+Every metric is a ``{"value": finite float, "unit": "s"|"ms"|"cps"|"x"}``
+pair regardless of which benchmark produced it, so trend tooling (and the
+CI ``check`` step) never needs per-format parsers.
+
+Usage:
+    python benchmarks/trend.py update --bench sim --input sim-benchmark.json
+    python benchmarks/trend.py update --all --dir artifacts/
+    python benchmarks/trend.py check [BENCH_*.json ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-bench-trend-v1"
+UNITS = ("s", "ms", "cps", "x")
+#: Rolling-window length: entries beyond this many are dropped oldest-first.
+DEFAULT_KEEP = 20
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _metric(value: float, unit: str) -> dict:
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"non-finite metric value {value!r}")
+    if unit not in UNITS:
+        raise ValueError(f"unknown unit {unit!r}")
+    return {"value": value, "unit": unit}
+
+
+def _normalize_pytest(raw: dict) -> dict:
+    """pytest-benchmark report -> mean seconds per benchmark."""
+    return {
+        bench["name"] + ".mean": _metric(bench["stats"]["mean"], "s")
+        for bench in raw["benchmarks"]
+    }
+
+
+def _normalize_serve(raw: dict) -> dict:
+    metrics = {}
+    for section, stats in raw.items():
+        if section == "config" or not isinstance(stats, dict):
+            continue
+        if "throughput_cps" in stats:
+            metrics[f"{section}.throughput_cps"] = _metric(
+                stats["throughput_cps"], "cps"
+            )
+        if "p99_ms" in stats:
+            metrics[f"{section}.p99_ms"] = _metric(stats["p99_ms"], "ms")
+        if "speedup_vs_single" in stats:
+            metrics[f"{section}.speedup_vs_single"] = _metric(
+                stats["speedup_vs_single"], "x"
+            )
+    return metrics
+
+
+def _normalize_datagen(raw: dict) -> dict:
+    metrics = {}
+    for key, value in raw.items():
+        if key.endswith("_s"):
+            metrics[key] = _metric(value, "s")
+        elif key.endswith("_speedup"):
+            metrics[key] = _metric(value, "x")
+    return metrics
+
+
+def _normalize_sim(raw: dict) -> dict:
+    metrics = {}
+    for scenario, stats in raw["scenarios"].items():
+        metrics[f"{scenario}.speedup"] = _metric(stats["speedup"], "x")
+        for key in ("cycle_s", "block_s", "sequential_s", "packed_s"):
+            if key in stats:
+                metrics[f"{scenario}.{key}"] = _metric(stats[key], "s")
+    return metrics
+
+
+#: bench name -> (CI artifact filename, normalizer).
+BENCHES = {
+    "perf": ("benchmark.json", _normalize_pytest),
+    "training": ("training-benchmark.json", _normalize_pytest),
+    "serve": ("serve-benchmark.json", _normalize_serve),
+    "datagen": ("datagen-benchmark.json", _normalize_datagen),
+    "sim": ("sim-benchmark.json", _normalize_sim),
+}
+
+
+def snapshot_path(bench: str) -> Path:
+    return REPO_ROOT / f"BENCH_{bench.upper()}.json"
+
+
+def _head_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def update_snapshot(
+    bench: str,
+    input_path: Path,
+    commit: str | None = None,
+    keep: int = DEFAULT_KEEP,
+    out_path: Path | None = None,
+) -> Path:
+    """Normalize ``input_path`` and append an entry to the rolling snapshot."""
+    source, normalize = BENCHES[bench]
+    raw = json.loads(Path(input_path).read_text())
+    metrics = normalize(raw)
+    if not metrics:
+        raise ValueError(f"{input_path}: no metrics extracted for {bench!r}")
+
+    out_path = out_path or snapshot_path(bench)
+    if out_path.exists():
+        doc = json.loads(out_path.read_text())
+        validate_snapshot(doc, str(out_path))
+        if doc["bench"] != bench:
+            raise ValueError(
+                f"{out_path} tracks bench {doc['bench']!r}, not {bench!r}"
+            )
+    else:
+        doc = {"schema": SCHEMA, "bench": bench, "source": source, "entries": []}
+
+    doc["entries"].append({"commit": commit, "metrics": metrics})
+    doc["entries"] = doc["entries"][-max(keep, 1):]
+    out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return out_path
+
+
+def validate_snapshot(doc: dict, name: str) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed trend snapshot."""
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{name}: schema is {doc.get('schema')!r}, not {SCHEMA}")
+    if doc.get("bench") not in BENCHES:
+        raise ValueError(f"{name}: unknown bench {doc.get('bench')!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{name}: entries must be a non-empty list")
+    for i, entry in enumerate(entries):
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            raise ValueError(f"{name}: entries[{i}].metrics must be non-empty")
+        for mname, m in metrics.items():
+            value = m.get("value") if isinstance(m, dict) else None
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise ValueError(
+                    f"{name}: entries[{i}].metrics[{mname!r}] has no finite value"
+                )
+            if m.get("unit") not in UNITS:
+                raise ValueError(
+                    f"{name}: entries[{i}].metrics[{mname!r}] unit "
+                    f"{m.get('unit')!r} not in {UNITS}"
+                )
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    commit = args.commit or _head_commit()
+    if args.all:
+        targets = [
+            (bench, Path(args.dir) / source)
+            for bench, (source, _) in BENCHES.items()
+        ]
+    else:
+        source = BENCHES[args.bench][0]
+        targets = [(args.bench, Path(args.input) if args.input else Path(source))]
+    wrote = []
+    for bench, input_path in targets:
+        if args.all and not input_path.exists():
+            print(f"skip {bench}: {input_path} not found")
+            continue
+        out = update_snapshot(bench, input_path, commit=commit, keep=args.keep)
+        wrote.append(out)
+        print(f"updated {out} ({bench} <- {input_path})")
+    if not wrote:
+        print("no snapshots updated", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.files] or sorted(
+        REPO_ROOT.glob("BENCH_*.json")
+    )
+    if not paths:
+        print("no BENCH_*.json snapshots found", file=sys.stderr)
+        return 1
+    failures = []
+    for path in paths:
+        try:
+            validate_snapshot(json.loads(path.read_text()), path.name)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            failures.append(str(exc))
+            continue
+        doc = json.loads(path.read_text())
+        n = len(doc["entries"])
+        k = len(doc["entries"][-1]["metrics"])
+        print(f"{path.name}: ok ({doc['bench']}, {n} entries, {k} metrics)")
+    if failures:
+        print("SNAPSHOT CHECK FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    up = sub.add_parser("update", help="append a normalized entry")
+    up.add_argument("--bench", choices=sorted(BENCHES), default=None)
+    up.add_argument("--input", default=None, help="benchmark JSON to ingest")
+    up.add_argument(
+        "--all", action="store_true",
+        help="ingest every known artifact found in --dir",
+    )
+    up.add_argument("--dir", default=".", help="artifact directory for --all")
+    up.add_argument("--commit", default=None, help="commit label (default: git HEAD)")
+    up.add_argument("--keep", type=int, default=DEFAULT_KEEP)
+    up.set_defaults(func=cmd_update)
+
+    ck = sub.add_parser("check", help="validate committed snapshots")
+    ck.add_argument("files", nargs="*", help="snapshots (default: BENCH_*.json)")
+    ck.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    if args.command == "update" and not args.all and not args.bench:
+        parser.error("update requires --bench or --all")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,10 +11,13 @@ per-cycle reference loop — cold-path labelling got ~2x (fault-free) to
 written by either engine hit for both.
 
 * **fan-out** — labelling jobs are distributed over a
-  ``concurrent.futures.ProcessPoolExecutor``; each worker receives the
-  raw :class:`~repro.circuit.netlist.Netlist` (cheap to pickle), compiles
-  it locally and returns plain label arrays, so no simulator state or
-  graph object ever crosses the process boundary;
+  ``concurrent.futures.ProcessPoolExecutor``; each worker receives raw
+  :class:`~repro.circuit.netlist.Netlist`\\ s (cheap to pickle), compiles
+  them locally and returns plain label arrays, so no simulator state or
+  graph object ever crosses the process boundary.  Uncached jobs are
+  grouped into **packed sweeps** (:mod:`repro.sim.pack`) of up to
+  ``pack_size`` circuits per pool task, amortizing per-level dispatch
+  across the batch without moving a label bit;
 * **memoization** — results are stored in a content-addressed
   :class:`~repro.data.cache.LabelCache` keyed by
   ``(fingerprint, workload, SimConfig[, FaultConfig])``, so repeated
@@ -40,6 +43,7 @@ from repro.circuit.netlist import Netlist
 from repro.data.cache import LabelCache, label_key
 from repro.sim.faults import FaultConfig, FaultSimResult, simulate_with_faults
 from repro.sim.logicsim import SimConfig, SimResult, simulate
+from repro.sim.pack import simulate_packed, simulate_with_faults_packed
 from repro.sim.workload import Workload
 from repro.train.dataset import CircuitSample, dataset_workloads
 
@@ -50,9 +54,7 @@ __all__ = ["FactoryConfig", "DataFactory", "get_factory", "set_factory"]
 # worker entry points (module-level: picklable by ProcessPoolExecutor)
 # ----------------------------------------------------------------------
 
-def _sim_job(args: tuple[Netlist, Workload, SimConfig]) -> dict[str, np.ndarray]:
-    nl, workload, sim_config = args
-    res = simulate(nl, workload, sim_config)
+def _sim_labels(res: SimResult) -> dict[str, np.ndarray]:
     return {
         "logic_prob": res.logic_prob,
         "tr01_prob": res.tr01_prob,
@@ -62,11 +64,7 @@ def _sim_job(args: tuple[Netlist, Workload, SimConfig]) -> dict[str, np.ndarray]
     }
 
 
-def _fault_job(
-    args: tuple[Netlist, Workload, SimConfig, FaultConfig]
-) -> dict[str, np.ndarray]:
-    nl, workload, sim_config, fault_config = args
-    res = simulate_with_faults(nl, workload, sim_config, fault_config)
+def _fault_labels(res: FaultSimResult) -> dict[str, np.ndarray]:
     return {
         "err01": res.err01,
         "err10": res.err10,
@@ -74,6 +72,37 @@ def _fault_job(
         "observed0": res.observed0,
         "observed1": res.observed1,
     }
+
+
+def _sim_job(args: tuple[Netlist, Workload, SimConfig]) -> dict[str, np.ndarray]:
+    nl, workload, sim_config = args
+    return _sim_labels(simulate(nl, workload, sim_config))
+
+
+def _fault_job(
+    args: tuple[Netlist, Workload, SimConfig, FaultConfig]
+) -> dict[str, np.ndarray]:
+    nl, workload, sim_config, fault_config = args
+    return _fault_labels(
+        simulate_with_faults(nl, workload, sim_config, fault_config)
+    )
+
+
+def _packed_sim_job(
+    args: tuple[list[Netlist], list[Workload], SimConfig]
+) -> list[dict[str, np.ndarray]]:
+    nls, workloads, sim_config = args
+    return [_sim_labels(r) for r in simulate_packed(nls, workloads, sim_config)]
+
+
+def _packed_fault_job(
+    args: tuple[list[Netlist], list[Workload], SimConfig, FaultConfig]
+) -> list[dict[str, np.ndarray]]:
+    nls, workloads, sim_config, fault_config = args
+    results = simulate_with_faults_packed(
+        nls, workloads, sim_config, fault_config
+    )
+    return [_fault_labels(r) for r in results]
 
 
 def _labels_to_sim_result(labels: dict[str, np.ndarray], nl: Netlist) -> SimResult:
@@ -114,7 +143,13 @@ class FactoryConfig:
         keep_sim: default for stashing full ``SimResult``/``FaultSimResult``
             objects in ``extras`` — off in the factory path, overridable
             per build.
-        min_chunk: smallest number of jobs worth sending one worker.
+        min_chunk: smallest number of pool tasks worth sending one worker.
+        pack_size: maximum circuits fused into one packed simulation
+            sweep (:mod:`repro.sim.pack`) per pool task; ``0``/``1``
+            disables packing and submits one circuit per task.  Packing
+            never changes label values — packed sweeps are bitwise-
+            identical to per-circuit runs — so cache keys and contents
+            are independent of this knob.
     """
 
     workers: int | None = None
@@ -122,6 +157,7 @@ class FactoryConfig:
     memory_entries: int = 512
     keep_sim: bool = False
     min_chunk: int = 1
+    pack_size: int = 8
 
     def resolve_workers(self) -> int:
         if self.workers is not None:
@@ -171,6 +207,43 @@ class DataFactory:
             "fault", [nl], [workload], sim_config, fault_config
         )[0]
         return _labels_to_fault_result(labels, nl)
+
+    def simulate_many(
+        self,
+        circuits: list[Netlist],
+        workloads: list[Workload],
+        sim_config: SimConfig | None = None,
+    ) -> list[SimResult]:
+        """Cached batch simulation; misses ride packed sweeps.
+
+        Bitwise-identical to calling :meth:`simulate` per pair (packed
+        execution never changes label bits), but uncached work is fused
+        into ``pack_size``-circuit sweeps and fanned out across the pool.
+        """
+        sim_config = sim_config or SimConfig()
+        results = self._run_many("sim", circuits, workloads, sim_config, None)
+        return [
+            _labels_to_sim_result(labels, nl)
+            for labels, nl in zip(results, circuits)
+        ]
+
+    def simulate_faults_many(
+        self,
+        circuits: list[Netlist],
+        workloads: list[Workload],
+        sim_config: SimConfig | None = None,
+        fault_config: FaultConfig | None = None,
+    ) -> list[FaultSimResult]:
+        """Cached batch fault simulation; misses ride packed sweeps."""
+        sim_config = sim_config or SimConfig()
+        fault_config = fault_config or FaultConfig()
+        results = self._run_many(
+            "fault", circuits, workloads, sim_config, fault_config
+        )
+        return [
+            _labels_to_fault_result(labels, nl)
+            for labels, nl in zip(results, circuits)
+        ]
 
     # ------------------------------------------------------------------
     # dataset builders (drop-in for repro.train.dataset)
@@ -250,9 +323,12 @@ class DataFactory:
         """Resolve one labelling job per (circuit, workload), cache-first.
 
         Jobs whose digest is already cached are served from the cache;
-        the rest fan out to the process pool (or run serially).  Result
-        order always matches the input order, and duplicate digests within
-        one call are simulated once.
+        the rest fan out to the process pool (or run serially), grouped
+        into packed sweeps of up to ``pack_size`` circuits per pool task
+        (group size shrinks below ``pack_size`` when that keeps more
+        workers busy).  Result order always matches the input order, and
+        duplicate digests within one call are simulated once.  Neither
+        packing nor scheduling ever touches label values.
         """
         keys = [
             label_key(kind, nl.fingerprint(), wl, sim_config, fault_config)
@@ -272,22 +348,56 @@ class DataFactory:
                 pending_keys.add(key)
 
         if pending:
-            job = _sim_job if kind == "sim" else _fault_job
-            args = [
-                (circuits[i], workloads[i], sim_config)
-                if fault_config is None
-                else (circuits[i], workloads[i], sim_config, fault_config)
-                for i in pending
-            ]
             workers = min(self.config.resolve_workers(), len(pending))
-            if workers > 1:
-                chunk = max(
-                    self.config.min_chunk, len(pending) // (4 * workers) or 1
+            pack = max(1, self.config.pack_size)
+            if pack > 1:
+                pack = min(
+                    pack, -(-len(pending) // max(workers, 1))
                 )
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(pool.map(job, args, chunksize=chunk))
+            cfg_tail = (
+                (sim_config,)
+                if fault_config is None
+                else (sim_config, fault_config)
+            )
+            if pack > 1:
+                job = _packed_sim_job if kind == "sim" else _packed_fault_job
+                groups = [
+                    pending[j : j + pack]
+                    for j in range(0, len(pending), pack)
+                ]
+                args = [
+                    (
+                        [circuits[i] for i in grp],
+                        [workloads[i] for i in grp],
+                    )
+                    + cfg_tail
+                    for grp in groups
+                ]
+                workers = min(workers, len(groups))
+                if workers > 1:
+                    chunk = max(
+                        self.config.min_chunk,
+                        len(groups) // (4 * workers) or 1,
+                    )
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        grouped = list(pool.map(job, args, chunksize=chunk))
+                else:
+                    grouped = [job(a) for a in args]
+                fresh = [labels for batch in grouped for labels in batch]
             else:
-                fresh = [job(a) for a in args]
+                job = _sim_job if kind == "sim" else _fault_job
+                args = [
+                    (circuits[i], workloads[i]) + cfg_tail for i in pending
+                ]
+                if workers > 1:
+                    chunk = max(
+                        self.config.min_chunk,
+                        len(pending) // (4 * workers) or 1,
+                    )
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        fresh = list(pool.map(job, args, chunksize=chunk))
+                else:
+                    fresh = [job(a) for a in args]
             for i, labels in zip(pending, fresh):
                 results[keys[i]] = labels
                 self.cache.put(keys[i], labels)
@@ -309,16 +419,23 @@ _DEFAULT: list[DataFactory | None] = [None]
 def get_factory() -> DataFactory:
     """The process-default factory, configured from the environment.
 
-    ``REPRO_DATA_CACHE`` sets the on-disk cache directory and
-    ``REPRO_DATA_WORKERS`` the pool size (``0`` = serial) for callers that
-    don't thread an explicit factory — benchmarks, examples, CI.
+    ``REPRO_DATA_CACHE`` sets the on-disk cache directory,
+    ``REPRO_DATA_WORKERS`` the pool size (``0`` = serial) and
+    ``REPRO_DATA_PACK`` the packed-sweep size (``1`` = unpacked) for
+    callers that don't thread an explicit factory — benchmarks, examples,
+    CI.
     """
     if _DEFAULT[0] is None:
         workers_env = os.environ.get("REPRO_DATA_WORKERS")
+        pack_env = os.environ.get("REPRO_DATA_PACK")
+        overrides = {}
+        if pack_env:
+            overrides["pack_size"] = int(pack_env)
         _DEFAULT[0] = DataFactory(
             FactoryConfig(
                 workers=int(workers_env) if workers_env else None,
                 cache_dir=os.environ.get("REPRO_DATA_CACHE") or None,
+                **overrides,
             )
         )
     return _DEFAULT[0]

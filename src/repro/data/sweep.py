@@ -102,31 +102,55 @@ def sweep_workloads(
         factory = get_factory()
     budget = config.max_draws or max(16, 8 * config.count)
     seeds = spawn_seeds(seed, budget)
+    candidates: list[Workload] = []
+    for draw, wl_seed in enumerate(seeds):
+        kind = config.kinds[draw % len(config.kinds)]
+        if kind == "random":
+            candidates.append(
+                random_workload(nl, seed=wl_seed, name=f"sweep{draw}")
+            )
+        else:
+            candidates.append(
+                testbench_workload(
+                    nl, seed=wl_seed, name=f"sweep{draw}",
+                    active_fraction=config.activity,
+                )
+            )
+    # Candidates screen in waves so uncached simulations ride the
+    # factory's packed sweeps; acceptance stays strictly in seed order
+    # (a wave's surplus candidates never count as draws), so workloads,
+    # draws and rejected are identical to one-at-a-time screening.
+    screen_many = getattr(factory, "simulate_many", None)
+    wave = (
+        max(1, getattr(getattr(factory, "config", None), "pack_size", 1) or 1)
+        if screen_many is not None
+        else 1
+    )
     accepted: list[Workload] = []
     coverages: list[ToggleCoverage] = []
     rejected = 0
     draws = 0
-    for draw, wl_seed in enumerate(seeds):
+    for lo in range(0, len(candidates), wave):
         if len(accepted) >= config.count:
             break
-        kind = config.kinds[draw % len(config.kinds)]
-        if kind == "random":
-            wl = random_workload(nl, seed=wl_seed, name=f"sweep{draw}")
+        wave_cands = candidates[lo : lo + wave]
+        if screen_many is not None:
+            sims = screen_many([nl] * len(wave_cands), wave_cands, config.sim)
         else:
-            wl = testbench_workload(
-                nl, seed=wl_seed, name=f"sweep{draw}",
-                active_fraction=config.activity,
-            )
-        draws += 1
-        cov = toggle_coverage(factory.simulate(nl, wl, config.sim))
-        if (
-            cov.value_coverage >= config.min_value_coverage
-            and cov.full_coverage >= config.min_full_coverage
-        ):
-            accepted.append(wl)
-            coverages.append(cov)
-        else:
-            rejected += 1
+            sims = [factory.simulate(nl, wl, config.sim) for wl in wave_cands]
+        for wl, sim_res in zip(wave_cands, sims):
+            if len(accepted) >= config.count:
+                break
+            draws += 1
+            cov = toggle_coverage(sim_res)
+            if (
+                cov.value_coverage >= config.min_value_coverage
+                and cov.full_coverage >= config.min_full_coverage
+            ):
+                accepted.append(wl)
+                coverages.append(cov)
+            else:
+                rejected += 1
     if len(accepted) < config.count:
         raise RuntimeError(
             f"workload sweep exhausted {budget} draws with only "

@@ -93,11 +93,17 @@ def run_table6(
         ],
     )
     comparisons: dict[str, PowerComparison] = {}
-    for k in range(scale.table6_workloads):
-        wl = testbench_workload(
+    eval_workloads = [
+        testbench_workload(
             nl, seed=scale.seed + 2000 + 31 * k, name=f"W{k}",
             active_fraction=scale.workload_activity,
         )
+        for k in range(scale.table6_workloads)
+    ]
+    # Pre-warm every workload's ground truth in one packed sweep; the
+    # per-workload pipeline calls below are then pure cache reads.
+    factory.simulate_many([nl] * len(eval_workloads), eval_workloads, sim)
+    for wl in eval_workloads:
         cmp = run_power_pipeline(
             nl, wl, deepseq=deepseq, grannite=grannite, sim_config=sim,
             factory=factory,

@@ -26,6 +26,7 @@ from repro.circuit.graph import CircuitGraph
 from repro.runtime.plan import GraphPlan, fingerprint_of, plan_for
 
 __all__ = [
+    "MAX_PACK_MEMBERS",
     "PackedPlan",
     "pack_graphs",
     "clear_pack_cache",
@@ -33,6 +34,12 @@ __all__ = [
     "pack_cache_info",
     "PackCacheInfo",
 ]
+
+#: Hard ceiling on members per pack.  A pack this large would compile a
+#: union plan far beyond any sane serving batch; requests above it are a
+#: caller bug (e.g. an unchunked corpus), not a workload.  Shared with
+#: the sim-side packer (:data:`repro.sim.pack.MAX_PACK_MEMBERS`).
+MAX_PACK_MEMBERS = 1024
 
 
 @dataclass(frozen=True)
@@ -83,9 +90,18 @@ _EVICTIONS = [0]
 
 
 def pack_graphs(graphs: Sequence[CircuitGraph], cache: bool = True) -> PackedPlan:
-    """Pack member circuit graphs into one compiled super-graph plan."""
+    """Pack member circuit graphs into one compiled super-graph plan.
+
+    Raises a :class:`ValueError` for empty packs and for packs above
+    :data:`MAX_PACK_MEMBERS`.
+    """
     if not graphs:
         raise ValueError("cannot pack zero circuits")
+    if len(graphs) > MAX_PACK_MEMBERS:
+        raise ValueError(
+            f"cannot pack {len(graphs)} circuits: exceeds "
+            f"MAX_PACK_MEMBERS={MAX_PACK_MEMBERS}; chunk the batch"
+        )
     keys = tuple(fingerprint_of(g) for g in graphs)
     if cache:
         with _LOCK:

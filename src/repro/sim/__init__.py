@@ -22,6 +22,17 @@ from repro.sim.logicsim import (
     simulate,
 )
 from repro.sim.coverage import ToggleCoverage, coverage_of_suite, toggle_coverage
+from repro.sim.pack import (
+    MAX_PACK_MEMBERS,
+    PackedSimPlan,
+    SimPackCacheInfo,
+    clear_sim_pack_cache,
+    configure_sim_pack_cache,
+    pack_circuits,
+    sim_pack_cache_info,
+    simulate_packed,
+    simulate_with_faults_packed,
+)
 from repro.sim.testbench import Phase, StimulusProgram, workload_from_program
 from repro.sim.vcd import VcdTracer, trace_simulation
 from repro.sim.saif import (
@@ -57,6 +68,15 @@ __all__ = [
     "Simulator",
     "compile_netlist",
     "simulate",
+    "MAX_PACK_MEMBERS",
+    "PackedSimPlan",
+    "SimPackCacheInfo",
+    "clear_sim_pack_cache",
+    "configure_sim_pack_cache",
+    "pack_circuits",
+    "sim_pack_cache_info",
+    "simulate_packed",
+    "simulate_with_faults_packed",
     "ToggleCoverage",
     "coverage_of_suite",
     "toggle_coverage",

@@ -67,18 +67,30 @@ FaultHook = Callable[[int, np.ndarray], np.ndarray]
 
 @dataclass(frozen=True)
 class _LevelOp:
-    """One vectorized evaluation group: gates of equal type/arity at a level."""
+    """One vectorized evaluation group: gates of equal type/arity at a level.
+
+    ``level`` is the combinational level the group settles at; the packed
+    engine (:mod:`repro.sim.pack`) merges groups of equal
+    ``(level, gate_type, arity)`` across member circuits, which is safe
+    because within a level no gate reads another's output.
+    """
 
     gate_type: GateType
     nodes: np.ndarray  # (m,) int64
     fanins: np.ndarray  # (arity, m) int64
+    level: int = 0
 
 
 @dataclass
 class CompiledCircuit:
-    """A netlist lowered to flat evaluation groups in level order."""
+    """A netlist lowered to flat evaluation groups in level order.
 
-    netlist: Netlist
+    ``netlist`` is ``None`` only for the synthetic union circuit a
+    :class:`repro.sim.pack.PackedSimPlan` evaluates — member results are
+    always attributed to the members' own netlists.
+    """
+
+    netlist: Netlist | None
     num_nodes: int
     ops: list[_LevelOp]
     pi_ids: np.ndarray
@@ -92,7 +104,7 @@ def compile_netlist(nl: Netlist) -> CompiledCircuit:
     nl.validate()
     lv = levelize(nl)
     ops: list[_LevelOp] = []
-    for level_nodes in lv.comb_forward:
+    for level, level_nodes in enumerate(lv.comb_forward):
         groups: dict[tuple[GateType, int], list[int]] = {}
         for node in level_nodes:
             gt = nl.gate_type(int(node))
@@ -108,7 +120,7 @@ def compile_netlist(nl: Netlist) -> CompiledCircuit:
                 ).T.copy()
             else:  # constants
                 fanins = np.empty((0, len(members)), dtype=np.int64)
-            ops.append(_LevelOp(gt, nodes, fanins))
+            ops.append(_LevelOp(gt, nodes, fanins, level))
     dff_ids = np.asarray(nl.dffs, dtype=np.int64)
     dff_src = np.asarray(
         [nl.fanins(int(d))[0] for d in dff_ids], dtype=np.int64

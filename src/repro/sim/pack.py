@@ -1,0 +1,692 @@
+"""Packed multi-circuit simulation: one block-stepped sweep over K circuits.
+
+The inference runtime packs K circuits into one disjoint super-graph so a
+single levelized sweep serves the whole batch (:mod:`repro.runtime.pack`).
+This module mirrors that trick for the ground-truth simulator, which is
+the data factory's hot path: Monte-Carlo fault labelling pays per-circuit
+Python/dispatch overhead K times over when netlists run one at a time.
+
+A :class:`PackedSimPlan` is compiled over the disjoint union of K member
+:class:`~repro.sim.logicsim.CompiledCircuit`\\ s — no union *netlist* is
+ever built; member evaluation groups of equal ``(level, gate type,
+arity)`` are concatenated directly with offset node ids, so one
+``np.take`` + in-place ufunc pass per level-group evaluates every member
+at once, and the block engine's history/:meth:`ActivityCounter
+.observe_block` reductions run on the stacked ``(block, N_total, words)``
+buffers.  Packed plans live in a bounded LRU keyed by the tuple of member
+content hashes, exactly like the runtime's pack cache.
+
+Everything observable is **bitwise-identical** to K sequential
+:func:`~repro.sim.logicsim.simulate` /
+:func:`~repro.sim.faults.simulate_with_faults` calls:
+
+* stimulus stays per-member — each member draws blocks from its *own*
+  PCG64 stream (:meth:`PatternSource.next_block`), consuming it in
+  exactly the per-circuit order;
+* random DFF initialization draws per member from a fresh generator,
+  exactly as each member's own reset would;
+* fault injection runs golden/faulty lockstep *per member* inside the
+  shared sweep: each member has its own
+  :class:`~repro.sim.faults._FaultInjector` whose masks are drawn per
+  (cycle, member-group) in the member's own compiled-op order, then
+  scattered into a union-wide flip buffer the shared sweep XORs in;
+* all statistics accumulators are integers, so reducing them over the
+  union and slicing per member cannot change a single count.
+
+Because of this, packed float64 results, activity statistics, fault
+labels and :class:`~repro.data.cache.LabelCache` digests are identical to
+the per-circuit engine's — no ``CACHE_VERSION`` bump, and the packed path
+never enters :func:`~repro.data.cache.label_key`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.sim.faults import (
+    FaultConfig,
+    FaultSimResult,
+    _episode_schedule,
+    _FaultInjector,
+)
+from repro.sim.logicsim import (
+    ActivityCounter,
+    CompiledCircuit,
+    SimConfig,
+    SimPlan,
+    SimResult,
+    Simulator,
+    _LevelOp,
+    compile_netlist,
+)
+from repro.sim.workload import PatternSource, Workload
+
+__all__ = [
+    "MAX_PACK_MEMBERS",
+    "PackedSimPlan",
+    "pack_circuits",
+    "simulate_packed",
+    "simulate_with_faults_packed",
+    "clear_sim_pack_cache",
+    "configure_sim_pack_cache",
+    "sim_pack_cache_info",
+    "SimPackCacheInfo",
+]
+
+#: Hard ceiling on members per pack.  A pack this large would allocate
+#: union buffers far beyond any sane batch; requests above it are a
+#: caller bug (e.g. an unchunked corpus), not a workload.
+MAX_PACK_MEMBERS = 1024
+
+
+@dataclass(frozen=True)
+class PackedSimPlan:
+    """A compiled union circuit plus the bookkeeping to slice members out.
+
+    Attributes:
+        compiled: the union-level :class:`CompiledCircuit` (its ``netlist``
+            is ``None`` — the union exists only as evaluation groups).
+            For a single member this is the member's own compiled circuit.
+        members: the member compiled circuits, in pack order.
+        offsets: node-id offset of each member inside the union.
+        sizes: node count per member.
+        member_keys: content hash per member (the cache key).
+        pi_slices: row range of each member's PIs inside stacked stimulus
+            blocks (stimulus concatenates member blocks in pack order).
+        po_ids: union node ids of each member's primary outputs.
+        shifted_ops: per member, the union node ids of each of the
+            member's evaluation groups, in the member's compiled-op order
+            — the scatter targets for per-member fault-flip masks.
+    """
+
+    compiled: CompiledCircuit
+    members: tuple[CompiledCircuit, ...]
+    offsets: tuple[int, ...]
+    sizes: tuple[int, ...]
+    member_keys: tuple[str, ...]
+    pi_slices: tuple[slice, ...]
+    po_ids: tuple[np.ndarray, ...]
+    shifted_ops: tuple[tuple[np.ndarray, ...], ...]
+
+    @property
+    def num_members(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.compiled.num_nodes
+
+    def member_slice(self, member: int) -> slice:
+        lo = self.offsets[member]
+        return slice(lo, lo + self.sizes[member])
+
+
+@dataclass(frozen=True)
+class SimPackCacheInfo:
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+
+_LOCK = threading.Lock()
+_CACHE: OrderedDict[tuple[str, ...], PackedSimPlan] = OrderedDict()
+_MAXSIZE = [32]
+_HITS = [0]
+_MISSES = [0]
+_EVICTIONS = [0]
+
+
+def _shift(arr: np.ndarray, offset: int) -> np.ndarray:
+    return arr + np.int64(offset) if arr.size else arr.copy()
+
+
+def _merge_members(members: Sequence[CompiledCircuit]) -> CompiledCircuit:
+    """Concatenate member evaluation groups into one union compiled circuit.
+
+    Groups of equal ``(level, gate type, arity)`` merge across members;
+    within a level no gate reads another's output, so any evaluation order
+    of the merged groups settles identical values.  Group order follows
+    :func:`compile_netlist`'s ``(level, type, arity)`` sort, member order
+    inside a merged group follows pack order — both deterministic.
+    """
+    offsets = np.cumsum([0] + [m.num_nodes for m in members[:-1]])
+    buckets: dict[tuple[int, str, int], list[tuple[np.ndarray, np.ndarray]]] = {}
+    types: dict[tuple[int, str, int], GateType] = {}
+    for member, off in zip(members, offsets):
+        for op in member.ops:
+            key = (op.level, op.gate_type.value, op.fanins.shape[0])
+            buckets.setdefault(key, []).append(
+                (_shift(op.nodes, off), _shift(op.fanins, off))
+            )
+            types[key] = op.gate_type
+    ops = []
+    for key in sorted(buckets):
+        parts = buckets[key]
+        nodes = np.concatenate([p[0] for p in parts])
+        fanins = np.concatenate([p[1] for p in parts], axis=1)
+        ops.append(_LevelOp(types[key], nodes, fanins, key[0]))
+
+    def cat(name: str) -> np.ndarray:
+        return np.concatenate(
+            [_shift(getattr(m, name), off) for m, off in zip(members, offsets)]
+        )
+
+    return CompiledCircuit(
+        netlist=None,
+        num_nodes=int(sum(m.num_nodes for m in members)),
+        ops=ops,
+        pi_ids=cat("pi_ids"),
+        dff_ids=cat("dff_ids"),
+        dff_src=cat("dff_src"),
+        comb_ids=cat("comb_ids"),
+    )
+
+
+def pack_circuits(
+    circuits: Sequence[Netlist | CompiledCircuit], cache: bool = True
+) -> PackedSimPlan:
+    """Pack member circuits into one compiled union simulation plan.
+
+    Accepts netlists (compiled here) or pre-compiled circuits.  Raises a
+    :class:`ValueError` for empty packs and for packs above
+    :data:`MAX_PACK_MEMBERS`.
+    """
+    if not circuits:
+        raise ValueError("cannot pack zero circuits")
+    if len(circuits) > MAX_PACK_MEMBERS:
+        raise ValueError(
+            f"cannot pack {len(circuits)} circuits: exceeds "
+            f"MAX_PACK_MEMBERS={MAX_PACK_MEMBERS}; chunk the batch"
+        )
+    members = tuple(
+        c if isinstance(c, CompiledCircuit) else compile_netlist(c)
+        for c in circuits
+    )
+    keys = tuple(m.netlist.fingerprint() for m in members)
+    if cache:
+        with _LOCK:
+            packed = _CACHE.get(keys)
+            if packed is not None:
+                _CACHE.move_to_end(keys)
+                _HITS[0] += 1
+                return packed
+            _MISSES[0] += 1
+    compiled = members[0] if len(members) == 1 else _merge_members(members)
+    offsets: list[int] = []
+    pi_slices: list[slice] = []
+    po_ids: list[np.ndarray] = []
+    shifted_ops: list[tuple[np.ndarray, ...]] = []
+    node_off = pi_off = 0
+    for m in members:
+        offsets.append(node_off)
+        pi_slices.append(slice(pi_off, pi_off + m.pi_ids.size))
+        po_ids.append(
+            _shift(np.asarray(m.netlist.pos, dtype=np.int64), node_off)
+        )
+        shifted_ops.append(tuple(_shift(op.nodes, node_off) for op in m.ops))
+        node_off += m.num_nodes
+        pi_off += m.pi_ids.size
+    packed = PackedSimPlan(
+        compiled=compiled,
+        members=members,
+        offsets=tuple(offsets),
+        sizes=tuple(m.num_nodes for m in members),
+        member_keys=keys,
+        pi_slices=tuple(pi_slices),
+        po_ids=tuple(po_ids),
+        shifted_ops=tuple(shifted_ops),
+    )
+    if cache:
+        with _LOCK:
+            existing = _CACHE.get(keys)
+            if existing is not None:
+                # Another thread packed the same composition first; keep
+                # its entry so every caller shares one plan per batch.
+                _CACHE.move_to_end(keys)
+                return existing
+            _CACHE[keys] = packed
+            while len(_CACHE) > _MAXSIZE[0]:
+                _CACHE.popitem(last=False)
+                _EVICTIONS[0] += 1
+    return packed
+
+
+def configure_sim_pack_cache(maxsize: int) -> None:
+    """Bound the packed-plan cache to ``maxsize`` entries."""
+    if maxsize < 1:
+        raise ValueError("sim pack cache needs room for at least one entry")
+    with _LOCK:
+        _MAXSIZE[0] = int(maxsize)
+        while len(_CACHE) > _MAXSIZE[0]:
+            _CACHE.popitem(last=False)
+            _EVICTIONS[0] += 1
+
+
+def clear_sim_pack_cache() -> None:
+    """Drop every cached packed plan and reset the hit/miss counters."""
+    with _LOCK:
+        _CACHE.clear()
+        _HITS[0] = _MISSES[0] = _EVICTIONS[0] = 0
+
+
+def sim_pack_cache_info() -> SimPackCacheInfo:
+    """Current cache statistics (hits/misses/evictions/size/maxsize)."""
+    with _LOCK:
+        return SimPackCacheInfo(
+            hits=_HITS[0],
+            misses=_MISSES[0],
+            evictions=_EVICTIONS[0],
+            size=len(_CACHE),
+            maxsize=_MAXSIZE[0],
+        )
+
+
+# ----------------------------------------------------------------------
+# packed execution
+# ----------------------------------------------------------------------
+
+
+class _PackedSource:
+    """Stacks per-member stimulus blocks into union stimulus.
+
+    Each member keeps its own :class:`PatternSource` (its own PCG64
+    stream), so the per-member bitstreams are identical to standalone runs
+    — block draws consume each stream in exactly the per-circuit order.
+    """
+
+    def __init__(self, sources: Sequence[PatternSource]) -> None:
+        self.sources = list(sources)
+
+    def next_block(self, cycles: int) -> np.ndarray:
+        blocks = [s.next_block(cycles) for s in self.sources]
+        return blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=1)
+
+
+#: Cap on the prepared flip-chunk buffer, mirroring ``SimPlan``'s history
+#: cap: chunks shrink on very large unions rather than ballooning memory.
+_CHUNK_BYTES_CAP = 8 << 20
+
+
+class _PackedInjector:
+    """Per-member fault streams drawn in bulk behind one union flip hook.
+
+    Bitwise contract: each member's masks equal those a standalone
+    :class:`_FaultInjector` (``batch_draws=True``) would draw per (cycle,
+    group) in the member's compiled-op order.  Drawing them that way costs
+    two generator calls per (cycle, member, group) — the dominant cost of
+    packed fault sweeps — so this class collapses them using two PCG64
+    facts (property-tested in ``tests/sim/test_packed_engine.py``):
+
+    * full-range ``Generator.integers(0, 2**64, dtype=uint64)`` emits raw
+      64-bit PCG64 outputs, one per element, in stream order, and
+      consecutive calls split the stream exactly like one larger call;
+    * scalar ``Generator.random()`` consumes one raw output ``u`` and
+      returns ``(u >> 11) * 2**-53``.
+
+    The injector's whole draw sequence is therefore one contiguous
+    raw-word stream per member, pulled here in multi-cycle chunks (one
+    worst-case-sized ``integers`` call each) and carved by slicing: per
+    group, one choice word selects ``k``; the next ``k*m*words`` raw
+    words AND-reduce into the group's mask.  After parsing, the
+    generator is rewound (``advance`` by the negative unused tail) to
+    the exact state the standalone injector would hold, so the next
+    chunk stays stream-aligned.  Hook cycles arrive in nondecreasing
+    order (the block loop never skips a cycle), so chunks are contiguous
+    and every member's stream is consumed in exactly the standalone
+    order.
+    """
+
+    def __init__(
+        self,
+        packed: PackedSimPlan,
+        fault_config: FaultConfig,
+        words: int,
+        total_cycles: int,
+    ) -> None:
+        self.packed = packed
+        self.words = words
+        self.total_cycles = total_cycles
+        proto = _FaultInjector(
+            fault_config.effective_cycle_rate,
+            words,
+            np.random.default_rng(fault_config.seed),
+        )
+        self.k_lo = proto.k_lo
+        if self.k_lo is not None:
+            self.k_hi = proto.k_hi
+            self.w_lo = proto.w_lo
+        self.rngs = [
+            np.random.default_rng(fault_config.seed) for _ in packed.members
+        ]
+        # Per member: (union scatter rows, group size) in compiled-op
+        # order, plus the worst-case raw words one cycle can consume.
+        self.member_groups = [
+            [
+                (rows, op.nodes.size)
+                for op, rows in zip(member.ops, targets)
+            ]
+            for member, targets in zip(packed.members, packed.shifted_ops)
+        ]
+        if self.k_lo is None:
+            self.max_per_cycle = [0] * packed.num_members
+        else:
+            self.max_per_cycle = [
+                len(groups) + self.k_hi * sum(m for _, m in groups) * words
+                for groups in self.member_groups
+            ]
+        per_cycle_bytes = max(packed.num_nodes * words * 8, 1)
+        self.chunk_cycles = max(
+            1, min(128, _CHUNK_BYTES_CAP // per_cycle_bytes)
+        )
+        alloc = np.zeros if self.k_lo is None else np.empty
+        self.flips = alloc(
+            (self.chunk_cycles, packed.num_nodes, words), dtype=np.uint64
+        )
+        self.base = 0
+        self.end = 0
+
+    def _prepare(self, start: int) -> None:
+        """Draw and parse flip masks for the next chunk of cycles.
+
+        Two passes per member: a scalar walk over the raw buffer records
+        each (cycle, group) mask's ``k`` choice and start offset — the
+        only sequentially-dependent part — then one gather + AND-reduce +
+        scatter per (group, ``k``) builds every cycle's mask of that shape
+        at once.  The walk consumes raw words in exactly the standalone
+        draw order; the vectorized pass only rearranges already-drawn
+        words, so it cannot move a bit.
+        """
+        ncyc = min(self.chunk_cycles, max(self.total_cycles - start, 1))
+        self.base = start
+        self.end = start + ncyc
+        if self.k_lo is None:
+            return  # flips stay all-zero; nothing is ever drawn
+        flips = self.flips
+        words = self.words
+        k_lo, k_hi, w_lo = self.k_lo, self.k_hi, self.w_lo
+        scale = 2.0**-53
+        and_reduce = np.bitwise_and.reduce
+        for rng, groups, max_pc in zip(
+            self.rngs, self.member_groups, self.max_per_cycle
+        ):
+            buf = rng.integers(
+                0, 2**64, size=ncyc * max_pc, dtype=np.uint64
+            )
+            ngroups = len(groups)
+            lo = np.empty((ncyc, ngroups), dtype=bool)
+            starts = np.empty((ncyc, ngroups), dtype=np.int64)
+            sizes = [m * words for _, m in groups]
+            pos = 0
+            for ci in range(ncyc):
+                for g, mw in enumerate(sizes):
+                    # Same double a scalar rng.random() would surface
+                    # from this raw word, same threshold, same k mix.
+                    is_lo = (int(buf[pos]) >> 11) * scale < w_lo
+                    lo[ci, g] = is_lo
+                    pos += 1
+                    starts[ci, g] = pos
+                    pos += (k_lo if is_lo else k_hi) * mw
+            # Rewind the generator past the unused tail: the next chunk
+            # must draw from exactly the state the standalone injector
+            # would have reached.  PCG64 steps once per 64-bit output and
+            # advance() walks the state mod 2**128, so a negative delta
+            # steps back.  (After the final chunk this is unobservable
+            # but harmless.)
+            if pos != buf.size:
+                rng.bit_generator.advance(pos - buf.size)
+            span = np.arange(k_hi * max(sizes, default=1))
+            for g, (rows, m) in enumerate(groups):
+                for k, pick in ((k_lo, lo[:, g]), (k_hi, ~lo[:, g])):
+                    cyc = np.nonzero(pick)[0]
+                    if not cyc.size:
+                        continue
+                    n = k * m * words
+                    segs = buf[starts[cyc, g][:, None] + span[:n]]
+                    masks = and_reduce(
+                        segs.reshape(cyc.size, k, m, words), axis=1
+                    )
+                    flips[cyc[:, None], rows] = masks
+
+    def hook(self, cycle: int, nodes: np.ndarray) -> np.ndarray:
+        while cycle >= self.end:
+            self._prepare(self.end if self.end else cycle)
+        return self.flips[cycle - self.base][nodes]
+
+
+def _check_pack_inputs(
+    packed: PackedSimPlan, workloads: Sequence[Workload]
+) -> None:
+    if len(workloads) != packed.num_members:
+        raise ValueError(
+            f"got {len(workloads)} workloads for {packed.num_members} "
+            "packed circuits"
+        )
+    for k, (member, wl) in enumerate(zip(packed.members, workloads)):
+        if wl.num_pis != member.pi_ids.size:
+            raise ValueError(
+                f"workload {k} has {wl.num_pis} PI probabilities, member "
+                f"circuit has {member.pi_ids.size} PIs"
+            )
+
+
+def _make_sources(
+    packed: PackedSimPlan,
+    workloads: Sequence[Workload],
+    streams: int,
+    replay_seeds: Sequence[int | None] | None,
+) -> _PackedSource:
+    if replay_seeds is not None and len(replay_seeds) != packed.num_members:
+        raise ValueError("replay_seeds must have one entry per member")
+    return _PackedSource(
+        [
+            PatternSource(
+                wl,
+                streams=streams,
+                seed=None if replay_seeds is None else replay_seeds[k],
+            )
+            for k, wl in enumerate(workloads)
+        ]
+    )
+
+
+def _reset_members(
+    sim: Simulator, packed: PackedSimPlan, init_state: str, seed: int
+) -> None:
+    """Per-member reset: each member draws from its own fresh generator.
+
+    Bitwise-equivalent to each member's own :meth:`Simulator.reset` —
+    members share the config seed, so every member's generator starts
+    from the same state, but its draw covers only that member's DFFs.
+    """
+    sim.values[:] = 0
+    sim._pending_state = None
+    if init_state == "random":
+        for member, off in zip(packed.members, packed.offsets):
+            dffs = member.dff_ids
+            if dffs.size:
+                rng = np.random.default_rng(seed)
+                sim.values[dffs + np.int64(off)] = rng.integers(
+                    0, 2**64, size=(dffs.size, sim.words), dtype=np.uint64
+                )
+    elif init_state != "zero":
+        raise ValueError(f"unknown init_state {init_state!r}")
+
+
+def _member_sim_results(
+    packed: PackedSimPlan, counter: ActivityCounter, streams: int
+) -> list[SimResult]:
+    samples = counter.cycles * streams
+    pair_samples = max(counter.pairs, 1) * streams
+    results = []
+    for k, member in enumerate(packed.members):
+        sl = packed.member_slice(k)
+        results.append(
+            SimResult(
+                logic_prob=counter.ones[sl] / samples,
+                tr01_prob=counter.tr01[sl] / pair_samples,
+                tr10_prob=counter.tr10[sl] / pair_samples,
+                cycles=counter.cycles,
+                streams=streams,
+                netlist=member.netlist,
+            )
+        )
+    return results
+
+
+def simulate_packed(
+    circuits: Sequence[Netlist | CompiledCircuit],
+    workloads: Sequence[Workload],
+    config: SimConfig | None = None,
+    *,
+    replay_seeds: Sequence[int | None] | None = None,
+    block_cycles: int | None = None,
+    packed: PackedSimPlan | None = None,
+    cache: bool = True,
+) -> list[SimResult]:
+    """Simulate K (circuit, workload) pairs in one block-stepped sweep.
+
+    Bitwise-identical to ``[simulate(c, w, config) for c, w in zip(...)]``
+    (the packed-engine tests pin this against golden digests): stimulus,
+    DFF initialization and statistics are all per-member as documented in
+    the module docstring.  All members share one :class:`SimConfig`.
+    """
+    config = config or SimConfig()
+    if packed is None:
+        packed = pack_circuits(circuits, cache=cache)
+    _check_pack_inputs(packed, workloads)
+    sim = Simulator(packed.compiled, streams=config.streams)
+    _reset_members(sim, packed, config.init_state, config.seed)
+    source = _make_sources(packed, workloads, config.streams, replay_seeds)
+    counter = ActivityCounter(packed.num_nodes, sim.words)
+    sim.run(
+        config.cycles,
+        source,
+        counter,
+        warmup=config.warmup,
+        block_cycles=block_cycles,
+    )
+    return _member_sim_results(packed, counter, sim.streams)
+
+
+def simulate_with_faults_packed(
+    circuits: Sequence[Netlist | CompiledCircuit],
+    workloads: Sequence[Workload],
+    sim_config: SimConfig | None = None,
+    fault_config: FaultConfig | None = None,
+    *,
+    replay_seeds: Sequence[int | None] | None = None,
+    block_cycles: int | None = None,
+    packed: PackedSimPlan | None = None,
+    cache: bool = True,
+) -> list[FaultSimResult]:
+    """Golden/faulty lockstep fault simulation of K members in one sweep.
+
+    Mirrors :func:`repro.sim.faults.simulate_with_faults`'s block engine:
+    per episode both machines reset (per member), then per block the
+    golden machine runs hook-free and the faulty machine replays the same
+    stacked stimulus with per-member injector masks XOR-ed in.  Per-node
+    error counts reduce over the union history; PO-mismatch reliability
+    reduces per member over that member's PO rows.  Results are
+    bitwise-identical to K sequential calls.
+    """
+    sim_config = sim_config or SimConfig()
+    fault_config = fault_config or FaultConfig()
+    if packed is None:
+        packed = pack_circuits(circuits, cache=cache)
+    _check_pack_inputs(packed, workloads)
+    golden = Simulator(packed.compiled, streams=sim_config.streams)
+    faulty = Simulator(packed.compiled, streams=sim_config.streams)
+    schedule = _episode_schedule(sim_config, fault_config)
+    total_cycles = sum(sim_config.warmup + observe for observe in schedule)
+    injector = _PackedInjector(
+        packed, fault_config, golden.words, total_cycles
+    )
+    source = _make_sources(
+        packed, workloads, sim_config.streams, replay_seeds
+    )
+    plan_g = SimPlan(packed.compiled, golden.words, block_cycles)
+    plan_f = SimPlan(packed.compiled, golden.words, block_cycles)
+    n = packed.num_nodes
+    obs0 = np.zeros(n, dtype=np.int64)
+    obs1 = np.zeros(n, dtype=np.int64)
+    e01 = np.zeros(n, dtype=np.int64)
+    e10 = np.zeros(n, dtype=np.int64)
+    po_ok = np.zeros(packed.num_members, dtype=np.int64)
+    po_total = np.zeros(packed.num_members, dtype=np.int64)
+    streams = golden.streams
+    cycle = 0
+    from repro.sim.bitvec import popcount_int64
+
+    for episode, observe in enumerate(schedule):
+        # Pattern boundary: both machines restart from the reset state,
+        # every member from its own fresh generator.
+        _reset_members(
+            golden, packed, sim_config.init_state, sim_config.seed + episode
+        )
+        _reset_members(
+            faulty, packed, sim_config.init_state, sim_config.seed + episode
+        )
+        total = sim_config.warmup + observe
+        done = 0
+        while done < total:
+            b = min(plan_g.block_cycles, total - done)
+            block = source.next_block(b)
+            gh = plan_g.history[:b]
+            fh = plan_f.history[:b]
+            golden.run_block(block, plan_g, history=gh, start_cycle=cycle)
+            faulty.run_block(
+                block,
+                plan_f,
+                history=fh,
+                fault_hook=injector.hook,
+                start_cycle=cycle,
+            )
+            lo = max(sim_config.warmup - done, 0)
+            if lo < b:
+                g = gh[lo:]
+                f = fh[lo:]
+                nobs = g.shape[0]
+                ones = popcount_int64(g, axis=2).sum(axis=0)
+                obs1 += ones
+                obs0 += nobs * streams - ones
+                diff = g ^ f
+                e01 += popcount_int64(diff & f, axis=2).sum(axis=0)
+                e10 += popcount_int64(diff & g, axis=2).sum(axis=0)
+                for k, pos in enumerate(packed.po_ids):
+                    if pos.size:
+                        any_bad = np.bitwise_or.reduce(diff[:, pos], axis=1)
+                        po_total[k] += nobs * streams
+                        po_ok[k] += nobs * streams - int(
+                            popcount_int64(any_bad)
+                        )
+            cycle += b
+            done += b
+
+    results = []
+    for k, member in enumerate(packed.members):
+        sl = packed.member_slice(k)
+        err01 = np.divide(e01[sl], np.maximum(obs0[sl], 1), dtype=np.float64)
+        err10 = np.divide(e10[sl], np.maximum(obs1[sl], 1), dtype=np.float64)
+        reliability = (
+            po_ok[k] / po_total[k] if po_total[k] else 1.0
+        )
+        results.append(
+            FaultSimResult(
+                err01=err01,
+                err10=err10,
+                reliability=float(reliability),
+                observed0=obs0[sl].copy(),
+                observed1=obs1[sl].copy(),
+                netlist=member.netlist,
+            )
+        )
+    return results

@@ -154,6 +154,61 @@ class TestScheduling:
         assert not np.array_equal(sim_res.transition_prob, fault_res.error_prob)
 
 
+class TestPackedScheduling:
+    """pack_size groups misses into super-graph sweeps; label values and
+    cache keys must be unaffected by the grouping."""
+
+    @pytest.mark.parametrize("pack_size", [1, 2, 3, 8])
+    def test_build_bitwise_across_pack_sizes(
+        self, circuits, reference, pack_size
+    ):
+        factory = DataFactory(FactoryConfig(workers=0, pack_size=pack_size))
+        built = factory.build(circuits, SIM, seed=0)
+        for a, b in zip(reference, built):
+            assert_bitwise(a, b)
+
+    @pytest.mark.parametrize("pack_size", [1, 4])
+    def test_simulate_many_matches_direct(self, circuits, pack_size):
+        workloads = [random_workload(nl, 50 + i) for i, nl in enumerate(circuits)]
+        factory = DataFactory(FactoryConfig(workers=0, pack_size=pack_size))
+        got = factory.simulate_many(list(circuits), workloads, SIM)
+        for nl, wl, g in zip(circuits, workloads, got):
+            ref = simulate(nl, wl, SIM)
+            assert np.array_equal(ref.logic_prob, g.logic_prob)
+            assert np.array_equal(ref.tr01_prob, g.tr01_prob)
+            assert np.array_equal(ref.tr10_prob, g.tr10_prob)
+
+    def test_simulate_faults_many_matches_direct(self, circuits):
+        workloads = [random_workload(nl, 60 + i) for i, nl in enumerate(circuits)]
+        factory = DataFactory(FactoryConfig(workers=0, pack_size=2))
+        got = factory.simulate_faults_many(
+            list(circuits), workloads, SIM, FAULT
+        )
+        for nl, wl, g in zip(circuits, workloads, got):
+            ref = simulate_with_faults(nl, wl, SIM, FAULT)
+            assert np.array_equal(ref.err01, g.err01)
+            assert np.array_equal(ref.err10, g.err10)
+            assert ref.reliability == g.reliability
+
+    def test_packed_build_reads_unpacked_cache(self, circuits, tmp_path):
+        unpacked = DataFactory(
+            FactoryConfig(workers=0, pack_size=1, cache_dir=tmp_path)
+        )
+        unpacked.build(circuits, SIM, seed=0)
+        packed = DataFactory(
+            FactoryConfig(workers=0, pack_size=8, cache_dir=tmp_path)
+        )
+        packed.build(circuits, SIM, seed=0)
+        assert packed.stats.misses == 0, "pack grouping must not move keys"
+        assert packed.stats.disk_hits == len(circuits)
+
+    def test_pooled_packed_build_matches_reference(self, circuits, reference):
+        factory = DataFactory(FactoryConfig(workers=2, pack_size=2))
+        built = factory.build(circuits, SIM, seed=0)
+        for a, b in zip(reference, built):
+            assert_bitwise(a, b)
+
+
 class TestDefaultFactory:
     def test_env_configuration(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_DATA_CACHE", str(tmp_path / "cache"))
@@ -164,6 +219,15 @@ class TestDefaultFactory:
             assert factory is get_factory(), "singleton"
             assert factory.config.resolve_workers() == 0
             assert str(factory.cache.cache_dir) == str(tmp_path / "cache")
+        finally:
+            set_factory(None)
+
+    def test_pack_env_configuration(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_WORKERS", "0")
+        monkeypatch.setenv("REPRO_DATA_PACK", "3")
+        set_factory(None)
+        try:
+            assert get_factory().config.pack_size == 3
         finally:
             set_factory(None)
 

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.runtime.pack import clear_pack_cache, configure_pack_cache, pack_graphs
+from repro.runtime.pack import (
+    MAX_PACK_MEMBERS,
+    clear_pack_cache,
+    configure_pack_cache,
+    pack_graphs,
+)
 from repro.runtime.plan import clear_plan_cache, plan_for
 
 from tests.conftest import build_graph as make_graph
@@ -23,6 +28,14 @@ def fresh_caches():
 def test_empty_pack_rejected():
     with pytest.raises(ValueError):
         pack_graphs([])
+
+
+def test_oversized_pack_rejected():
+    # The guard fires on length alone — no per-member work happens, so
+    # an absurd member count is still a cheap, clear error.
+    graph = make_graph(seed=1)
+    with pytest.raises(ValueError, match="MAX_PACK_MEMBERS"):
+        pack_graphs([graph] * (MAX_PACK_MEMBERS + 1))
 
 
 def test_single_member_reuses_member_plan():

@@ -1,0 +1,349 @@
+"""Packed multi-circuit engine: golden digests, differentials, cache.
+
+The packed engine (:mod:`repro.sim.pack`) fuses K circuits into one
+block-stepped sweep and promises results *bitwise-identical* to K
+sequential per-circuit calls — which is what lets packed execution reuse
+the label cache without a ``CACHE_VERSION`` bump.  This layer pins that
+promise four ways:
+
+* **golden digests** — packed members reproduce the same pinned SHA-256
+  stats digests the per-circuit engines are frozen to;
+* **differentials** — hypothesis-driven packed-vs-sequential comparison
+  across member counts, block sizes, fault rates and heterogeneous
+  netlists (gate-zoo + random sequential members);
+* **stream alignment** — the packed fault injector bulk-draws each
+  member's PCG64 raw stream in chunks; tests force many tiny chunks to
+  pin the rewind-to-consumed-position contract, plus direct property
+  tests of the raw-stream facts the bulk parse relies on;
+* **cache behaviour** — the fingerprint-keyed pack-plan LRU and the
+  label cache (packed runs must fully hit a serially-populated cache).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from numpy.random import PCG64, Generator
+
+import repro.sim.pack as pack_mod
+from repro.circuit.aig import to_aig
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.sim.faults import FaultConfig, simulate_with_faults
+from repro.sim.logicsim import SimConfig, compile_netlist, simulate
+from repro.sim.pack import (
+    MAX_PACK_MEMBERS,
+    clear_sim_pack_cache,
+    configure_sim_pack_cache,
+    pack_circuits,
+    sim_pack_cache_info,
+    simulate_packed,
+    simulate_with_faults_packed,
+)
+from repro.sim.workload import Workload, random_workload
+
+from tests.sim._engines import gate_zoo_netlist, stats_hash, zoo_workload
+from tests.sim.test_engine_golden import CFG, FAULT_CFG, STATS_FAULT, STATS_SIM
+
+
+@pytest.fixture(autouse=True)
+def fresh_pack_cache():
+    clear_sim_pack_cache()
+    configure_sim_pack_cache(32)
+    yield
+    clear_sim_pack_cache()
+    configure_sim_pack_cache(32)
+
+
+def random_member(seed: int):
+    nl = to_aig(
+        random_sequential_netlist(
+            GeneratorConfig(n_pis=4, n_dffs=3, n_gates=25), seed=seed
+        )
+    ).aig
+    return nl, random_workload(nl, seed + 1)
+
+
+def assert_sim_equal(ref, got, label=""):
+    assert np.array_equal(ref.logic_prob, got.logic_prob), label
+    assert np.array_equal(ref.tr01_prob, got.tr01_prob), label
+    assert np.array_equal(ref.tr10_prob, got.tr10_prob), label
+
+
+def assert_fault_equal(ref, got, label=""):
+    assert np.array_equal(ref.err01, got.err01), label
+    assert np.array_equal(ref.err10, got.err10), label
+    assert np.array_equal(ref.observed0, got.observed0), label
+    assert np.array_equal(ref.observed1, got.observed1), label
+    assert ref.reliability == got.reliability, label
+
+
+class TestGoldenDigests:
+    """Packed members must land on the *pinned* per-circuit digests."""
+
+    def test_packed_members_reproduce_pinned_sim_stats(self):
+        nl = gate_zoo_netlist()
+        wl = zoo_workload()
+        results = simulate_packed([nl] * 3, [wl] * 3, CFG)
+        for k, r in enumerate(results):
+            digest = stats_hash([r.logic_prob, r.tr01_prob, r.tr10_prob])
+            assert digest == STATS_SIM, f"member {k}"
+
+    def test_packed_members_reproduce_pinned_fault_stats(self):
+        nl = gate_zoo_netlist()
+        wl = zoo_workload()
+        results = simulate_with_faults_packed(
+            [nl] * 3, [wl] * 3, CFG, FAULT_CFG
+        )
+        for k, fr in enumerate(results):
+            digest = stats_hash(
+                [
+                    fr.err01,
+                    fr.err10,
+                    fr.observed0,
+                    fr.observed1,
+                    np.float64(fr.reliability),
+                ]
+            )
+            assert digest == STATS_FAULT, f"member {k}"
+
+    def test_single_member_pack_reproduces_pinned_sim_stats(self):
+        nl = gate_zoo_netlist()
+        (r,) = simulate_packed([nl], [zoo_workload()], CFG)
+        assert stats_hash([r.logic_prob, r.tr01_prob, r.tr10_prob]) == STATS_SIM
+
+
+class TestDifferential:
+    """Packed == K sequential calls, bit for bit, under fuzzed shapes."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        k=st.integers(min_value=1, max_value=4),
+        block_cycles=st.sampled_from([None, 1, 3, 7, 64]),
+    )
+    def test_sim_matches_sequential(self, seed, k, block_cycles):
+        members = [random_member(seed + 10 * i) for i in range(k)]
+        members.append((gate_zoo_netlist(), zoo_workload(seed)))
+        cfg = SimConfig(cycles=24, streams=64, warmup=2, seed=seed)
+        packed = simulate_packed(
+            [nl for nl, _ in members],
+            [wl for _, wl in members],
+            cfg,
+            block_cycles=block_cycles,
+            cache=False,
+        )
+        for i, (nl, wl) in enumerate(members):
+            ref = simulate(nl, wl, cfg)
+            assert_sim_equal(ref, packed[i], f"member {i}")
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        k=st.integers(min_value=1, max_value=3),
+        fault_rate=st.sampled_from([0.02, 0.002, 5e-6]),
+        block_cycles=st.sampled_from([None, 3, 17]),
+    )
+    def test_fault_matches_sequential(self, seed, k, fault_rate, block_cycles):
+        members = [random_member(seed + 10 * i) for i in range(k)]
+        members.append((gate_zoo_netlist(), zoo_workload(seed)))
+        cfg = SimConfig(cycles=30, streams=64, warmup=2, seed=seed)
+        fault = FaultConfig(
+            fault_rate=fault_rate, episode_cycles=13, seed=seed + 3
+        )
+        packed = simulate_with_faults_packed(
+            [nl for nl, _ in members],
+            [wl for _, wl in members],
+            cfg,
+            fault,
+            block_cycles=block_cycles,
+            cache=False,
+        )
+        for i, (nl, wl) in enumerate(members):
+            ref = simulate_with_faults(nl, wl, cfg, fault)
+            assert_fault_equal(ref, packed[i], f"member {i}")
+
+    def test_precompiled_and_netlist_members_agree(self):
+        nl, wl = random_member(7)
+        cfg = SimConfig(cycles=16, streams=64, seed=7)
+        from_nl = simulate_packed([nl, nl], [wl, wl], cfg, cache=False)
+        compiled = compile_netlist(nl)
+        from_cc = simulate_packed(
+            [compiled, compiled], [wl, wl], cfg, cache=False
+        )
+        for a, b in zip(from_nl, from_cc):
+            assert_sim_equal(a, b)
+
+
+class TestInjectorStreamAlignment:
+    """The bulk raw-stream parse must leave each member's generator at
+    exactly the position the standalone injector would have reached —
+    chunk boundaries included (a mid-run over-draw that is not rewound
+    desynchronizes every later chunk)."""
+
+    @pytest.mark.parametrize("fault_rate", [0.02, 5e-6])
+    def test_many_tiny_chunks_stay_bitwise(self, monkeypatch, fault_rate):
+        # Cap the chunk buffer so the injector is forced through many
+        # prepare() calls within one run, exercising the rewind path on
+        # every boundary.
+        monkeypatch.setattr(pack_mod, "_CHUNK_BYTES_CAP", 1 << 12)
+        nl = gate_zoo_netlist()
+        wl = zoo_workload()
+        cfg = SimConfig(cycles=64, streams=64, warmup=2, seed=3)
+        fault = FaultConfig(fault_rate=fault_rate, episode_cycles=20, seed=11)
+        packed = simulate_with_faults_packed(
+            [nl] * 4, [wl] * 4, cfg, fault, cache=False
+        )
+        ref = simulate_with_faults(nl, wl, cfg, fault)
+        for k, got in enumerate(packed):
+            assert_fault_equal(ref, got, f"member {k}")
+
+    def test_full_range_integers_split_like_one_call(self):
+        bulk = Generator(PCG64(42)).integers(0, 2**64, size=16, dtype=np.uint64)
+        g = Generator(PCG64(42))
+        split = np.concatenate(
+            [
+                g.integers(0, 2**64, size=5, dtype=np.uint64),
+                g.integers(0, 2**64, size=11, dtype=np.uint64),
+            ]
+        )
+        assert np.array_equal(bulk, split)
+
+    def test_scalar_random_parses_one_raw_word(self):
+        raw = Generator(PCG64(43)).integers(0, 2**64, size=3, dtype=np.uint64)
+        g = Generator(PCG64(43))
+        for u in raw:
+            assert g.random() == (int(u) >> 11) * 2.0**-53
+
+    def test_negative_advance_rewinds_stream(self):
+        g = Generator(PCG64(44))
+        first = g.integers(0, 2**64, size=9, dtype=np.uint64)
+        g.bit_generator.advance(-9)
+        again = g.integers(0, 2**64, size=9, dtype=np.uint64)
+        assert np.array_equal(first, again)
+
+
+class TestPackErrors:
+    def test_empty_pack_raises(self):
+        with pytest.raises(ValueError, match="zero circuits"):
+            pack_circuits([])
+
+    def test_oversized_pack_raises(self):
+        nl = gate_zoo_netlist()
+        with pytest.raises(ValueError, match="MAX_PACK_MEMBERS"):
+            pack_circuits([nl] * (MAX_PACK_MEMBERS + 1))
+
+    def test_workload_count_mismatch_raises(self):
+        nl = gate_zoo_netlist()
+        wl = zoo_workload()
+        with pytest.raises(ValueError, match="workloads"):
+            simulate_packed([nl], [wl, wl], SimConfig(cycles=4))
+
+    def test_workload_pi_mismatch_raises(self):
+        nl = gate_zoo_netlist()
+        bad = Workload(np.array([0.5, 0.5]), "bad", seed=1)
+        with pytest.raises(ValueError, match="PI probabilities"):
+            simulate_packed([nl], [bad], SimConfig(cycles=4))
+
+    def test_replay_seeds_length_mismatch_raises(self):
+        nl = gate_zoo_netlist()
+        wl = zoo_workload()
+        with pytest.raises(ValueError, match="replay_seeds"):
+            simulate_packed(
+                [nl, nl], [wl, wl], SimConfig(cycles=4), replay_seeds=[1]
+            )
+
+    def test_cache_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError, match="at least one"):
+            configure_sim_pack_cache(0)
+
+
+class TestPackPlanCache:
+    def test_repack_hits_cache(self):
+        nl = gate_zoo_netlist()
+        first = pack_circuits([nl, nl])
+        second = pack_circuits([nl, nl])
+        assert second is first
+        info = sim_pack_cache_info()
+        assert info.misses == 1 and info.hits == 1 and info.size == 1
+
+    def test_distinct_compositions_miss_separately(self):
+        zoo = gate_zoo_netlist()
+        other, _ = random_member(3)
+        pack_circuits([zoo, zoo])
+        pack_circuits([zoo, other])
+        pack_circuits([zoo])
+        info = sim_pack_cache_info()
+        assert info.misses == 3 and info.size == 3
+
+    def test_eviction_is_lru(self):
+        zoo = gate_zoo_netlist()
+        other, _ = random_member(3)
+        configure_sim_pack_cache(1)
+        a = pack_circuits([zoo])
+        pack_circuits([other])
+        assert sim_pack_cache_info().evictions == 1
+        # The first plan was evicted: repacking it misses again.
+        b = pack_circuits([zoo])
+        assert b is not a
+        assert sim_pack_cache_info().misses == 3
+
+    def test_cache_false_bypasses_counters(self):
+        nl = gate_zoo_netlist()
+        pack_circuits([nl], cache=False)
+        pack_circuits([nl], cache=False)
+        info = sim_pack_cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.size == 0
+
+    def test_clear_resets_counters(self):
+        nl = gate_zoo_netlist()
+        pack_circuits([nl])
+        clear_sim_pack_cache()
+        info = sim_pack_cache_info()
+        assert info.size == 0 and info.misses == 0 and info.hits == 0
+
+
+class TestLabelCacheInvariance:
+    """Packed execution never changes label keys: a packed factory must
+    fully hit a cache populated by serial per-circuit runs."""
+
+    def test_packed_factory_hits_serial_cache(self, tmp_path):
+        from repro.data import DataFactory, FactoryConfig
+
+        members = [random_member(40 + 10 * i) for i in range(5)]
+        cfg = SimConfig(cycles=12, streams=64, seed=4)
+        serial = DataFactory(
+            FactoryConfig(workers=0, pack_size=1, cache_dir=tmp_path)
+        )
+        refs = [serial.simulate(nl, wl, cfg) for nl, wl in members]
+        assert serial.stats.misses == len(members)
+
+        packed = DataFactory(
+            FactoryConfig(workers=0, pack_size=4, cache_dir=tmp_path)
+        )
+        got = packed.simulate_many(
+            [nl for nl, _ in members], [wl for _, wl in members], cfg
+        )
+        assert packed.stats.misses == 0
+        assert packed.stats.disk_hits == len(members)
+        for ref, g in zip(refs, got):
+            assert_sim_equal(ref, g)
+
+    def test_serial_reads_packed_populated_cache(self, tmp_path):
+        from repro.data import DataFactory, FactoryConfig
+
+        members = [random_member(80 + 10 * i) for i in range(4)]
+        cfg = SimConfig(cycles=12, streams=64, seed=4)
+        fault = FaultConfig(seed=6)
+        packed = DataFactory(
+            FactoryConfig(workers=0, pack_size=4, cache_dir=tmp_path)
+        )
+        refs = packed.simulate_faults_many(
+            [nl for nl, _ in members], [wl for _, wl in members], cfg, fault
+        )
+        serial = DataFactory(
+            FactoryConfig(workers=0, pack_size=1, cache_dir=tmp_path)
+        )
+        for (nl, wl), ref in zip(members, refs):
+            got = serial.simulate_faults(nl, wl, cfg, fault)
+            assert_fault_equal(ref, got)
+        assert serial.stats.misses == 0
+        assert serial.stats.disk_hits == len(members)

@@ -1,0 +1,101 @@
+"""The benchmark-trend tool and the committed BENCH_*.json snapshots.
+
+CI validates the snapshots with ``trend.py check`` on every PR; this
+layer keeps the normalizers and the validator themselves honest so a
+broken ``update`` can't write a snapshot ``check`` waves through.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+import trend
+
+SIM_RAW = {
+    "cycles": 128,
+    "streams": 64,
+    "scenarios": {
+        "small/fault": {"cycle_s": 0.6, "block_s": 0.07, "speedup": 8.6},
+        "small/packed-fault@K8": {
+            "sequential_s": 0.5,
+            "packed_s": 0.13,
+            "speedup": 3.9,
+            "members": 8,
+        },
+    },
+}
+
+
+def test_committed_snapshots_validate():
+    paths = sorted(trend.REPO_ROOT.glob("BENCH_*.json"))
+    assert len(paths) == len(trend.BENCHES), "one snapshot per benchmark"
+    for path in paths:
+        trend.validate_snapshot(json.loads(path.read_text()), path.name)
+
+
+def test_update_normalizes_and_rolls(tmp_path):
+    src = tmp_path / "sim-benchmark.json"
+    src.write_text(json.dumps(SIM_RAW))
+    out = tmp_path / "BENCH_SIM.json"
+    for i in range(3):
+        trend.update_snapshot("sim", src, commit=f"c{i}", keep=2, out_path=out)
+    doc = json.loads(out.read_text())
+    trend.validate_snapshot(doc, "BENCH_SIM.json")
+    assert [e["commit"] for e in doc["entries"]] == ["c1", "c2"], "rolling"
+    metrics = doc["entries"][-1]["metrics"]
+    assert metrics["small/fault.speedup"] == {"value": 8.6, "unit": "x"}
+    assert metrics["small/packed-fault@K8.packed_s"]["unit"] == "s"
+
+
+def test_pytest_benchmark_normalizer():
+    raw = {"benchmarks": [{"name": "test_x", "stats": {"mean": 0.0125}}]}
+    metrics = trend._normalize_pytest(raw)
+    assert metrics == {"test_x.mean": {"value": 0.0125, "unit": "s"}}
+
+
+def test_check_rejects_malformed_snapshots():
+    good = {
+        "schema": trend.SCHEMA,
+        "bench": "sim",
+        "source": "sim-benchmark.json",
+        "entries": [
+            {"commit": None, "metrics": {"m": {"value": 1.0, "unit": "x"}}}
+        ],
+    }
+    trend.validate_snapshot(good, "good")
+    for mutate, match in [
+        (lambda d: d.update(schema="v0"), "schema"),
+        (lambda d: d.update(bench="nope"), "unknown bench"),
+        (lambda d: d.update(entries=[]), "non-empty"),
+        (
+            lambda d: d["entries"][0]["metrics"].update(
+                bad={"value": float("nan"), "unit": "x"}
+            ),
+            "finite",
+        ),
+        (
+            lambda d: d["entries"][0]["metrics"].update(
+                bad={"value": 1.0, "unit": "furlongs"}
+            ),
+            "unit",
+        ),
+    ]:
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        with pytest.raises(ValueError, match=match):
+            trend.validate_snapshot(doc, "bad")
+
+
+def test_update_refuses_cross_bench_snapshot(tmp_path):
+    src = tmp_path / "sim-benchmark.json"
+    src.write_text(json.dumps(SIM_RAW))
+    out = tmp_path / "BENCH_SIM.json"
+    trend.update_snapshot("sim", src, out_path=out)
+    raw = {"benchmarks": [{"name": "t", "stats": {"mean": 1.0}}]}
+    (tmp_path / "benchmark.json").write_text(json.dumps(raw))
+    with pytest.raises(ValueError, match="tracks bench"):
+        trend.update_snapshot("perf", tmp_path / "benchmark.json", out_path=out)
