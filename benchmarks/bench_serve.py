@@ -11,12 +11,25 @@ same circuit ``bench_perf.py`` times) through three serving setups:
    never form;
 3. **server** — a :class:`repro.serve.Server` with K workers under N
    concurrent closed-loop clients, where deadline micro-batching converts
-   request concurrency into packed sweeps.
+   request concurrency into packed sweeps;
+4. **gateway** — the multi-process :class:`repro.serve.Gateway`: the same
+   client fleet over socket connections, dispatched to K worker
+   *processes* through shared-memory arenas.  This is the scenario that
+   scales with cores — the threaded server's replicas share one GIL.
 
 Each run reports circuits/sec and p50/p99 end-to-end latency; the server
 rows also report the achieved mean batch size and the speedup over the
-single predictor at the same dtype.  Results go to stdout and optionally
-``--json`` (CI uploads it next to the bench_perf artifacts).
+single predictor at the same dtype.  The gateway rows report two ratios:
+``speedup_vs_threaded`` (vs the K-worker threaded server — expect >1 only
+on multi-core, where the worker processes escape the GIL) and
+``speedup_vs_lone_threaded`` (vs a *workers=1* threaded server — the
+floor the multi-process path must clear everywhere, including a 1-CPU
+runner, since K processes can never be slower than one GIL-bound
+worker once there is more than one core).  ``--gateway-min-speedup``
+turns the lone-threaded ratio into a shared :class:`SpeedupGate` floor;
+same-K scaling is tracked in the trend snapshot but never gated on
+single-core boxes.  Results go to stdout and optionally ``--json`` (CI
+uploads it next to the bench_perf artifacts).
 
 Run:  python benchmarks/bench_serve.py [--workers 4] [--clients 32]
       [--requests 192] [--batch-size 32] [--max-latency-ms 50]
@@ -32,6 +45,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
+
+from _speedup import SpeedupGate
 
 
 def build_problem():
@@ -158,6 +173,100 @@ def bench_pair(model, graph, workloads, dtype, args):
     return single, result
 
 
+def bench_lone_threaded(model, graph, workloads, dtype, args):
+    """A workers=1 threaded Server under the same client fleet.
+
+    This is the gate baseline: whatever the core count, the multi-process
+    gateway must at least match one GIL-bound threaded worker, or the
+    process fan-out is pure overhead.
+    """
+    from repro.serve import Server
+
+    per_client = max(1, args.requests // args.clients)
+    with Server(
+        model,
+        workers=1,
+        batch_size=args.batch_size,
+        max_latency_ms=args.max_latency_ms,
+        max_pending=max(args.batch_size * 2, args.clients * 2),
+        dtype=dtype,
+    ) as server:
+        server.warm(graph)
+        server.predict(graph, workloads[0])
+        runs = []
+        for _ in range(args.reps):
+            elapsed, lat = drive_server(
+                server, graph, workloads, args.clients, per_client
+            )
+            runs.append(
+                {
+                    "throughput_cps": per_client * args.clients / elapsed,
+                    **percentiles(lat),
+                }
+            )
+    return max(runs, key=lambda r: r["throughput_cps"])
+
+
+def drive_gateway(gateway, graph, workloads, clients, per_client):
+    """Closed-loop client fleet over sockets, one connection per client."""
+    lat_lock = threading.Lock()
+    lat = []
+
+    def client(cid):
+        mine = []
+        with gateway.connect() as conn:
+            for i in range(per_client):
+                wl = workloads[(cid * 7 + i) % len(workloads)]
+                t = time.perf_counter()
+                conn.predict(graph, wl)
+                mine.append((time.perf_counter() - t) * 1000.0)
+        with lat_lock:
+            lat.extend(mine)
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, lat
+
+
+def bench_gateway(model, graph, workloads, dtype, args):
+    """The multi-process path: worker processes behind the socket gateway."""
+    from repro.serve import Gateway
+
+    per_client = max(1, args.requests // args.clients)
+    with Gateway(
+        model,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_latency_ms=args.max_latency_ms,
+        max_pending=max(args.batch_size * args.workers * 2, args.clients * 2),
+        dtype=dtype,
+    ) as gateway:
+        gateway.warm(graph)  # ship the structure + precompile in every worker
+        with gateway.connect() as conn:
+            conn.predict(graph, workloads[0])
+        runs = []
+        for _ in range(args.reps):
+            elapsed, lat = drive_gateway(
+                gateway, graph, workloads, args.clients, per_client
+            )
+            runs.append(
+                {
+                    "throughput_cps": per_client * args.clients / elapsed,
+                    **percentiles(lat),
+                }
+            )
+        snap = gateway.metrics.snapshot()
+    result = max(runs, key=lambda r: r["throughput_cps"])
+    result["mean_batch_size"] = snap["mean_batch_size"]
+    result["workers"] = args.workers
+    result["worker_deaths"] = snap["worker_deaths"]
+    return result
+
+
 def bench_latency_bound(model, graph, workloads, args):
     """Light-load run: p99 must sit within one deadline + one flush.
 
@@ -203,6 +312,14 @@ def main() -> int:
         action="store_true",
         help="exit non-zero if the light-load p99 exceeds the deadline bound",
     )
+    parser.add_argument(
+        "--gateway-min-speedup",
+        type=float,
+        default=0.0,
+        help="SpeedupGate floor for gateway-vs-threaded-server throughput "
+        "(0 disables; 1.0 asserts the gateway at least matches the "
+        "threaded Server — the right bar on a 1-CPU runner)",
+    )
     args = parser.parse_args()
 
     from repro.models.base import ModelConfig
@@ -225,6 +342,7 @@ def main() -> int:
         f"p50 {row['p50_ms']:7.1f} ms  p99 {row['p99_ms']:7.1f} ms"
     )
 
+    gate = SpeedupGate(args.gateway_min_speedup)
     for dtype in ("float64", "float32"):
         single, server = bench_pair(model, graph, workloads, dtype, args)
         results[f"single_predictor_{dtype}"] = single
@@ -244,6 +362,33 @@ def main() -> int:
             f"batch {server['mean_batch_size']:5.1f}   "
             f"{server['speedup_vs_single']:.2f}x vs single"
         )
+        lone = bench_lone_threaded(model, graph, workloads, dtype, args)
+        results[f"server_lone_{dtype}"] = lone
+        print(
+            f"{f'Server x1 worker ({dtype})':<42}"
+            f"{lone['throughput_cps']:8.1f} c/s   "
+            f"p50 {lone['p50_ms']:7.1f} ms  p99 {lone['p99_ms']:7.1f} ms"
+        )
+        gateway = bench_gateway(model, graph, workloads, dtype, args)
+        gateway["speedup_vs_threaded"] = (
+            gateway["throughput_cps"] / server["throughput_cps"]
+        )
+        gateway["speedup_vs_lone_threaded"] = (
+            gateway["throughput_cps"] / lone["throughput_cps"]
+        )
+        results[f"gateway_{dtype}"] = gateway
+        print(
+            f"{f'Gateway x{args.workers} processes ({dtype})':<42}"
+            f"{gateway['throughput_cps']:8.1f} c/s   "
+            f"p50 {gateway['p50_ms']:7.1f} ms  p99 {gateway['p99_ms']:7.1f} ms   "
+            f"batch {gateway['mean_batch_size']:5.1f}   "
+            f"{gateway['speedup_vs_threaded']:.2f}x vs threaded, "
+            f"{gateway['speedup_vs_lone_threaded']:.2f}x vs lone"
+        )
+        gate.check(
+            f"gateway_{dtype}_vs_lone_threaded",
+            gateway["speedup_vs_lone_threaded"],
+        )
 
     # The deadline guarantee, measured where it applies: light load, where
     # p99 must sit within one flush deadline plus one packed sweep.  (The
@@ -260,6 +405,7 @@ def main() -> int:
     if args.json:
         Path(args.json).write_text(json.dumps(results, indent=2))
         print(f"wrote {args.json}")
+    gate.finish()  # after --json: the artifact survives a gated failure
     return 1 if (args.strict and not ok) else 0
 
 

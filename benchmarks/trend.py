@@ -78,6 +78,9 @@ def _normalize_serve(raw: dict) -> dict:
             metrics[f"{section}.speedup_vs_single"] = _metric(
                 stats["speedup_vs_single"], "x"
             )
+        for key in ("speedup_vs_threaded", "speedup_vs_lone_threaded"):
+            if key in stats:
+                metrics[f"{section}.{key}"] = _metric(stats[key], "x")
     return metrics
 
 

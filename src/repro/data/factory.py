@@ -41,6 +41,7 @@ import numpy as np
 from repro.circuit.graph import CircuitGraph
 from repro.circuit.netlist import Netlist
 from repro.data.cache import LabelCache, label_key
+from repro.runtime.mp import resolve_mp_context
 from repro.sim.faults import FaultConfig, FaultSimResult, simulate_with_faults
 from repro.sim.logicsim import SimConfig, SimResult, simulate
 from repro.sim.pack import simulate_packed, simulate_with_faults_packed
@@ -150,6 +151,13 @@ class FactoryConfig:
             never changes label values — packed sweeps are bitwise-
             identical to per-circuit runs — so cache keys and contents
             are independent of this knob.
+        mp_start_method: start method for the simulation pool's worker
+            processes.  ``None`` resolves through
+            :func:`repro.runtime.mp.resolve_mp_context` (forkserver, else
+            spawn) — never the platform-default ``fork``, which would
+            snapshot any lock currently held by another thread of this
+            process (a live :class:`repro.serve.Server`, a logging
+            handler, ...) in its locked state and deadlock the child.
     """
 
     workers: int | None = None
@@ -158,6 +166,7 @@ class FactoryConfig:
     keep_sim: bool = False
     min_chunk: int = 1
     pack_size: int = 8
+    mp_start_method: str | None = None
 
     def resolve_workers(self) -> int:
         if self.workers is not None:
@@ -379,7 +388,10 @@ class DataFactory:
                         self.config.min_chunk,
                         len(groups) // (4 * workers) or 1,
                     )
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                    with ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=resolve_mp_context(self.config.mp_start_method),
+                    ) as pool:
                         grouped = list(pool.map(job, args, chunksize=chunk))
                 else:
                     grouped = [job(a) for a in args]
@@ -394,7 +406,10 @@ class DataFactory:
                         self.config.min_chunk,
                         len(pending) // (4 * workers) or 1,
                     )
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                    with ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=resolve_mp_context(self.config.mp_start_method),
+                    ) as pool:
                         fresh = list(pool.map(job, args, chunksize=chunk))
                 else:
                     fresh = [job(a) for a in args]

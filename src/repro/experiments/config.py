@@ -108,6 +108,23 @@ class ServeConfig:
             Queue management and future resolution still overlap freely.
         latency_window: number of most-recent latency samples the metrics
             keep for percentile estimates.
+        mp_start_method: multiprocessing start method for the gateway's
+            worker processes (and anything else that asks
+            :func:`repro.runtime.mp.resolve_mp_context`).  ``None`` picks
+            the safest available (forkserver, else spawn); default ``fork``
+            is never used implicitly because forking a threaded parent
+            copies held locks into the child.
+        host / port: bind address of the :class:`repro.serve.Gateway`
+            socket front door.  Port 0 (default) picks an ephemeral port,
+            published as ``gateway.address``.
+        shm_arena_mb: size in MiB of *each* per-worker shared-memory
+            arena (one feature arena + one result arena per worker).
+            Requests whose buffers overflow the arena fall back to inline
+            pickling — correct, just slower.
+        restart_backoff_ms / restart_backoff_max_ms: bounded exponential
+            backoff for respawning a crashed worker process: first restart
+            after ``restart_backoff_ms``, doubling per consecutive crash
+            up to ``restart_backoff_max_ms``.
     """
 
     workers: int = 2
@@ -118,6 +135,12 @@ class ServeConfig:
     deadline_ms: float | None = None
     max_concurrent_sweeps: int | None = None
     latency_window: int = 4096
+    mp_start_method: str | None = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    shm_arena_mb: float = 4.0
+    restart_backoff_ms: float = 50.0
+    restart_backoff_max_ms: float = 2000.0
 
     def __post_init__(self) -> None:
         if self.dtype not in ("float64", "float32"):
@@ -138,6 +161,19 @@ class ServeConfig:
             raise ValueError("max_concurrent_sweeps must be >= 1 (or None)")
         if self.latency_window < 1:
             raise ValueError("latency_window must be >= 1")
+        if self.mp_start_method not in (None, "forkserver", "spawn", "fork"):
+            raise ValueError(
+                "mp_start_method must be None, 'forkserver', 'spawn' or 'fork', "
+                f"got {self.mp_start_method!r}"
+            )
+        if not (0 <= self.port <= 65535):
+            raise ValueError("port must be in [0, 65535]")
+        if self.shm_arena_mb <= 0:
+            raise ValueError("shm_arena_mb must be positive")
+        if self.restart_backoff_ms <= 0 or self.restart_backoff_max_ms <= 0:
+            raise ValueError("restart backoff values must be positive")
+        if self.restart_backoff_max_ms < self.restart_backoff_ms:
+            raise ValueError("restart_backoff_max_ms must be >= restart_backoff_ms")
 
 
 QUICK = ExperimentScale(name="quick")

@@ -4,16 +4,22 @@
   per-request deadlines, deadline-based micro-batch flush, K worker
   threads each holding a serialized-equal model replica, graceful
   drain/shutdown);
+* :mod:`repro.serve.gateway` — :class:`Gateway` / :class:`GatewayClient`,
+  the multi-*process* tier: an asyncio socket front door doing admission
+  and deadline micro-batching over N supervised worker processes, with
+  shared-memory feature/result arenas and crash-restart (typed
+  :class:`WorkerDied` failures, never hung clients);
 * :mod:`repro.serve.metrics` — thread-safe request / latency / throughput
-  metrics behind :attr:`Server.metrics`.
+  metrics behind :attr:`Server.metrics` and :attr:`Gateway.metrics`.
 
 Configuration lives in :class:`repro.experiments.config.ServeConfig`.
-The float64 serving path is bitwise-identical to sequential
+Both tiers' float64 serving paths are bitwise-identical to sequential
 :meth:`RecurrentDagGnn.predict`; see ``tests/serve/`` for the differential
 fuzz and concurrency suites that enforce it.
 """
 
 from repro.experiments.config import ServeConfig
+from repro.serve.gateway import Gateway, GatewayClient
 from repro.serve.metrics import LatencyRecorder, ServerMetrics
 from repro.serve.server import (
     DeadlineExceeded,
@@ -22,16 +28,22 @@ from repro.serve.server import (
     ServeFuture,
     Server,
     ServerClosed,
+    quantize_chunk,
 )
+from repro.serve.supervisor import WorkerDied
 
 __all__ = [
     "ServeConfig",
     "Server",
+    "Gateway",
+    "GatewayClient",
     "ServeFuture",
     "ServeError",
     "ServerClosed",
     "QueueFull",
     "DeadlineExceeded",
+    "WorkerDied",
     "ServerMetrics",
     "LatencyRecorder",
+    "quantize_chunk",
 ]

@@ -1,0 +1,822 @@
+"""Asyncio front door over N model-worker *processes*.
+
+The threaded :class:`repro.serve.Server` parallelizes packed sweeps only
+as far as the GIL allows — K worker threads in one interpreter saturate
+one core on the pure-Python glue between kernels.  The :class:`Gateway`
+promotes the same architecture to processes:
+
+* an **asyncio socket server** (one thread, one event loop) does
+  everything the threaded front half did — admission control against
+  ``max_pending`` (blocking admission is TCP backpressure: the gateway
+  simply stops reading a connection until space frees), per-request
+  deadlines, and deadline micro-batching with the same
+  :func:`~repro.serve.server.quantize_chunk` ladder;
+* **worker processes** (:mod:`repro.serve.worker`), spawned through an
+  explicit forkserver/spawn context and supervised with bounded-backoff
+  restarts (:mod:`repro.serve.supervisor`), each hold a model replica
+  restored from the :func:`~repro.nn.serialize.dumps_state` byte
+  round-trip;
+* **shared-memory arenas** carry per-request feature buffers in and
+  prediction arrays out, so the request hot path crosses the process
+  boundary without pickling bulk data; circuit structures ship to each
+  worker once, keyed by content fingerprint.
+
+Equivalence guarantee (enforced by ``tests/serve/test_differential_fuzz``):
+with ``dtype="float64"`` every prediction served through the socket is
+bitwise-identical to sequential :meth:`RecurrentDagGnn.predict` on the
+source model.  Worker replicas round-trip float64 exactly, feature
+vectors cross shared memory bit-for-bit, and packed execution is
+bitwise-equal by construction.
+
+Failure semantics: a worker death (including SIGKILL) surfaces as EOF on
+its control pipe; every request in flight on it fails with the typed
+:class:`~repro.serve.supervisor.WorkerDied` — clients never hang — and
+the slot respawns in the background while the other workers keep
+serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+
+import numpy as np
+
+from repro.circuit.graph import CircuitGraph
+from repro.circuit.netlist import Netlist
+from repro.experiments.config import ServeConfig
+from repro.models.base import Prediction, RecurrentDagGnn
+from repro.runtime.shm import write_arrays
+from repro.serve import transport
+from repro.serve.metrics import ServerMetrics
+from repro.serve.server import (
+    DeadlineExceeded,
+    QueueFull,
+    ServeError,
+    ServeFuture,
+    ServerClosed,
+    quantize_chunk,
+)
+from repro.serve.supervisor import Supervisor, WorkerDied, WorkerHandle
+
+__all__ = ["Gateway", "GatewayClient"]
+
+
+class _GwRequest:
+    __slots__ = (
+        "fingerprint",
+        "workload",
+        "t_submit",
+        "t_deadline",
+        "respond",
+    )
+
+    def __init__(self, fingerprint, workload, t_submit, t_deadline, respond):
+        self.fingerprint = fingerprint
+        self.workload = workload
+        self.t_submit = t_submit
+        self.t_deadline = t_deadline
+        #: ``respond(prediction_or_None, error_or_None)`` — schedules the
+        #: client response; must be called exactly once, on the loop.
+        self.respond = respond
+
+
+class _Batch:
+    __slots__ = ("batch_id", "requests", "t0")
+
+    def __init__(self, batch_id, requests, t0):
+        self.batch_id = batch_id
+        self.requests = requests
+        self.t0 = t0
+
+
+class Gateway:
+    """Multi-process serving behind one asyncio socket front door.
+
+    Args:
+        model: source model; never mutated.  Each worker process restores
+            its own replica from the serialized state.
+        config: a :class:`ServeConfig`; fields can be overridden by
+            keyword (``Gateway(model, workers=4, dtype="float32")``).
+
+    Example::
+
+        with Gateway(model, workers=4, batch_size=16) as gw:
+            with gw.connect() as client:
+                pred = client.predict(netlist, workload)
+            print(gw.metrics.format())
+
+    ``gw.address`` is the bound ``(host, port)``; any number of
+    :class:`GatewayClient`\\ s (or a plain ``GET /metrics`` HTTP request)
+    may connect to it.
+    """
+
+    def __init__(
+        self,
+        model: RecurrentDagGnn,
+        config: ServeConfig | None = None,
+        **overrides,
+    ) -> None:
+        cfg = config or ServeConfig()
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        self.config = cfg
+        self.dtype = np.dtype(cfg.dtype)
+        self.metrics = ServerMetrics(window=cfg.latency_window)
+        self.supervisor = Supervisor(model, cfg)
+        self.address: tuple[str, int] | None = None
+        self._netlists: dict[str, Netlist] = {}
+        self._queue: deque[_GwRequest] = deque()
+        self._inflight = 0
+        self._closing = False
+        self._closed = False
+        self._loop_stopped = False
+        self._close_lock = threading.Lock()
+        self._batch_ids = itertools.count()
+        self._startup_error: BaseException | None = None
+        self._started = threading.Event()
+        try:
+            self.supervisor.start()
+        except BaseException:
+            self.supervisor.stop(timeout=5.0)
+            raise
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop_main, name="serve-gateway", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self.supervisor.stop(timeout=5.0)
+            raise self._startup_error
+
+    # ------------------------------------------------------------------
+    # loop lifecycle
+    # ------------------------------------------------------------------
+    def _loop_main(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._startup())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            for task in asyncio.all_tasks(self._loop):
+                task.cancel()
+            self._loop.run_until_complete(
+                self._loop.shutdown_asyncgens()
+            )
+            self._loop.close()
+
+    async def _startup(self) -> None:
+        # asyncio primitives must be created on their loop.
+        self._wake = asyncio.Event()
+        self._space = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._idle: asyncio.Queue = asyncio.Queue()
+        self._conns: set[asyncio.StreamWriter] = set()
+        for handle in self.supervisor.handles:
+            self._watch_worker(handle)
+            self._idle.put_nowait((handle.generation, handle))
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=self.config.host, port=self.config.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._dispatcher_task = self._loop.create_task(self._dispatcher())
+
+    # ------------------------------------------------------------------
+    # client connections
+    # ------------------------------------------------------------------
+    async def _handle_conn(self, reader, writer) -> None:
+        wlock = asyncio.Lock()
+        self._conns.add(writer)
+        try:
+            try:
+                first = await reader.readexactly(len(transport.HTTP_PREFIX))
+            except asyncio.IncompleteReadError:
+                return
+            if first == transport.HTTP_PREFIX:
+                await self._handle_http(reader, writer)
+                return
+            # Those four bytes are the first half of a frame header.
+            rest = await reader.readexactly(8 - len(first))
+            length = int.from_bytes(first + rest, "big")
+            if length > transport.MAX_FRAME_BYTES:
+                return
+            payload: bytes | None = await reader.readexactly(length)
+            while payload is not None:
+                await self._handle_message(
+                    transport.decode(payload), writer, wlock
+                )
+                payload = await transport.read_frame(reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+
+    async def _handle_http(self, reader, writer) -> None:
+        """``GET /metrics`` -> JSON snapshot; anything else -> 404."""
+        line = await reader.readline()  # rest of "GET <path> HTTP/1.x"
+        path = (b"GET " + line).split()[1].decode("ascii", "replace")
+        if path in ("/metrics", "/metrics/"):
+            body = json.dumps(self.metrics.snapshot(), default=float).encode()
+            writer.write(transport.http_response("200 OK", body, "application/json"))
+        else:
+            writer.write(
+                transport.http_response("404 Not Found", b"not found\n", "text/plain")
+            )
+        await writer.drain()
+        writer.close()
+
+    async def _respond(self, writer, wlock, message: tuple) -> None:
+        try:
+            async with wlock:
+                await transport.write_frame(writer, transport.encode(message))
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; nothing to deliver to
+
+    async def _handle_message(self, msg: tuple, writer, wlock) -> None:
+        op = msg[0]
+        if op == "ping":
+            await self._respond(writer, wlock, ("pong", msg[1]))
+            return
+        if op == "metrics":
+            await self._respond(
+                writer, wlock, ("metrics_result", msg[1], self.metrics.snapshot())
+            )
+            return
+        if op != "predict":
+            await self._respond(
+                writer, wlock, ("error", msg[1], ServeError(f"unknown op {op!r}"))
+            )
+            return
+        _, req_id, netlist, workload, deadline_ms, block = msg
+
+        def respond(value, error):
+            if error is not None:
+                message = ("error", req_id, error)
+            else:
+                message = ("result", req_id, value.tr, value.lg)
+            self._loop.create_task(self._respond(writer, wlock, message))
+
+        try:
+            num_pis = getattr(workload, "num_pis", None)
+            if num_pis is not None and num_pis != len(netlist.pis):
+                raise ValueError(
+                    f"workload has {num_pis} PIs, circuit has {len(netlist.pis)}"
+                )
+            if deadline_ms is None:
+                deadline_ms = self.config.deadline_ms
+            if deadline_ms is not None and deadline_ms <= 0:
+                raise ValueError("deadline_ms must be positive (or None)")
+        except ValueError as exc:
+            respond(None, exc)
+            return
+        # Admission: blocking submitters get TCP backpressure (this
+        # handler simply does not read the connection's next frame until
+        # space frees), non-blocking ones bounce with QueueFull.
+        while not self._closing and len(self._queue) >= self.config.max_pending:
+            if not block:
+                self.metrics.incr("rejected")
+                respond(
+                    None,
+                    QueueFull(
+                        f"admission queue at max_pending={self.config.max_pending}"
+                    ),
+                )
+                return
+            self._space.clear()
+            await self._space.wait()
+        if self._closing:
+            respond(None, ServerClosed("gateway is shut down"))
+            return
+        fingerprint = netlist.fingerprint()
+        if fingerprint not in self._netlists:
+            self._netlists[fingerprint] = netlist
+        now = time.monotonic()
+        self._queue.append(
+            _GwRequest(
+                fingerprint,
+                workload,
+                now,
+                None if deadline_ms is None else now + deadline_ms / 1000.0,
+                respond,
+            )
+        )
+        self.metrics.incr("submitted")
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # batching + dispatch
+    # ------------------------------------------------------------------
+    async def _dispatcher(self) -> None:
+        try:
+            await self._dispatch_loop()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pragma: no cover - must never hang clients
+            import traceback
+
+            traceback.print_exc()
+            self._fail_queue(ServeError(f"gateway dispatcher crashed: {exc!r}"))
+            self._drained.set()
+
+    async def _dispatch_loop(self) -> None:
+        max_wait = self.config.max_latency_ms / 1000.0
+        while True:
+            if not self._queue:
+                if self._closing:
+                    self._maybe_drained()
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            if len(self._queue) < self.config.batch_size and not self._closing:
+                remaining = self._queue[0].t_submit + max_wait - time.monotonic()
+                if remaining > 0:
+                    self._wake.clear()
+                    try:
+                        await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                    except asyncio.TimeoutError:
+                        pass
+                    continue
+            handle = await self._claim_idle_worker()
+            if handle is None:  # closing with no live workers left
+                self._fail_queue(ServerClosed("gateway is shut down"))
+                self._maybe_drained()
+                return
+            size = min(
+                quantize_chunk(self.config.batch_size, len(self._queue)),
+                len(self._queue),
+            )
+            chunk = [self._queue.popleft() for _ in range(size)]
+            self._space.set()
+            await self._dispatch(handle, chunk)
+
+    async def _claim_idle_worker(self) -> WorkerHandle | None:
+        """Next live idle worker; skips entries gone stale after a death."""
+        while True:
+            generation, handle = await self._idle.get()
+            if (
+                handle is not None
+                and handle.conn is not None
+                and handle.generation == generation
+            ):
+                return handle
+            if self._closing and not any(
+                h.conn is not None for h in self.supervisor.handles
+            ):
+                return None
+
+    async def _dispatch(self, handle: WorkerHandle, chunk: list[_GwRequest]) -> None:
+        now = time.monotonic()
+        live: list[_GwRequest] = []
+        for req in chunk:
+            if req.t_deadline is not None and now > req.t_deadline:
+                self.metrics.incr("expired")
+                self.metrics.e2e.record((now - req.t_submit) * 1000.0)
+                req.respond(
+                    None,
+                    DeadlineExceeded(
+                        f"request queued {1000 * (now - req.t_submit):.1f} ms, "
+                        f"deadline was "
+                        f"{1000 * (req.t_deadline - req.t_submit):.1f} ms"
+                    ),
+                )
+            else:
+                self.metrics.queue_wait.record((now - req.t_submit) * 1000.0)
+                live.append(req)
+        if not live:
+            self._idle.put_nowait((handle.generation, handle))
+            self._maybe_drained()
+            return
+        try:
+            for req in live:
+                if req.fingerprint not in handle.shipped:
+                    handle.conn.send(
+                        ("structure", req.fingerprint, self._netlists[req.fingerprint])
+                    )
+                    handle.shipped.add(req.fingerprint)
+            # Feature buffers ride the shared-memory arena (fall back to
+            # inline copies only if a giant batch overflows it).
+            layout = write_arrays(
+                handle.feat_arena, [req.workload.pi_probs for req in live]
+            )
+            members = []
+            for i, req in enumerate(live):
+                wl = req.workload
+                if layout is None:
+                    spec = ("inline", np.asarray(wl.pi_probs), wl.name, wl.seed)
+                else:
+                    spec = ("shm", layout[i][0], wl.num_pis, wl.name, wl.seed)
+                members.append((req.fingerprint, spec))
+            batch_id = next(self._batch_ids)
+            handle.inflight = _Batch(batch_id, live, time.monotonic())
+            self._inflight += 1
+            handle.conn.send(("batch", batch_id, members))
+        except (OSError, BrokenPipeError, ValueError):
+            # The pipe died under us; the EOF watcher runs the restart
+            # path — here we only fail this batch's requests typed.
+            if handle.inflight is not None:
+                handle.inflight = None
+                self._inflight -= 1
+            for req in live:
+                self.metrics.incr("failed")
+                self.metrics.e2e.record((time.monotonic() - req.t_submit) * 1000.0)
+                req.respond(None, WorkerDied("worker died before executing batch"))
+            self._maybe_drained()
+
+    # ------------------------------------------------------------------
+    # worker I/O (loop thread)
+    # ------------------------------------------------------------------
+    def _watch_worker(self, handle: WorkerHandle) -> None:
+        self._loop.add_reader(
+            handle.conn.fileno(), self._on_worker_readable, handle
+        )
+
+    def _unwatch_worker(self, handle: WorkerHandle) -> None:
+        if handle.conn is not None:
+            try:
+                self._loop.remove_reader(handle.conn.fileno())
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+    def _on_worker_readable(self, handle: WorkerHandle) -> None:
+        try:
+            if not handle.conn.poll():
+                return
+            msg = handle.conn.recv()
+        except (EOFError, OSError):
+            self._unwatch_worker(handle)
+            self._loop.create_task(self._worker_died(handle))
+            return
+        if msg[0] == "done":
+            self._finish_batch(handle, msg[1], msg[2])
+        elif msg[0] == "warmed":
+            future = getattr(handle, "warm_future", None)
+            if future is not None and not future.done():
+                future.set_result(None)
+
+    def _finish_batch(self, handle: WorkerHandle, batch_id, metas) -> None:
+        batch = handle.inflight
+        if batch is None or batch.batch_id != batch_id:  # pragma: no cover
+            return
+        handle.inflight = None
+        self._inflight -= 1
+        t1 = time.monotonic()
+        self.metrics.record_batch(len(batch.requests), (t1 - batch.t0) * 1000.0)
+        for req, meta in zip(batch.requests, metas):
+            self.metrics.e2e.record((t1 - req.t_submit) * 1000.0)
+            if meta[0] == "err":
+                self.metrics.incr("failed")
+                req.respond(None, meta[1])
+            elif meta[0] == "inline":
+                self.metrics.incr("completed")
+                req.respond(Prediction(tr=meta[1], lg=meta[2]), None)
+            else:
+                _, tr_off, tr_shape, lg_off, lg_shape = meta
+                # Copy out before the arena region can be reused.
+                tr = handle.res_arena.ndarray(tr_off, tr_shape, self.dtype).copy()
+                lg = handle.res_arena.ndarray(lg_off, lg_shape, self.dtype).copy()
+                self.metrics.incr("completed")
+                req.respond(Prediction(tr=tr, lg=lg), None)
+        self.supervisor.note_success(handle)
+        self._idle.put_nowait((handle.generation, handle))
+        self._maybe_drained()
+
+    async def _worker_died(self, handle: WorkerHandle) -> None:
+        self.metrics.incr("worker_deaths")
+        batch = handle.inflight
+        handle.inflight = None
+        if batch is not None:
+            self._inflight -= 1
+            for req in batch.requests:
+                self.metrics.incr("failed")
+                self.metrics.e2e.record(
+                    (time.monotonic() - req.t_submit) * 1000.0
+                )
+                req.respond(
+                    None,
+                    WorkerDied(
+                        "worker process died while executing this request"
+                    ),
+                )
+        handle.generation += 1
+        delay = self.supervisor.note_death(handle)
+        self._maybe_drained()
+        while not self._closing:
+            await asyncio.sleep(delay)
+            if self._closing:
+                return
+            try:
+                await self._loop.run_in_executor(
+                    None, self.supervisor.spawn, handle
+                )
+            except ServeError:
+                delay = self.supervisor.note_death(handle)
+                continue
+            self.metrics.incr("restarts")
+            self._watch_worker(handle)
+            self._idle.put_nowait((handle.generation, handle))
+            return
+
+    # ------------------------------------------------------------------
+    # warm-up
+    # ------------------------------------------------------------------
+    def warm(self, circuit: CircuitGraph | Netlist) -> None:
+        """Ship ``circuit`` to every worker and precompile its ladder packs.
+
+        The multi-process analogue of :meth:`Server.warm`: after this, the
+        first wave of real traffic over this structure pays neither the
+        structure transfer nor a cold union-plan compile in any worker.
+        """
+        netlist = circuit.netlist if isinstance(circuit, CircuitGraph) else circuit
+        sizes = []
+        size = self.config.batch_size
+        while size >= 1:
+            sizes.append(size)
+            size >>= 1
+        future = asyncio.run_coroutine_threadsafe(
+            self._warm(netlist, sizes), self._loop
+        )
+        future.result()
+
+    async def _warm(self, netlist: Netlist, sizes: list[int]) -> None:
+        fingerprint = netlist.fingerprint()
+        self._netlists.setdefault(fingerprint, netlist)
+        # Claim every worker so warms don't interleave with batches.
+        claimed = []
+        for _ in self.supervisor.handles:
+            handle = await self._claim_idle_worker()
+            if handle is None:
+                break
+            claimed.append(handle)
+        try:
+            acks = []
+            for handle in claimed:
+                if fingerprint not in handle.shipped:
+                    handle.conn.send(("structure", fingerprint, netlist))
+                    handle.shipped.add(fingerprint)
+                handle.warm_future = self._loop.create_future()
+                acks.append(handle.warm_future)
+                handle.conn.send(("warm", fingerprint, sizes))
+            if acks:
+                await asyncio.wait(acks, timeout=300.0)
+        finally:
+            for handle in claimed:
+                handle.warm_future = None
+                self._idle.put_nowait((handle.generation, handle))
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def _fail_queue(self, error: Exception) -> None:
+        while self._queue:
+            req = self._queue.popleft()
+            self.metrics.incr("failed")
+            req.respond(None, error)
+
+    def _maybe_drained(self) -> None:
+        if self._closing and not self._queue and self._inflight == 0:
+            self._drained.set()
+
+    async def _begin_close(self, drain: bool) -> None:
+        self._closing = True
+        self._server.close()
+        if not drain:
+            # Stricter close wins, even against an in-progress drain.
+            self._fail_queue(ServerClosed("gateway closed before execution"))
+        self._wake.set()
+        self._space.set()
+        # Wake a dispatcher that may be blocked waiting for an idle worker
+        # (e.g. the sole worker died and its respawn loop saw closing).
+        self._idle.put_nowait((-1, None))
+        self._maybe_drained()
+
+    async def _await_drained(self, timeout: float | None) -> None:
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout)
+        except asyncio.TimeoutError:
+            self._fail_queue(ServerClosed("gateway close timed out"))
+            self._drained.set()
+
+    async def _close_connections(self) -> None:
+        """Hang-proofing: closing every client socket turns any request a
+        client sent but the gateway never admitted into a clean EOF, which
+        the client-side reader converts to ServerClosed failures."""
+        for writer in list(self._conns):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Graceful shutdown; see :meth:`Server.close` for the semantics.
+
+        ``timeout`` is one shared budget across draining and stopping all
+        worker processes — never ``K x timeout``.  Unlike threads, worker
+        *processes* that overstay the budget are killed, so close always
+        returns with the host clean (arenas unlinked, no zombies).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if self._started.is_set() and self._startup_error is None:
+            if not self._loop.is_closed() and not self._loop_stopped:
+                asyncio.run_coroutine_threadsafe(
+                    self._begin_close(drain), self._loop
+                ).result(timeout=60.0)
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                asyncio.run_coroutine_threadsafe(
+                    self._await_drained(remaining), self._loop
+                ).result(timeout=None if remaining is None else remaining + 60.0)
+                asyncio.run_coroutine_threadsafe(
+                    self._close_connections(), self._loop
+                ).result(timeout=60.0)
+        with self._close_lock:
+            if not self._loop_stopped:
+                self._loop_stopped = True
+                self._loop.call_soon_threadsafe(self._loop.stop)
+                self._thread.join(timeout=60.0)
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        self.supervisor.stop(timeout=remaining)
+        self._closed = True
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def connect(self, timeout: float | None = 120.0) -> "GatewayClient":
+        """A new blocking client connected to this gateway's socket."""
+        assert self.address is not None
+        return GatewayClient(self.address, timeout=timeout)
+
+
+class GatewayClient:
+    """Blocking, thread-safe client for one gateway connection.
+
+    Many threads may share one client — requests are multiplexed by id
+    over the single socket, and a background reader resolves each
+    :class:`~repro.serve.server.ServeFuture` as its response arrives.
+    Typed server-side failures (:class:`QueueFull`,
+    :class:`DeadlineExceeded`, :class:`WorkerDied`, :class:`ServerClosed`)
+    re-raise from ``future.result()`` exactly as the threaded server
+    raises them in-process.
+    """
+
+    def __init__(self, address: tuple[str, int], timeout: float | None = 120.0):
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._futures: dict[int, ServeFuture] = {}
+        self._futures_lock = threading.Lock()
+        self._ids = itertools.count()
+        self._closed = False
+        self._dead = False  # reader saw EOF: the gateway side is gone
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="gateway-client-reader", daemon=True
+        )
+        self._reader.start()
+        # Handshake: a TCP connect only proves the kernel queued us; the
+        # pong proves the gateway's handler is attached to this socket —
+        # which in turn guarantees a later gateway close closes it (EOF)
+        # instead of leaving the client waiting on a half-open session.
+        self.ping(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _reader_loop(self) -> None:
+        try:
+            while True:
+                payload = transport.recv_frame(self._sock)
+                if payload is None:
+                    break
+                msg = transport.decode(payload)
+                op, req_id = msg[0], msg[1]
+                with self._futures_lock:
+                    future = self._futures.pop(req_id, None)
+                if future is None:
+                    continue
+                if op == "result":
+                    future._resolve(Prediction(tr=msg[2], lg=msg[3]), None)
+                elif op == "error":
+                    future._resolve(None, msg[2])
+                else:  # metrics_result / pong payloads
+                    future._resolve(msg[2] if len(msg) > 2 else True, None)
+        except OSError:
+            pass
+        finally:
+            with self._futures_lock:
+                self._dead = True
+                pending = list(self._futures.values())
+                self._futures.clear()
+            for future in pending:
+                future._resolve(
+                    None, ServerClosed("gateway connection closed")
+                )
+
+    def _request(self, message: tuple, req_id: int) -> ServeFuture:
+        future = ServeFuture()
+        with self._futures_lock:
+            if self._closed:
+                raise ServerClosed("client is closed")
+            if self._dead:
+                raise ServerClosed("gateway connection closed")
+            self._futures[req_id] = future
+        try:
+            with self._send_lock:
+                transport.send_frame(self._sock, transport.encode(message))
+        except OSError as exc:
+            with self._futures_lock:
+                self._futures.pop(req_id, None)
+            raise ServerClosed(f"gateway connection lost: {exc}") from exc
+        return future
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        circuit: CircuitGraph | Netlist,
+        workload,
+        deadline_ms: float | None = None,
+        block: bool = True,
+    ) -> ServeFuture:
+        """Admit one request over the socket; returns a future.
+
+        Mirrors :meth:`Server.submit`: raises :class:`ValueError`
+        immediately on a PI mismatch; with ``block=False`` the future
+        fails with :class:`QueueFull` when the gateway's admission queue
+        is at capacity.
+        """
+        netlist = circuit.netlist if isinstance(circuit, CircuitGraph) else circuit
+        num_pis = getattr(workload, "num_pis", None)
+        if num_pis is not None and num_pis != len(netlist.pis):
+            raise ValueError(
+                f"workload has {num_pis} PIs, circuit has {len(netlist.pis)}"
+            )
+        req_id = next(self._ids)
+        return self._request(
+            ("predict", req_id, netlist, workload, deadline_ms, block), req_id
+        )
+
+    def predict(self, circuit, workload, timeout: float | None = 600.0) -> Prediction:
+        """Submit one request and block for its result."""
+        return self.submit(circuit, workload).result(timeout=timeout)
+
+    def predict_many(self, circuits, workloads, timeout: float | None = 600.0):
+        """Submit a batch and block for all results, in order."""
+        if len(circuits) != len(workloads):
+            raise ValueError(
+                f"{len(circuits)} circuits vs {len(workloads)} workloads"
+            )
+        futures = [self.submit(c, w) for c, w in zip(circuits, workloads)]
+        return [f.result(timeout=timeout) for f in futures]
+
+    def metrics(self, timeout: float | None = 60.0) -> dict:
+        """The gateway's :meth:`ServerMetrics.snapshot` over the wire."""
+        req_id = next(self._ids)
+        return self._request(("metrics", req_id), req_id).result(timeout=timeout)
+
+    def ping(self, timeout: float | None = 60.0) -> bool:
+        req_id = next(self._ids)
+        return bool(self._request(("ping", req_id), req_id).result(timeout=timeout))
+
+    def close(self) -> None:
+        with self._futures_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=10.0)
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -90,6 +90,9 @@ class ServerMetrics:
             "expired": 0,
             "batches": 0,
             "batched_circuits": 0,
+            # Multi-process gateway only; always 0 on the threaded Server.
+            "worker_deaths": 0,
+            "restarts": 0,
         }
         self._first_completion: float | None = None
         self._last_completion: float | None = None

@@ -52,7 +52,26 @@ __all__ = [
     "ServerClosed",
     "QueueFull",
     "DeadlineExceeded",
+    "quantize_chunk",
 ]
+
+
+def quantize_chunk(batch_size: int, pending: int) -> int:
+    """Quantize a batch claim to the ladder ``batch_size >> k``.
+
+    Compiling a union plan costs more than the sweep it serves, and the
+    pack LRU is keyed by the member-fingerprint tuple — so claiming
+    whatever happens to be pending (24, 31, 17, ...) would compile a
+    fresh super-graph plan per batch-size encountered.  Rounding down to
+    a power-of-two ladder bounds the distinct compositions per traffic
+    mix at ``log2(batch_size)+1``, after which every flush is a
+    pack-cache hit.  Shared by the threaded :class:`Server` and the
+    multi-process gateway (:mod:`repro.serve.gateway`).
+    """
+    size = batch_size
+    while size > pending:
+        size >>= 1
+    return max(size, 1)
 
 
 class ServeError(RuntimeError):
@@ -264,20 +283,8 @@ class Server:
 
     # ------------------------------------------------------------------
     def _chunk_size(self, pending: int) -> int:
-        """Quantize the claim to the ladder ``batch_size >> k``.
-
-        Compiling a union plan costs more than the sweep it serves, and the
-        pack LRU is keyed by the member-fingerprint tuple — so claiming
-        whatever happens to be pending (24, 31, 17, ...) would compile a
-        fresh super-graph plan per batch-size encountered.  Rounding down
-        to a power-of-two ladder bounds the distinct compositions per
-        traffic mix at ``log2(batch_size)+1``, after which every flush is
-        a pack-cache hit.
-        """
-        size = self.config.batch_size
-        while size > pending:
-            size >>= 1
-        return max(size, 1)
+        """Quantized claim size (see :func:`quantize_chunk`)."""
+        return quantize_chunk(self.config.batch_size, pending)
 
     def _take_batch(self) -> list[_Request] | None:
         """Claim the next micro-batch; ``None`` tells the worker to exit.
@@ -426,12 +433,18 @@ class Server:
         With ``drain=True`` (default) admitted requests are still served
         before the workers exit; with ``drain=False`` they fail with
         :class:`ServerClosed`.  Either way no new submissions are accepted
-        from the moment close begins.
+        from the moment close begins.  Concurrent closes compose toward
+        the *stricter* one: ``close(drain=False)`` racing an in-progress
+        draining close still fails everything left in the queue instead of
+        silently letting the drain keep serving it.
+
+        ``timeout`` bounds the whole shutdown, not each worker: the K
+        joins share one deadline, so a stuck sweep delays :meth:`close` by
+        at most ``timeout`` rather than ``K * timeout``.
         """
         with self._lock:
-            already = self._closing
             self._closing = True
-            if not drain and not already:
+            if not drain:
                 while self._queue:
                     req = self._queue.popleft()
                     self.metrics.incr("failed")
@@ -440,8 +453,12 @@ class Server:
                     )
             self._not_empty.notify_all()
             self._not_full.notify_all()
+        deadline = None if timeout is None else time.monotonic() + timeout
         for worker in self._workers:
-            worker.join(timeout=timeout)
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            worker.join(timeout=remaining)
         # A timed-out join leaves workers mid-sweep with futures pending:
         # report shutdown incomplete rather than pretending it finished.
         self._closed = all(not worker.is_alive() for worker in self._workers)

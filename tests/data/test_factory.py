@@ -209,6 +209,58 @@ class TestPackedScheduling:
             assert_bitwise(a, b)
 
 
+class TestForkSafety:
+    """The simulation pool must use an explicit safe start method.
+
+    Default ``fork`` snapshots the parent's locks — a fork taken while a
+    serve worker holds a model or metrics lock produces a child that
+    deadlocks on first acquire.  The factory therefore resolves its pool
+    context through :func:`repro.runtime.mp.resolve_mp_context`.
+    """
+
+    def test_config_exposes_start_method(self):
+        cfg = FactoryConfig(workers=2, mp_start_method="spawn")
+        assert cfg.mp_start_method == "spawn"
+        assert FactoryConfig().mp_start_method is None
+
+    def test_pooled_build_with_live_server(self, circuits, reference):
+        """The regression: a pooled build while a threaded Server is live
+        (its workers holding/releasing locks under traffic) must complete
+        and stay bitwise-correct.  Under fork start this interleaving can
+        deadlock the pool children; forkserver/spawn cannot inherit the
+        server's lock states at all."""
+        from repro.models.base import ModelConfig
+        from repro.models.deepseq import DeepSeq
+        from repro.serve import Server
+        from tests.conftest import build_pair
+
+        model = DeepSeq(ModelConfig(hidden=10, iterations=2, seed=0))
+        pair = build_pair(seed=0, n_dffs=2, n_gates=20)
+        with Server(model, workers=2, batch_size=2, max_latency_ms=5,
+                    dtype="float64") as srv:
+            stop = False
+
+            def traffic():
+                while not stop:
+                    srv.predict(*pair)
+
+            import threading
+
+            t = threading.Thread(target=traffic)
+            t.start()
+            try:
+                # This box may report 1 CPU; force a real pool.
+                built = DataFactory(FactoryConfig(workers=2)).build(
+                    circuits, SIM, seed=0
+                )
+            finally:
+                stop = True
+                t.join(timeout=60)
+            assert not t.is_alive()
+        for a, b in zip(reference, built):
+            assert_bitwise(a, b)
+
+
 class TestDefaultFactory:
     def test_env_configuration(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_DATA_CACHE", str(tmp_path / "cache"))

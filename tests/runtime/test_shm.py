@@ -1,0 +1,178 @@
+"""Shared-memory blocks and the explicit-start-method mp context.
+
+These are the foundations the multi-process gateway stands on, tested in
+isolation: byte-exact array round-trips through :class:`ShmBlock`, arena
+layout/overflow semantics of :func:`write_arrays`, owner-unlink hygiene
+against ``/dev/shm``, bitwise parameter-block publication, and the
+fork-safety policy of :func:`resolve_mp_context`.
+"""
+
+import multiprocessing
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models.base import ModelConfig
+from repro.models.deepseq import DeepSeq
+from repro.runtime.mp import SAFE_METHODS, resolve_mp_context
+from repro.runtime.shm import (
+    SHM_PREFIX,
+    ShmBlock,
+    attach_param_block,
+    publish_param_block,
+    write_arrays,
+)
+
+
+def shm_entries():
+    """Current /dev/shm segments created by this repo."""
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        pytest.skip("/dev/shm not available")
+    return {p.name for p in root.glob(f"{SHM_PREFIX}*")}
+
+
+class TestShmBlock:
+    def test_roundtrip_bitwise(self):
+        block = ShmBlock.create(1 << 16)
+        try:
+            rng = np.random.default_rng(0)
+            src = rng.standard_normal(512)
+            view = block.ndarray(128, src.shape, np.float64)
+            view[...] = src
+            del view
+            again = block.ndarray(128, src.shape, np.float64)
+            np.testing.assert_array_equal(src, again)
+            del again
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_attach_sees_owner_writes(self):
+        block = ShmBlock.create(4096)
+        try:
+            data = np.arange(64, dtype=np.float64)
+            write_arrays(block, [data])
+            other = ShmBlock.attach(block.name)
+            view = other.ndarray(0, (64,), np.float64)
+            np.testing.assert_array_equal(data, view)
+            del view
+            other.close()
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_out_of_bounds_view_rejected(self):
+        block = ShmBlock.create(1024)
+        try:
+            with pytest.raises(ValueError):
+                block.ndarray(1020, (2,), np.float64)
+            with pytest.raises(ValueError):
+                block.ndarray(-8, (1,), np.float64)
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_unlink_removes_dev_shm_entry(self):
+        before = shm_entries()
+        block = ShmBlock.create(4096, tag="probe")
+        assert block.name in shm_entries()
+        block.close()
+        block.unlink()
+        assert shm_entries() <= before
+
+    def test_unlink_idempotent_and_attacher_never_unlinks(self):
+        block = ShmBlock.create(4096)
+        attacher = ShmBlock.attach(block.name)
+        attacher.close()
+        attacher.unlink()  # no-op: not the owner
+        assert block.name in shm_entries()
+        block.close()
+        block.unlink()
+        block.unlink()  # idempotent
+
+
+class TestWriteArrays:
+    def test_layout_is_aligned_and_ordered(self):
+        block = ShmBlock.create(1 << 12)
+        try:
+            arrays = [
+                np.arange(5, dtype=np.float64),
+                np.arange(9, dtype=np.float64) * 0.5,
+                np.zeros(1),
+            ]
+            layout = write_arrays(block, arrays)
+            assert layout is not None
+            offsets = [off for off, _ in layout]
+            assert offsets == sorted(offsets)
+            for (off, shape), src in zip(layout, arrays):
+                assert off % 64 == 0
+                assert shape == src.shape
+                np.testing.assert_array_equal(
+                    src, block.ndarray(off, shape, np.float64)
+                )
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_overflow_returns_none_not_raise(self):
+        block = ShmBlock.create(256)
+        try:
+            assert write_arrays(block, [np.zeros(1000)]) is None
+            # A fitting write still works after the refused one.
+            assert write_arrays(block, [np.zeros(8)]) is not None
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_offset_continues_an_arena(self):
+        block = ShmBlock.create(1 << 12)
+        try:
+            first = write_arrays(block, [np.ones(16)])
+            (off0, _), = first
+            second = write_arrays(block, [np.full(16, 2.0)], offset=off0 + 16 * 8)
+            (off1, _), = second
+            assert off1 > off0
+            np.testing.assert_array_equal(
+                np.ones(16), block.ndarray(off0, (16,), np.float64)
+            )
+        finally:
+            block.close()
+            block.unlink()
+
+
+class TestParamBlock:
+    def test_publish_attach_matches_astype(self):
+        model = DeepSeq(ModelConfig(hidden=6, iterations=2, seed=3))
+        block, layout = publish_param_block(model, np.float32)
+        try:
+            attached, views = attach_param_block(block.name, layout, np.float32)
+            params = [p.data for p in model.parameters()]
+            assert len(views) == len(params)
+            for view, param in zip(views, params):
+                np.testing.assert_array_equal(param.astype(np.float32), view)
+                assert not view.flags.writeable
+            del view, views
+            attached.close()
+        finally:
+            block.close()
+            block.unlink()
+
+
+class TestMpContext:
+    def test_default_context_is_never_fork(self):
+        ctx = resolve_mp_context(None)
+        assert ctx.get_start_method() in SAFE_METHODS
+
+    def test_explicit_methods_honored(self):
+        for method in ("forkserver", "spawn"):
+            if method in multiprocessing.get_all_start_methods():
+                assert resolve_mp_context(method).get_start_method() == method
+        # Explicitly requesting fork is allowed (caller's choice)...
+        if "fork" in multiprocessing.get_all_start_methods():
+            assert resolve_mp_context("fork").get_start_method() == "fork"
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            resolve_mp_context("teleport")

@@ -247,6 +247,138 @@ class TestShutdown:
         assert not stop_errors, stop_errors
 
 
+class TestShutdownTimeouts:
+    """The close-path bugfixes: one shared deadline across K worker joins,
+    and a no-drain close winning over an in-progress draining close."""
+
+    def _stuck_server(self, monkeypatch, pairs, workers):
+        """A server whose sweeps block on an event we control; returns
+        (server, release_event, entered_list, futures)."""
+        import repro.serve.server as server_mod
+
+        real = server_mod.run_packed_isolated
+        release = threading.Event()
+        entered: list[int] = []
+        lock = threading.Lock()
+
+        def stuck(replica, graphs, workloads, dtype):
+            with lock:
+                entered.append(1)
+            release.wait(timeout=120)
+            return real(replica, graphs, workloads, dtype=dtype)
+
+        monkeypatch.setattr(server_mod, "run_packed_isolated", stuck)
+        srv = Server(
+            MODEL, workers=workers, batch_size=1, max_latency_ms=1,
+            max_concurrent_sweeps=workers,  # let every worker get stuck
+            dtype="float64",
+        )
+        futures = [srv.submit(*pairs[i]) for i in range(workers)]
+        deadline = time.monotonic() + 30
+        while len(entered) < workers and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert len(entered) == workers  # every worker is mid-sweep
+        return srv, release, futures
+
+    def test_close_timeout_shared_across_workers(self, monkeypatch, problem_set):
+        """``close(timeout=t)`` with K stuck workers returns in ~t, not
+        K*t: the joins share one deadline.  A timed-out close reports
+        ``closed=False`` instead of pretending shutdown finished."""
+        pairs, expected = problem_set
+        workers = 3
+        srv, release, futures = self._stuck_server(monkeypatch, pairs, workers)
+        try:
+            t0 = time.monotonic()
+            srv.close(timeout=0.5)
+            elapsed = time.monotonic() - t0
+            # Per-worker deadlines would take >= workers * 0.5 = 1.5 s.
+            assert elapsed < 1.2, f"close took {elapsed:.2f}s for {workers} joins"
+            assert srv.closed is False
+        finally:
+            release.set()
+        for i, fut in enumerate(futures):
+            np.testing.assert_array_equal(
+                expected[i].tr, fut.result(timeout=60).tr
+            )
+        srv.close()  # workers unblocked: now shutdown completes
+        assert srv.closed
+
+    def test_nodrain_close_wins_over_inflight_drain(self, monkeypatch, problem_set):
+        """``close(drain=False)`` racing an in-progress ``close(drain=True)``
+        fails what is still queued with ServerClosed instead of letting the
+        drain keep serving it."""
+        pairs, expected = problem_set
+        srv, release, inflight = self._stuck_server(monkeypatch, pairs, 1)
+        queued = [srv.submit(*pairs[1 + i]) for i in range(4)]
+        drainer = threading.Thread(target=srv.close, kwargs={"drain": True})
+        drainer.start()
+        deadline = time.monotonic() + 30
+        while not srv._closing and time.monotonic() < deadline:
+            time.sleep(0.005)
+        # The draining close is now blocked joining the stuck worker.
+        srv.close(drain=False, timeout=0.2)
+        outcomes = [f.exception(timeout=5) for f in queued]
+        assert all(isinstance(exc, ServerClosed) for exc in outcomes), outcomes
+        release.set()
+        drainer.join(timeout=60)
+        assert not drainer.is_alive()
+        # The batch the worker had already claimed still completes.
+        np.testing.assert_array_equal(
+            expected[0].tr, inflight[0].result(timeout=60).tr
+        )
+        assert srv.closed
+
+
+class TestGatewayConcurrency:
+    """The multi-process front door under the same hammer: concurrent
+    clients across several connections, no lost/cross-wired requests."""
+
+    def test_many_clients_many_threads_bitwise(self, problem_set):
+        from repro.serve import Gateway
+
+        pairs, expected = problem_set
+        netlisted = [(g.netlist, w) for g, w in pairs]
+        gw = Gateway(
+            MODEL, workers=2, batch_size=4, max_latency_ms=5.0,
+            dtype="float64",
+        )
+        try:
+            clients = [gw.connect() for _ in range(3)]
+            outcomes: list[list] = [[] for _ in range(6)]
+            errors: list[Exception] = []
+
+            def client(cid):
+                conn = clients[cid % len(clients)]
+                try:
+                    for i in range(8):
+                        idx = (cid * 7 + i * 3) % len(netlisted)
+                        fut = conn.submit(*netlisted[idx])
+                        outcomes[cid].append((idx, fut.result(timeout=120)))
+                except Exception as exc:  # surface in the main thread
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(c,)) for c in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            flat = [item for per in outcomes for item in per]
+            assert len(flat) == 6 * 8
+            for idx, result in flat:
+                np.testing.assert_array_equal(expected[idx].tr, result.tr)
+                np.testing.assert_array_equal(expected[idx].lg, result.lg)
+            snap = gw.metrics.snapshot()
+            assert snap["completed"] >= 6 * 8
+            assert snap["worker_deaths"] == 0
+            for c in clients:
+                c.close()
+        finally:
+            gw.close()
+
+
 class TestReplicaIsolation:
     def test_refresh_parameters_propagates_new_weights(self, problem_set):
         pairs, expected = problem_set

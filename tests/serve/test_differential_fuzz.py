@@ -16,7 +16,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.models.base import ModelConfig
 from repro.models.deepseq import DeepSeq
-from repro.serve import Server
+from repro.serve import Gateway, Server
 
 from tests.conftest import build_pair, dff_chain_pair, shallow_pair, single_node_pair
 
@@ -154,3 +154,55 @@ class TestDeepFuzz:
         for exp, res in zip(sequential, results):
             np.testing.assert_array_equal(exp.tr, res.tr)
             np.testing.assert_array_equal(exp.lg, res.lg)
+
+
+@pytest.fixture(scope="module")
+def fuzz_gateway():
+    """One gateway shared across examples: worker processes restore their
+    replicas from the dumps_state byte round-trip exactly once, and every
+    hypothesis example then exercises admission/batching/shm transport."""
+    gw = Gateway(
+        MODEL, workers=2, batch_size=4, max_latency_ms=2.0, dtype="float64"
+    )
+    yield gw
+    gw.close()
+
+
+class TestGatewayFloat64Bitwise:
+    """The multi-process analogue of :class:`TestFloat64Bitwise`: the same
+    fleets served through the socket front door and worker *processes*
+    must still be bitwise-equal to sequential ``predict``.  Covers the
+    whole extended chain: pickle+npz replica restore in a forkserver
+    child, float64 feature vectors through the shared-memory arena,
+    packed execution, results back through the result arena and the
+    pickle frame transport."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(indices=fleet_indices)
+    def test_streamed_results_bitwise(self, fuzz_gateway, indices):
+        pairs = [POOL[i]() for i in indices]
+        with fuzz_gateway.connect() as client:
+            futures = [client.submit(g.netlist, w) for g, w in pairs]
+            results = [f.result(timeout=120) for f in futures]
+        for idx, res in zip(indices, results):
+            exp = expected(idx)
+            np.testing.assert_array_equal(exp.tr, res.tr)
+            np.testing.assert_array_equal(exp.lg, res.lg)
+
+    def test_repeated_structures_one_big_stream(self, fuzz_gateway):
+        """Steady state through the gateway: structures ship to each
+        worker once; every later request rides the shm arenas."""
+        indices = [i % len(POOL) for i in range(32)]
+        with fuzz_gateway.connect() as client:
+            futures = [
+                client.submit(POOL[i]()[0].netlist, POOL[i]()[1])
+                for i in indices
+            ]
+            results = [f.result(timeout=120) for f in futures]
+        for idx, res in zip(indices, results):
+            np.testing.assert_array_equal(expected(idx).tr, res.tr)
+            np.testing.assert_array_equal(expected(idx).lg, res.lg)

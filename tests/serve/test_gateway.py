@@ -1,0 +1,338 @@
+"""Multi-process gateway: correctness, faults, and resource hygiene.
+
+The gateway's contract extends the threaded server's with process-level
+failure modes, so these tests cover three axes:
+
+* **equivalence** — float64 predictions served through the socket are
+  bitwise-equal to sequential ``predict`` on the source model (the
+  replica npz round-trip, the shared-memory feature path and the pickle
+  response transport must all be exact);
+* **faults** — a SIGKILLed worker fails its in-flight requests with the
+  typed :class:`WorkerDied` (never a hang), is respawned, and the
+  restarted slot serves again; responses are never cross-wired across
+  the failure;
+* **hygiene** — every ``repro-shm-*`` segment the gateway creates is gone
+  from ``/dev/shm`` after close, including after worker kills.
+
+Spawning worker processes costs real seconds, so the traffic tests share
+one module-scoped gateway; lifecycle tests build their own.
+"""
+
+import json
+import os
+import signal
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models.base import ModelConfig
+from repro.models.deepseq import DeepSeq
+from repro.runtime.shm import SHM_PREFIX
+from repro.serve import (
+    DeadlineExceeded,
+    Gateway,
+    QueueFull,
+    ServerClosed,
+    WorkerDied,
+)
+
+from tests.conftest import build_pair
+
+MODEL = DeepSeq(ModelConfig(hidden=12, iterations=2, seed=0))
+
+
+def shm_entries():
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in root.glob(f"{SHM_PREFIX}*")}
+
+
+@pytest.fixture(scope="module")
+def problem_set():
+    """8 distinct (netlist, workload) pairs plus sequential expectations."""
+    pairs = [
+        build_pair(seed=s, n_dffs=s % 3, n_gates=16 + 3 * s) for s in range(8)
+    ]
+    expected = [MODEL.predict(g, w) for g, w in pairs]
+    return [(g.netlist, w) for g, w in pairs], expected
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    gw = Gateway(
+        MODEL,
+        workers=2,
+        batch_size=4,
+        max_latency_ms=5.0,
+        restart_backoff_ms=20.0,
+        dtype="float64",
+    )
+    yield gw
+    gw.close()
+
+
+class TestBitwiseThroughSocket:
+    def test_single_request_bitwise(self, gateway, problem_set):
+        pairs, expected = problem_set
+        with gateway.connect() as client:
+            pred = client.predict(*pairs[0])
+        np.testing.assert_array_equal(expected[0].tr, pred.tr)
+        np.testing.assert_array_equal(expected[0].lg, pred.lg)
+
+    def test_many_clients_no_crosswiring(self, gateway, problem_set):
+        """Interleaved submissions from several connections: every result
+        matches *its own* circuit's sequential prediction bitwise."""
+        pairs, expected = problem_set
+        clients = [gateway.connect() for _ in range(3)]
+        try:
+            futures = []
+            for i in range(36):
+                cid = i % len(clients)
+                idx = (i * 5 + cid) % len(pairs)
+                futures.append((idx, clients[cid].submit(*pairs[idx])))
+            for idx, fut in futures:
+                res = fut.result(timeout=120)
+                np.testing.assert_array_equal(expected[idx].tr, res.tr)
+                np.testing.assert_array_equal(expected[idx].lg, res.lg)
+        finally:
+            for c in clients:
+                c.close()
+
+    def test_predict_many_in_order(self, gateway, problem_set):
+        pairs, expected = problem_set
+        idxs = [3, 0, 5, 1, 3, 7]
+        with gateway.connect() as client:
+            results = client.predict_many(
+                [pairs[i][0] for i in idxs], [pairs[i][1] for i in idxs]
+            )
+        for idx, res in zip(idxs, results):
+            np.testing.assert_array_equal(expected[idx].tr, res.tr)
+
+
+class TestProtocolSurface:
+    def test_ping(self, gateway):
+        with gateway.connect() as client:
+            assert client.ping()
+
+    def test_metrics_over_socket(self, gateway, problem_set):
+        pairs, _ = problem_set
+        with gateway.connect() as client:
+            client.predict(*pairs[0])
+            snap = client.metrics()
+        assert snap["completed"] >= 1
+        assert "e2e_ms" in snap and "worker_deaths" in snap
+
+    def test_http_get_metrics(self, gateway, problem_set):
+        pairs, _ = problem_set
+        with gateway.connect() as client:
+            client.predict(*pairs[1])
+        url = "http://%s:%d/metrics" % gateway.address
+        body = urllib.request.urlopen(url, timeout=30).read()
+        snap = json.loads(body)
+        assert snap["completed"] >= 1
+        assert snap["submitted"] >= snap["completed"]
+
+    def test_http_unknown_path_404(self, gateway):
+        url = "http://%s:%d/nope" % gateway.address
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(url, timeout=30)
+        assert err.value.code == 404
+
+    def test_pi_mismatch_raises_client_side(self, gateway, problem_set):
+        pairs, _ = problem_set
+        (nl0, _), (_, wl1) = pairs[0], pairs[4]
+        if len(nl0.pis) != wl1.num_pis:
+            with pytest.raises(ValueError):
+                gateway.connect().submit(nl0, wl1)
+
+    def test_warm_acks_and_serves(self, gateway, problem_set):
+        """warm() must round-trip the worker ack quickly (a missing ack
+        burns the full warm timeout) and leave the gateway serving."""
+        pairs, expected = problem_set
+        t0 = time.monotonic()
+        gateway.warm(pairs[2][0])
+        assert time.monotonic() - t0 < 60.0
+        with gateway.connect() as client:
+            res = client.predict(*pairs[2])
+        np.testing.assert_array_equal(expected[2].tr, res.tr)
+
+    def test_deadline_exceeded_typed_through_socket(self, gateway, problem_set):
+        pairs, _ = problem_set
+        with gateway.connect() as client:
+            fut = client.submit(*pairs[0], deadline_ms=0.0001)
+            exc = fut.exception(timeout=60)
+        assert exc is None or isinstance(exc, DeadlineExceeded)
+
+
+class TestWorkerFaults:
+    def test_sigkill_fails_typed_restarts_and_serves(self, gateway, problem_set):
+        """SIGKILL one worker under load: every future resolves (typed
+        WorkerDied or a bitwise-correct result — no hangs, no cross-wired
+        responses), the slot respawns, and the gateway serves afterwards."""
+        pairs, expected = problem_set
+        deaths_before = gateway.metrics.count("worker_deaths")
+        with gateway.connect() as client:
+            client.predict(*pairs[0])  # ensure workers are warm
+            victim = next(h for h in gateway.supervisor.handles if h.alive)
+            victim_pid = victim.proc.pid
+            futures = [
+                (i % len(pairs), client.submit(*pairs[i % len(pairs)]))
+                for i in range(24)
+            ]
+            os.kill(victim_pid, signal.SIGKILL)
+            died = 0
+            for idx, fut in futures:
+                try:
+                    res = fut.result(timeout=120)
+                    np.testing.assert_array_equal(expected[idx].tr, res.tr)
+                except WorkerDied:
+                    died += 1
+            assert gateway.metrics.count("worker_deaths") == deaths_before + 1
+            # The dead slot must come back and the gateway must keep
+            # serving correct results afterwards.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if victim.alive and victim.proc.pid != victim_pid:
+                    break
+                time.sleep(0.05)
+            assert victim.alive and victim.proc.pid != victim_pid
+            for i in range(8):
+                idx = i % len(pairs)
+                res = client.predict(*pairs[idx], timeout=120)
+                np.testing.assert_array_equal(expected[idx].tr, res.tr)
+
+    def test_no_shm_leak_across_kills(self, problem_set):
+        """Worker kills never leak /dev/shm entries: arenas are
+        gateway-owned and unlinked exactly once at close."""
+        pairs, _ = problem_set
+        before = shm_entries()
+        gw = Gateway(
+            MODEL, workers=1, batch_size=2, max_latency_ms=2.0,
+            restart_backoff_ms=10.0,
+        )
+        try:
+            with gw.connect() as client:
+                client.predict(*pairs[0])
+                pid = gw.supervisor.handles[0].proc.pid
+                os.kill(pid, signal.SIGKILL)
+                # Wait for the respawn, then serve again.
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    h = gw.supervisor.handles[0]
+                    if h.alive and h.proc.pid != pid:
+                        break
+                    time.sleep(0.05)
+                client.predict(*pairs[1], timeout=120)
+        finally:
+            gw.close()
+        assert shm_entries() <= before
+
+
+class TestAdmission:
+    def test_nonblocking_submit_rejects_when_full(self, problem_set):
+        pairs, _ = problem_set
+        gw = Gateway(
+            MODEL, workers=1, batch_size=4, max_latency_ms=1_000.0,
+            max_pending=4,
+        )
+        try:
+            with gw.connect() as client:
+                # 4 fill the queue, the 5th parks in admission; while the
+                # single worker chews the first flush, a burst of
+                # non-blocking submissions must bounce with QueueFull.
+                futures = [client.submit(*pairs[0]) for _ in range(5)]
+                futures += [
+                    client.submit(*pairs[0], block=False) for _ in range(20)
+                ]
+                outcomes = [fut.exception(timeout=120) for fut in futures]
+                assert any(isinstance(exc, QueueFull) for exc in outcomes)
+                assert all(
+                    exc is None or isinstance(exc, QueueFull)
+                    for exc in outcomes
+                )
+                assert gw.metrics.count("rejected") >= 1
+        finally:
+            gw.close()
+
+
+class TestGatewayShutdown:
+    def test_close_drains_pending(self, problem_set):
+        pairs, expected = problem_set
+        gw = Gateway(MODEL, workers=2, batch_size=4, max_latency_ms=1_000.0)
+        client = gw.connect()
+        futures = [
+            (i % len(pairs), client.submit(*pairs[i % len(pairs)]))
+            for i in range(6)
+        ]
+        # Drain covers *admitted* requests; wait until all six crossed the
+        # socket into the admission queue before closing.
+        deadline = time.monotonic() + 30
+        while gw.metrics.count("submitted") < 6 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        gw.close(drain=True)  # flush deadline far away: close must flush
+        for idx, fut in futures:
+            np.testing.assert_array_equal(
+                expected[idx].tr, fut.result(timeout=60).tr
+            )
+        assert gw.closed
+        client.close()
+
+    def test_close_without_drain_fails_pending(self, problem_set):
+        pairs, _ = problem_set
+        gw = Gateway(
+            MODEL, workers=1, batch_size=64, max_latency_ms=10_000.0,
+            max_pending=64,
+        )
+        client = gw.connect()
+        futures = [client.submit(*pairs[i % len(pairs)]) for i in range(10)]
+        time.sleep(0.2)  # let the requests reach the admission queue
+        gw.close(drain=False)
+        resolved = [f.exception(timeout=60) for f in futures]
+        assert all(
+            exc is None or isinstance(exc, (ServerClosed, WorkerDied))
+            for exc in resolved
+        )
+        assert any(isinstance(exc, ServerClosed) for exc in resolved)
+        client.close()
+
+    def test_submit_after_close_fails_cleanly(self, problem_set):
+        pairs, _ = problem_set
+        gw = Gateway(MODEL, workers=1)
+        client = gw.connect()
+        gw.close()
+        with pytest.raises(ServerClosed):
+            client.submit(*pairs[0]).result(timeout=60)
+        client.close()
+
+    def test_close_idempotent(self):
+        gw = Gateway(MODEL, workers=1)
+        gw.close()
+        gw.close()
+        assert gw.closed
+
+    def test_close_unlinks_all_segments(self):
+        before = shm_entries()
+        gw = Gateway(MODEL, workers=2, dtype="float32")  # + param block
+        created = shm_entries() - before
+        assert len(created) == 5  # 2 workers x 2 arenas + shared params
+        gw.close()
+        assert shm_entries() <= before
+
+
+class TestFloat32SharedShadow:
+    def test_float32_serving_within_tolerance(self, problem_set):
+        pairs, expected = problem_set
+        gw = Gateway(MODEL, workers=2, batch_size=4, dtype="float32")
+        try:
+            with gw.connect() as client:
+                for idx in (0, 3, 6):
+                    res = client.predict(*pairs[idx], timeout=120)
+                    assert res.tr.dtype == np.float32
+                    assert np.abs(expected[idx].tr - res.tr).max() <= 1e-4
+                    assert np.abs(expected[idx].lg - res.lg).max() <= 1e-4
+        finally:
+            gw.close()
