@@ -1,0 +1,178 @@
+"""Training benchmark: sequential vs data-parallel pretraining.
+
+Times three ways the trainer can run the same schedule:
+
+1. **sequential** — the in-process trainer (``train_workers=0``);
+2. **ddp-w1** — one data-parallel worker process: the same sharded
+   protocol (replica restore, shm gradient shipping, param re-sync) with
+   zero parallelism, so ``sequential_s / ddp_w1_s`` isolates the protocol
+   overhead;
+3. **ddp** — ``--train-workers`` worker processes sharding every
+   gradient-accumulation group.
+
+Before any number is reported, the three runs' final parameters are
+verified **float64-bitwise-identical** — the fixed-order all-reduce makes
+worker count a pure performance knob, and this benchmark refuses to report
+timings for runs that broke that contract.
+
+``--ddp-min-speedup`` gates ``ddp_speedup`` (the W-worker run vs the
+1-worker run, which have identical protocol overhead) through the shared
+:class:`SpeedupGate`.  The gate only engages on multi-core runners: on a
+single usable CPU the workers serialize and the floor is unmeetable by
+construction.
+
+Results go to stdout and optionally ``--json`` (CI uploads it as
+``training-benchmark.json``; ``trend.py`` normalizes either this format or
+the legacy pytest-benchmark one).
+
+Run:  python benchmarks/bench_training.py [--circuits 8] [--epochs 2]
+      [--train-workers 4] [--grad-accum 4] [--ddp-min-speedup 1.0]
+      [--json out.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from _speedup import SpeedupGate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--family", default="iscas89")
+    parser.add_argument("--circuits", type=int, default=8)
+    parser.add_argument("--cycles", type=int, default=60)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--hidden", type=int, default=16)
+    parser.add_argument("--iterations", type=int, default=3)
+    parser.add_argument(
+        "--train-workers", type=int, default=None,
+        help="workers for the ddp run (default: min(4, usable CPUs))",
+    )
+    parser.add_argument(
+        "--grad-accum", type=int, default=None,
+        help="accumulation group size (default: the ddp worker count)",
+    )
+    parser.add_argument(
+        "--ddp-min-speedup", type=float, default=0.0,
+        help="fail when the W-worker speedup over the 1-worker run falls "
+        "below this factor (0 disables; auto-skipped on 1-CPU runners)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None)
+    args = parser.parse_args()
+
+    from repro.circuit.benchmarks import family_subcircuits
+    from repro.models.base import ModelConfig
+    from repro.models.registry import make_model
+    from repro.sim.logicsim import SimConfig
+    from repro.train.dataset import build_dataset
+    from repro.train.trainer import TrainConfig, Trainer
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+    workers = (
+        args.train_workers
+        if args.train_workers is not None
+        else min(4, max(1, cpus))
+    )
+    accum = args.grad_accum if args.grad_accum is not None else max(workers, 1)
+
+    circuits = family_subcircuits(
+        args.family, args.circuits, seed=args.seed + 4
+    )
+    dataset = build_dataset(
+        circuits, SimConfig(cycles=args.cycles, streams=64, seed=1),
+        seed=args.seed, keep_sim=False,
+    )
+    nodes = sum(s.num_nodes for s in dataset)
+    print(
+        f"training: {len(dataset)} {args.family} circuits ({nodes} nodes), "
+        f"{args.epochs} epochs, batch_size=1, grad_accum={accum}, "
+        f"ddp workers={workers} ({cpus} usable CPUs)"
+    )
+
+    model_cfg = ModelConfig(
+        hidden=args.hidden, iterations=args.iterations, seed=0
+    )
+
+    def run(train_workers):
+        model = make_model("deepseq", model_cfg, "dual_attention")
+        cfg = TrainConfig(
+            epochs=args.epochs, lr=5e-3, batch_size=1, grad_accum=accum,
+            seed=args.seed, train_workers=train_workers,
+        )
+        t0 = time.perf_counter()
+        Trainer(cfg).train(model, dataset)
+        return time.perf_counter() - t0, model.state_dict()
+
+    results = {}
+    results["sequential_s"], reference = run(0)
+    results["ddp_w1_s"], w1_state = run(1)
+    results["ddp_s"], ddp_state = run(workers)
+
+    for path_name, state in (("ddp-w1", w1_state), ("ddp", ddp_state)):
+        for key in reference:
+            if not np.array_equal(reference[key], state[key]):
+                raise SystemExit(
+                    f"BITWISE MISMATCH: {path_name} parameter {key} differs "
+                    "from the sequential trainer"
+                )
+
+    results.update(
+        {
+            "family": args.family,
+            "count": len(dataset),
+            "nodes": nodes,
+            "epochs": args.epochs,
+            "grad_accum": accum,
+            "ddp_workers": workers,
+            "usable_cpus": cpus,
+            "ddp_speedup": results["ddp_w1_s"] / results["ddp_s"],
+            "ddp_protocol_speedup": (
+                results["sequential_s"] / results["ddp_w1_s"]
+            ),
+            "bitwise_identical": True,
+        }
+    )
+
+    print(f"  sequential   {results['sequential_s'] * 1e3:9.1f} ms  (reference)")
+    print(
+        f"  ddp W=1      {results['ddp_w1_s'] * 1e3:9.1f} ms  "
+        f"({results['ddp_protocol_speedup']:5.2f}x vs sequential)"
+    )
+    print(
+        f"  ddp W={workers:<2}     {results['ddp_s'] * 1e3:9.1f} ms  "
+        f"({results['ddp_speedup']:5.2f}x vs W=1)"
+    )
+    print("  all paths float64-bitwise-identical to sequential")
+
+    gate = SpeedupGate(args.ddp_min_speedup)
+    if cpus < 2 and args.ddp_min_speedup:
+        # One usable CPU serializes the workers; the floor is unmeetable
+        # no matter how good the implementation is.
+        print(
+            f"  speedup gate skipped: {cpus} usable CPU(s); "
+            "gate needs a multi-core runner"
+        )
+    else:
+        gate.check("ddp-vs-w1", results["ddp_speedup"])
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
+    gate.finish()
+
+
+if __name__ == "__main__":
+    main()

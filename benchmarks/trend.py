@@ -84,6 +84,19 @@ def _normalize_serve(raw: dict) -> dict:
     return metrics
 
 
+def _normalize_training(raw: dict) -> dict:
+    """Training artifact, either format.
+
+    ``bench_training.py`` emits a flat dict with ``*_s``/``*_speedup``
+    keys; older snapshots in the rolling window were produced by the
+    pytest-benchmark runner this script replaced, and re-ingesting an
+    archived artifact of that shape must keep working.
+    """
+    if "benchmarks" in raw:
+        return _normalize_pytest(raw)
+    return _normalize_datagen(raw)
+
+
 def _normalize_datagen(raw: dict) -> dict:
     metrics = {}
     for key, value in raw.items():
@@ -107,7 +120,7 @@ def _normalize_sim(raw: dict) -> dict:
 #: bench name -> (CI artifact filename, normalizer).
 BENCHES = {
     "perf": ("benchmark.json", _normalize_pytest),
-    "training": ("training-benchmark.json", _normalize_pytest),
+    "training": ("training-benchmark.json", _normalize_training),
     "serve": ("serve-benchmark.json", _normalize_serve),
     "datagen": ("datagen-benchmark.json", _normalize_datagen),
     "sim": ("sim-benchmark.json", _normalize_sim),

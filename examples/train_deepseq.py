@@ -15,6 +15,7 @@ labelling the same circuits) skips simulation entirely.
 Run:  python examples/train_deepseq.py [--epochs 10] [--circuits 24]
       [--schedule cosine] [--grad-accum 2] [--checkpoint deepseq.npz]
       [--workers 4] [--data-cache .repro-cache]
+      [--train-workers 4]   (data-parallel training; bitwise-identical)
       [--table2]   (the original all-models Table II comparison)
 """
 
@@ -46,6 +47,11 @@ def main() -> None:
         help="data-factory processes for label simulation (default: auto)",
     )
     parser.add_argument(
+        "--train-workers", type=int, default=0,
+        help="data-parallel training processes (0 = in-process); the "
+        "trained parameters are bitwise identical at any value",
+    )
+    parser.add_argument(
         "--data-cache", default=None,
         help="on-disk label-cache dir; reruns skip identical simulations",
     )
@@ -66,6 +72,7 @@ def main() -> None:
         batch_size=args.batch_size,
         schedule=args.schedule,
         grad_accum=args.grad_accum,
+        train_workers=args.train_workers,
         data_workers=args.workers,
         data_cache_dir=args.data_cache,
         family_counts={
@@ -106,6 +113,7 @@ def main() -> None:
                 verbose=True,
                 schedule=scale.schedule,
                 grad_accum=scale.grad_accum,
+                train_workers=scale.train_workers,
                 checkpoint_path=args.checkpoint,
                 resume=args.checkpoint is not None,
             )

@@ -141,6 +141,7 @@ def pretrain(
             verbose=verbose,
             schedule=scale.schedule,
             grad_accum=scale.grad_accum,
+            train_workers=scale.train_workers,
             checkpoint_path=checkpoint,
             resume=checkpoint is not None,
         )

@@ -64,6 +64,11 @@ class ExperimentScale:
     #: gradient-accumulation group size, forwarded to the trainer.
     schedule: str = "constant"
     grad_accum: int = 1
+    #: Data-parallel pre-training worker processes (0 = in-process).  The
+    #: fixed-order all-reduce makes the trained parameters bitwise
+    #: identical at any value; set ``grad_accum >= train_workers`` for the
+    #: parallelism to pay off.
+    train_workers: int = 0
     #: Directory for resumable pre-training checkpoints (None = off).
     checkpoint_dir: str | None = None
     #: Data-factory pool size for label generation (None = auto-size to

@@ -49,6 +49,32 @@ class Optimizer:
     def _step(self) -> None:
         raise NotImplementedError
 
+    def apply_gradients(self, grads: list[np.ndarray | None]) -> None:
+        """Install pre-reduced gradients and take one step.
+
+        ``grads`` is one entry per parameter (in the optimizer's parameter
+        order); ``None`` entries leave that parameter untouched, exactly
+        as a parameter that received no gradient during ``backward`` would
+        be.  The arrays are installed as-is — no accumulation with
+        whatever ``p.grad`` held before — which is the contract the
+        data-parallel trainer needs: the reduction
+        (:func:`repro.runtime.ddp.reduce_gradients`) already produced the
+        full group sum in its pinned order, and any further arithmetic
+        here would perturb the bitwise guarantee.
+        """
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"apply_gradients got {len(grads)} gradients for "
+                f"{len(self.params)} parameters"
+            )
+        for p, g in zip(self.params, grads):
+            if g is not None and g.shape != p.data.shape:
+                raise ValueError(
+                    f"gradient shape {g.shape} != parameter {p.data.shape}"
+                )
+            p.grad = g
+        self.step()
+
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
@@ -85,6 +111,16 @@ class Optimizer:
                 raise ValueError(
                     f"optimizer slot {prefix}{i} shape mismatch: "
                     f"{value.shape} vs {slot.shape}"
+                )
+            # ``v[...] = state`` would silently upcast e.g. float32
+            # checkpoint moments into float64 slots — the resumed run
+            # then diverges from the uninterrupted one while claiming the
+            # bitwise-resume guarantee.  Mixed dtypes mean the checkpoint
+            # does not belong to this optimizer; refuse it.
+            if value.dtype != slot.dtype:
+                raise ValueError(
+                    f"optimizer slot {prefix}{i} dtype mismatch: checkpoint "
+                    f"has {value.dtype}, optimizer expects {slot.dtype}"
                 )
 
 

@@ -10,7 +10,8 @@ Two layers:
 * :func:`save_checkpoint` / :func:`load_checkpoint` — full *training*
   checkpoints in one ``.npz``: model parameters, optimizer slot state
   (Adam moments + step counter), the numpy ``Generator`` state driving
-  epoch shuffles, the epoch index, and arbitrary extra arrays (loss
+  epoch shuffles (plus per-shard worker streams under data-parallel
+  training), the epoch index, and arbitrary extra arrays (loss
   history, early-stopping counters).  Everything a run needs to resume
   mid-schedule and land on bitwise-identical final parameters.
 """
@@ -21,6 +22,7 @@ import copy
 import io
 import json
 import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TypeVar
@@ -102,6 +104,7 @@ _OPTIM_PREFIX = "optim::"
 _EXTRA_PREFIX = "extra::"
 _EPOCH_KEY = "meta::epoch"
 _RNG_KEY = "meta::rng"
+_SHARD_RNG_KEY = "meta::shard_rng"
 
 
 @dataclass
@@ -114,6 +117,9 @@ class Checkpoint:
             passed to :func:`load_checkpoint`).
         optim_state: optimizer slot state (likewise applied when given).
         rng_state: numpy BitGenerator state dict, or ``None``.
+        shard_rng_states: per-shard BitGenerator states of a data-parallel
+            run (one per worker rank, rank order), or ``None`` for
+            checkpoints written before/without data parallelism.
         extra: any additional arrays stored alongside.
     """
 
@@ -121,6 +127,7 @@ class Checkpoint:
     model_state: dict[str, np.ndarray] = field(default_factory=dict)
     optim_state: dict[str, np.ndarray] = field(default_factory=dict)
     rng_state: dict | None = None
+    shard_rng_states: list[dict] | None = None
     extra: dict[str, np.ndarray] = field(default_factory=dict)
 
     def restore_rng(self, rng: np.random.Generator) -> None:
@@ -128,6 +135,24 @@ class Checkpoint:
         if self.rng_state is None:
             raise ValueError("checkpoint holds no RNG state")
         rng.bit_generator.state = self.rng_state
+
+    def restore_shard_rngs(self, rngs: list[np.random.Generator]) -> None:
+        """Overwrite each shard generator with its checkpointed state.
+
+        The generator list must match the checkpointed shard count — a
+        run resumed on a different worker count re-derives fresh streams
+        instead (the trainer handles that; see
+        :meth:`repro.train.trainer.Trainer.train`).
+        """
+        if self.shard_rng_states is None:
+            raise ValueError("checkpoint holds no shard RNG state")
+        if len(rngs) != len(self.shard_rng_states):
+            raise ValueError(
+                f"checkpoint holds {len(self.shard_rng_states)} shard RNG "
+                f"streams, got {len(rngs)} generators"
+            )
+        for rng, state in zip(rngs, self.shard_rng_states):
+            rng.bit_generator.state = state
 
 
 def save_checkpoint(
@@ -137,13 +162,17 @@ def save_checkpoint(
     *,
     epoch: int = 0,
     rng: np.random.Generator | None = None,
+    shard_rngs: list[np.random.Generator] | None = None,
     extra: dict[str, np.ndarray] | None = None,
 ) -> None:
     """Write a resumable training checkpoint to one ``.npz`` file.
 
     ``optimizer`` may be any object exposing ``state_dict()`` (the
     :mod:`repro.nn.optim` optimizers do); ``rng`` is the generator whose
-    epoch-shuffle state must survive the interruption.
+    epoch-shuffle state must survive the interruption; ``shard_rngs`` are
+    a data-parallel run's per-worker streams (rank order), saved so a
+    resumed run continues every shard's stream exactly where the
+    interruption caught it.
     """
     payload: dict[str, np.ndarray] = {
         _MODEL_PREFIX + k: v for k, v in model.state_dict().items()
@@ -157,6 +186,10 @@ def save_checkpoint(
         # BitGenerator state contains >64-bit integers; JSON round-trips
         # them exactly where fixed-width arrays cannot.
         payload[_RNG_KEY] = np.asarray(json.dumps(rng.bit_generator.state))
+    if shard_rngs is not None:
+        payload[_SHARD_RNG_KEY] = np.asarray(
+            json.dumps([g.bit_generator.state for g in shard_rngs])
+        )
     for k, v in (extra or {}).items():
         payload[_EXTRA_PREFIX + k] = np.asarray(v)
     payload[_EPOCH_KEY] = np.asarray(int(epoch), dtype=np.int64)
@@ -164,11 +197,19 @@ def save_checkpoint(
     # from appending '.npz' to arbitrary user paths, and the atomic
     # os.replace means an interruption mid-save (the exact scenario
     # checkpointing exists for) can never destroy the previous good
-    # checkpoint.
+    # checkpoint.  The temp file comes from mkstemp *in the target
+    # directory* — a fixed ``<name>.tmp`` sibling let two concurrent
+    # writers (data-parallel trainers, table drivers sharing a
+    # checkpoint dir) clobber each other's half-written bytes before the
+    # rename; mkstemp names are exclusive by construction, so the worst
+    # concurrent outcome is last-rename-wins on a *complete* file.
     path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    tmp = Path(tmp_name)
     try:
-        with open(tmp, "wb") as fh:
+        with os.fdopen(fd, "wb") as fh:
             np.savez(fh, **payload)
         os.replace(tmp, path)
     finally:
@@ -192,6 +233,8 @@ def load_checkpoint(
                 ckpt.extra[key[len(_EXTRA_PREFIX):]] = data[key].copy()
             elif key == _RNG_KEY:
                 ckpt.rng_state = json.loads(str(data[key]))
+            elif key == _SHARD_RNG_KEY:
+                ckpt.shard_rng_states = json.loads(str(data[key]))
     if model is not None:
         model.load_state_dict(ckpt.model_state)
     if optimizer is not None:

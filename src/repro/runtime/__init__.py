@@ -12,7 +12,12 @@ serving-oriented callers (tasks, experiments, examples, benchmarks):
   fast path;
 * :mod:`repro.runtime.trainstep` — packed training minibatches
   (:func:`pack_samples` / :func:`train_step`) sharing the same plan and
-  pack caches as serving.
+  pack caches as serving;
+* :mod:`repro.runtime.ddp` — deterministic data-parallel training:
+  gradient-accumulation groups sharded over worker processes
+  (:mod:`repro.runtime.mp` contexts, :mod:`repro.runtime.shm` arenas)
+  with a fixed-order pairwise-tree all-reduce, bitwise-identical at any
+  worker count.
 
 Submodules are imported lazily so low-level modules (``repro.models``)
 can import :mod:`repro.runtime.plan` without dragging in the predictor
@@ -44,6 +49,13 @@ _EXPORTS = {
     "pack_samples": "repro.runtime.trainstep",
     "make_minibatches": "repro.runtime.trainstep",
     "train_step": "repro.runtime.trainstep",
+    # ddp
+    "DdpError": "repro.runtime.ddp",
+    "tree_reduce": "repro.runtime.ddp",
+    "reduce_gradients": "repro.runtime.ddp",
+    "BatchGrads": "repro.runtime.ddp",
+    "LocalGradExecutor": "repro.runtime.ddp",
+    "DdpGradExecutor": "repro.runtime.ddp",
     # predictor
     "ParameterShadow": "repro.runtime.predictor",
     "predict_one": "repro.runtime.predictor",

@@ -1,0 +1,514 @@
+"""Deterministic data-parallel training: sharded steps, fixed-order reduce.
+
+Data parallelism here means sharding each *gradient-accumulation group*
+over W worker processes: the sequential trainer turns every group of
+``grad_accum`` packed minibatches into one optimizer step, so the group is
+the unit of work that can fan out without changing what the step computes.
+Each worker holds a model replica (restored through the
+:func:`repro.nn.serialize.dumps_state` npz byte round-trip, so replica
+float64 parameters are bitwise-identical to the coordinator's), runs the
+fused :func:`repro.runtime.trainstep.train_step` on its assigned batches,
+and ships the resulting float64 gradients back through a
+:mod:`repro.runtime.shm` arena.
+
+**The bitwise guarantee.**  The coordinator reduces per-batch gradients
+with :func:`tree_reduce` — pairwise summation in a tree pinned to the
+group's *batch position order*, never to worker completion order or worker
+count.  Because each batch's gradient is itself bitwise-deterministic
+(row-deterministic kernels, replicas restored bitwise, identical packing
+of the same member order), the reduced update is bitwise-identical at any
+worker count — including W=1 and the in-process
+:class:`LocalGradExecutor`, which runs the *same* per-batch
+compute-then-tree-reduce discipline.  Floating-point addition is not
+associative, so this only holds because every worker count sums the same
+numbers in the same tree; that pinned order is the whole point of this
+module.
+
+Process discipline follows the serving gateway: workers spawn through
+:func:`repro.runtime.mp.resolve_mp_context` (forkserver preferred, spawn
+fallback, never default fork), parameters broadcast through one
+coordinator-owned float64 shared-memory block rewritten once per
+optimizer step (the protocol is lock-step — workers only read between the
+coordinator's ``step`` message and their ``grads`` reply, so the rewrite
+can never race a reader), and gradient arenas are coordinator-owned so a
+dying worker cannot leak a ``/dev/shm`` entry.  A worker death aborts the
+run with a typed :class:`DdpError` — training resumes from the last
+checkpoint rather than limping on with a silently shrunken group.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.nn.serialize import dumps_state, loads_state
+from repro.runtime.mp import resolve_mp_context
+from repro.runtime.shm import ShmBlock, write_arrays
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.train
+    from repro.train.dataset import CircuitSample
+
+__all__ = [
+    "DdpError",
+    "tree_reduce",
+    "reduce_gradients",
+    "BatchGrads",
+    "LocalGradExecutor",
+    "DdpGradExecutor",
+    "ddp_worker_main",
+]
+
+_ALIGN = 64
+
+
+class DdpError(RuntimeError):
+    """A data-parallel worker failed or died mid-run.
+
+    The training step that was in flight did not complete; the run must
+    be restarted (typically from its last checkpoint) — partial groups
+    are never applied.
+    """
+
+
+# ----------------------------------------------------------------------
+# fixed-order reduction
+# ----------------------------------------------------------------------
+
+def tree_reduce(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Pairwise-tree sum of ``arrays`` in their given order.
+
+    Round k sums adjacent pairs ``(a0+a1, a2+a3, ...)``, carrying an odd
+    tail element unchanged, until one array remains.  The association is a
+    pure function of ``len(arrays)`` and the input order — evaluating the
+    same list on any machine, in any process layout, yields bitwise the
+    same float64 sum.  A single-element list is returned as-is (no copy).
+    """
+    if not arrays:
+        raise ValueError("tree_reduce of zero arrays")
+    level = list(arrays)
+    while len(level) > 1:
+        nxt = [
+            level[i] + level[i + 1] if i + 1 < len(level) else level[i]
+            for i in range(0, len(level), 2)
+        ]
+        level = nxt
+    return level[0]
+
+
+def reduce_gradients(
+    per_batch: Sequence[Sequence[np.ndarray | None]],
+) -> list[np.ndarray | None]:
+    """All-reduce per-batch gradient lists into one list per parameter.
+
+    ``per_batch[b][i]`` is batch ``b``'s gradient for parameter ``i`` (in
+    group batch-position order), or ``None`` when the batch produced no
+    gradient for it.  Each parameter reduces over its *present* entries
+    with :func:`tree_reduce`; presence is structure-determined (which
+    batches touch which parameters), so the tree shape stays independent
+    of how the batches were sharded over workers.
+    """
+    if not per_batch:
+        raise ValueError("reduce_gradients of zero batches")
+    n_params = len(per_batch[0])
+    reduced: list[np.ndarray | None] = []
+    for i in range(n_params):
+        entries = [grads[i] for grads in per_batch if grads[i] is not None]
+        reduced.append(tree_reduce(entries) if entries else None)
+    return reduced
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+
+@dataclass
+class BatchGrads:
+    """One batch's contribution to a sharded optimizer step.
+
+    Attributes:
+        grads: per-parameter float64 gradients (``None`` where the batch
+            produced none), in ``model.parameters()`` order.
+        member_tr / member_lg: the unpacked per-circuit L1 means from
+            :class:`~repro.runtime.trainstep.StepResult`, for epoch stats.
+    """
+
+    grads: list[np.ndarray | None]
+    member_tr: np.ndarray
+    member_lg: np.ndarray
+
+
+class LocalGradExecutor:
+    """In-process executor: the W=0 reference for the sharded step.
+
+    Runs each group batch through ``train_step`` with a fresh gradient
+    buffer (``zero_grad`` per batch) and hands the per-batch gradients to
+    the caller's :func:`reduce_gradients` — exactly the discipline the
+    multi-process executor distributes, so sequential training is the
+    W-independent reduction's own W=1 case.
+    """
+
+    def __init__(
+        self,
+        model,
+        batches: Sequence,
+        tr_weight: float = 1.0,
+        lg_weight: float = 1.0,
+    ) -> None:
+        from repro.runtime.trainstep import train_step  # cycle guard
+
+        self._train_step = train_step
+        self.model = model
+        self.batches = batches
+        self.tr_weight = tr_weight
+        self.lg_weight = lg_weight
+        self._params = model.parameters()
+
+    def run_group(
+        self, items: Sequence[tuple[int, float]]
+    ) -> list[BatchGrads]:
+        """Compute gradients for ``(batch_index, loss_scale)`` items."""
+        out: list[BatchGrads] = []
+        for batch_index, loss_scale in items:
+            self.model.zero_grad()
+            result = self._train_step(
+                self.model,
+                self.batches[batch_index],
+                tr_weight=self.tr_weight,
+                lg_weight=self.lg_weight,
+                loss_scale=loss_scale,
+            )
+            # backward() builds fresh gradient arrays per pass (zero_grad
+            # drops the old ones), so holding references is aliasing-safe.
+            out.append(
+                BatchGrads(
+                    grads=[p.grad for p in self._params],
+                    member_tr=result.member_tr,
+                    member_lg=result.member_lg,
+                )
+            )
+        return out
+
+    def close(self) -> None:  # symmetry with DdpGradExecutor
+        pass
+
+    def __enter__(self) -> "LocalGradExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class DdpWorkerInit:
+    """Everything a DDP worker process needs, in picklable form.
+
+    Attributes:
+        model_pickle: pickled model object (structure + config).
+        state_npz: npz byte round-trip of the coordinator's parameters.
+        batch_members: per minibatch, the member samples in packing
+            order; the worker packs them locally, landing on the same
+            union plan (same member order ⇒ same structure ⇒ same cached
+            fingerprint) the coordinator would build.
+        param_block: ``(shm_name, layout)`` of the coordinator-owned
+            float64 parameter block, rewritten once per optimizer step.
+        grad_arena: shm name of this worker's gradient arena.
+        tr_weight / lg_weight: the loss weights of the run.
+    """
+
+    model_pickle: bytes
+    state_npz: bytes
+    batch_members: list
+    param_block: tuple[str, list]
+    grad_arena: str
+    tr_weight: float
+    lg_weight: float
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def ddp_worker_main(conn, init: DdpWorkerInit) -> None:
+    """Blocking worker loop; returns on ``stop`` or when the pipe closes."""
+    from repro.nn.module import bump_parameter_version
+    from repro.runtime.trainstep import pack_samples, train_step
+
+    replica = pickle.loads(init.model_pickle)
+    replica.load_state_dict(loads_state(init.state_npz))
+    params = replica.parameters()
+
+    param_block = ShmBlock.attach(init.param_block[0])
+    param_views = [
+        param_block.ndarray(off, shape, np.float64, writeable=False)
+        for off, shape in init.param_block[1]
+    ]
+    grad_arena = ShmBlock.attach(init.grad_arena)
+    batches = [pack_samples(members) for members in init.batch_members]
+
+    conn.send(("ready", os.getpid()))
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return
+            op = msg[0]
+            if op == "stop":
+                return
+            if op != "step":  # pragma: no cover - protocol bug
+                conn.send(("err", None, f"bad op {op!r}"))
+                continue
+            _, step_id, items = msg
+            try:
+                # Lock-step parameter sync: the coordinator rewrote the
+                # block before sending this message and will not touch it
+                # again until our ``grads`` reply arrives.
+                for p, view in zip(params, param_views):
+                    p.data[...] = view
+                bump_parameter_version()
+                replies = []
+                cursor = 0
+                for position, batch_index, loss_scale in items:
+                    replica.zero_grad()
+                    result = train_step(
+                        replica,
+                        batches[batch_index],
+                        tr_weight=init.tr_weight,
+                        lg_weight=init.lg_weight,
+                        loss_scale=loss_scale,
+                    )
+                    grads = [p.grad for p in params]
+                    mask = [g is not None for g in grads]
+                    present = [g for g in grads if g is not None]
+                    layout = write_arrays(grad_arena, present, offset=cursor)
+                    if layout is None:
+                        meta = ("inline", present)
+                    else:
+                        meta = ("shm", layout)
+                        if layout:
+                            off, shape = layout[-1]
+                            cursor = _aligned(
+                                off + int(np.prod(shape, dtype=np.int64)) * 8
+                            )
+                    replies.append(
+                        (position, mask, meta, result.member_tr, result.member_lg)
+                    )
+                conn.send(("grads", step_id, replies))
+            except Exception as exc:
+                conn.send(("err", step_id, f"{type(exc).__name__}: {exc}"))
+    finally:
+        param_block.close()
+        grad_arena.close()
+        conn.close()
+
+
+class DdpGradExecutor:
+    """Coordinator for W data-parallel training workers.
+
+    Spawned once per :meth:`repro.train.trainer.Trainer.train` call with
+    the run's full minibatch list; :meth:`run_group` shards a group's
+    batches round-robin over the ranks, collects each batch's gradients
+    (shm arena, inline fallback), and returns them in batch-position
+    order — ready for the caller's :func:`reduce_gradients`, whose pinned
+    tree makes the update identical to the in-process executor's.
+    """
+
+    def __init__(
+        self,
+        model,
+        batch_members: Sequence[Sequence["CircuitSample"]],
+        workers: int,
+        tr_weight: float = 1.0,
+        lg_weight: float = 1.0,
+        grad_accum: int = 1,
+        mp_start_method: str | None = None,
+        spawn_timeout: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("DdpGradExecutor needs workers >= 1")
+        self.workers = workers
+        self._params = model.parameters()
+        self._step_id = 0
+        self._closed = False
+        ctx = resolve_mp_context(mp_start_method)
+
+        # Coordinator-owned float64 parameter block: the broadcast path
+        # for post-step parameters.  Workers start from the npz bytes
+        # (bitwise-equal already) and re-sync from this block every step.
+        nbytes = _ALIGN
+        for p in self._params:
+            nbytes = _aligned(nbytes + p.data.nbytes)
+        self._param_block = ShmBlock.create(max(nbytes, _ALIGN), tag="ddp-params")
+        layout = write_arrays(self._param_block, [p.data for p in self._params])
+        assert layout is not None  # sized above
+        self._param_layout = layout
+        self._param_views = [
+            self._param_block.ndarray(off, shape, np.float64)
+            for off, shape in layout
+        ]
+
+        # Per-worker gradient arenas, sized for the worst-case share of a
+        # group (ceil(grad_accum / W) batches, one full gradient set each).
+        per_batch = sum(_aligned(p.data.nbytes) for p in self._params)
+        share = -(-max(1, grad_accum) // workers)
+        arena_bytes = max(share * per_batch + _ALIGN, _ALIGN)
+
+        model_pickle = pickle.dumps(model)
+        state_npz = dumps_state(model.state_dict())
+        # Lean member copies: ``extras`` can hold whole SimResults, which
+        # the workers never need and would otherwise ride every spawn.
+        lean = [
+            [_lean_sample(s) for s in members] for members in batch_members
+        ]
+        self._arenas: list[ShmBlock] = []
+        self._procs = []
+        self._conns = []
+        try:
+            for rank in range(workers):
+                arena = ShmBlock.create(arena_bytes, tag=f"ddp-g{rank}")
+                self._arenas.append(arena)
+                init = DdpWorkerInit(
+                    model_pickle=model_pickle,
+                    state_npz=state_npz,
+                    batch_members=lean,
+                    param_block=(self._param_block.name, self._param_layout),
+                    grad_arena=arena.name,
+                    tr_weight=tr_weight,
+                    lg_weight=lg_weight,
+                )
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=ddp_worker_main,
+                    args=(child_conn, init),
+                    name=f"train-ddp-worker-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                if not parent_conn.poll(spawn_timeout):
+                    proc.kill()
+                    raise DdpError(f"ddp worker {rank} never sent ready")
+                msg = parent_conn.recv()
+                if msg[0] != "ready":  # pragma: no cover - protocol bug
+                    proc.kill()
+                    raise DdpError(f"ddp worker {rank} bad handshake: {msg!r}")
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def run_group(
+        self, items: Sequence[tuple[int, float]]
+    ) -> list[BatchGrads]:
+        """Shard one accumulation group's batches over the worker ranks.
+
+        ``items`` is the group's ``(batch_index, loss_scale)`` sequence in
+        batch-position order; position ``p`` goes to rank ``p % W``.  The
+        returned list is re-assembled in position order regardless of
+        which worker computed what — the reduction consuming it must not
+        see worker topology.
+        """
+        if self._closed:
+            raise DdpError("executor is closed")
+        self._step_id += 1
+        step_id = self._step_id
+        for view, p in zip(self._param_views, self._params):
+            view[...] = p.data
+        assignments: dict[int, list[tuple[int, int, float]]] = {}
+        for position, (batch_index, loss_scale) in enumerate(items):
+            rank = position % self.workers
+            assignments.setdefault(rank, []).append(
+                (position, batch_index, loss_scale)
+            )
+        for rank, assigned in assignments.items():
+            try:
+                self._conns[rank].send(("step", step_id, assigned))
+            except (OSError, BrokenPipeError) as exc:
+                raise DdpError(f"ddp worker {rank} is gone: {exc}") from None
+        results: list[BatchGrads | None] = [None] * len(items)
+        for rank in assignments:
+            try:
+                msg = self._conns[rank].recv()
+            except (EOFError, OSError):
+                raise DdpError(
+                    f"ddp worker {rank} died with step {step_id} in flight"
+                ) from None
+            if msg[0] == "err":
+                raise DdpError(f"ddp worker {rank} failed: {msg[2]}")
+            if msg[0] != "grads" or msg[1] != step_id:  # pragma: no cover
+                raise DdpError(f"ddp worker {rank} bad reply: {msg[0]!r}")
+            for position, mask, meta, member_tr, member_lg in msg[2]:
+                # Copy shm gradients out of the arena immediately: the
+                # region is rewritten next step and the mapping dies with
+                # close(); the reduction must own its inputs.
+                if meta[0] == "shm":
+                    present = [
+                        self._arenas[rank]
+                        .ndarray(off, shape, np.float64)
+                        .copy()
+                        for off, shape in meta[1]
+                    ]
+                else:
+                    present = list(meta[1])
+                it = iter(present)
+                grads = [next(it) if m else None for m in mask]
+                results[position] = BatchGrads(
+                    grads=grads, member_tr=member_tr, member_lg=member_lg
+                )
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and release every shm segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._param_views = []
+        for arena in self._arenas:
+            arena.close()
+            arena.unlink()
+        self._param_block.close()
+        self._param_block.unlink()
+
+    def __enter__(self) -> "DdpGradExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _lean_sample(sample: "CircuitSample") -> "CircuitSample":
+    """A shallow copy of ``sample`` without its ``extras`` payload."""
+    from repro.train.dataset import CircuitSample
+
+    if not sample.extras:
+        return sample
+    return CircuitSample(
+        graph=sample.graph,
+        workload=sample.workload,
+        target_tr=sample.target_tr,
+        target_lg=sample.target_lg,
+        name=sample.name,
+    )

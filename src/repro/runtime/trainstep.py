@@ -34,7 +34,14 @@ from repro.sim.workload import Workload
 if TYPE_CHECKING:  # runtime import would cycle through repro.train.trainer
     from repro.train.dataset import CircuitSample
 
-__all__ = ["PackedBatch", "StepResult", "pack_samples", "make_minibatches", "train_step"]
+__all__ = [
+    "PackedBatch",
+    "StepResult",
+    "pack_samples",
+    "minibatch_membership",
+    "make_minibatches",
+    "train_step",
+]
 
 
 @dataclass(frozen=True)
@@ -131,6 +138,26 @@ def pack_samples(
     )
 
 
+def minibatch_membership(
+    count: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> list[list[int]]:
+    """Partition ``count`` sample indices into minibatch member lists.
+
+    This is :func:`make_minibatches` minus the packing: the trainer's
+    data-parallel path needs the membership itself (workers receive
+    member samples and pack locally), and both paths must consume the
+    ``rng`` stream identically or sequential and sharded runs would build
+    different batches from the same seed.
+    """
+    order = list(range(count))
+    if rng is not None:
+        rng.shuffle(order)
+    size = max(1, int(batch_size))
+    return [order[lo : lo + size] for lo in range(0, len(order), size)]
+
+
 def make_minibatches(
     dataset: Sequence[CircuitSample],
     batch_size: int,
@@ -142,13 +169,9 @@ def make_minibatches(
     ``None`` for sequential assignment.  Batch *order* randomization per
     epoch is the trainer's job.
     """
-    order = list(range(len(dataset)))
-    if rng is not None:
-        rng.shuffle(order)
-    size = max(1, int(batch_size))
     return [
-        pack_samples([dataset[i] for i in order[lo : lo + size]])
-        for lo in range(0, len(order), size)
+        pack_samples([dataset[i] for i in members])
+        for members in minibatch_membership(len(dataset), batch_size, rng)
     ]
 
 

@@ -8,9 +8,15 @@ The hot loop runs on the :mod:`repro.runtime` subsystem: minibatches are
 packed into compiled super-graph plans (:func:`repro.runtime.trainstep
 .pack_samples`), shared with the serving path through the process-wide
 plan/pack caches.  On top of the paper's schedule the trainer supports
-gradient accumulation, cosine/step learning-rate decay, early stopping on
-validation error, and resumable checkpointing — an interrupted run resumed
-from its checkpoint lands on bitwise-identical final parameters.
+gradient accumulation, cosine/step LR decay, early stopping on validation
+error, resumable checkpointing, and **deterministic data-parallel
+execution**: with ``train_workers=W`` each gradient-accumulation group is
+sharded over W worker processes (:mod:`repro.runtime.ddp`), and because
+per-batch gradients are all-reduced in a reduction tree pinned to batch
+position — never to worker layout — the final parameters are
+bitwise-identical at any worker count, including the in-process
+sequential path.  An interrupted run resumed from its checkpoint lands on
+bitwise-identical final parameters either way.
 """
 
 from __future__ import annotations
@@ -24,7 +30,17 @@ import numpy as np
 from repro.models.base import RecurrentDagGnn
 from repro.nn.optim import Adam, make_schedule
 from repro.nn.serialize import load_checkpoint, save_checkpoint
-from repro.runtime.trainstep import PackedBatch, make_minibatches, train_step
+from repro.runtime.ddp import (
+    DdpGradExecutor,
+    LocalGradExecutor,
+    reduce_gradients,
+)
+from repro.runtime.trainstep import (
+    PackedBatch,
+    minibatch_membership,
+    pack_samples,
+)
+from repro.sim.workload import spawn_seeds
 from repro.train.dataset import CircuitSample
 from repro.train.metrics import EvalMetrics, avg_prediction_error
 
@@ -41,6 +57,16 @@ class TrainConfig:
     * ``grad_accum`` — number of minibatches whose gradients accumulate
       into one optimizer step (the backpropagated loss is scaled by the
       group size, so the step descends the group-mean gradient).
+    * ``train_workers`` — data-parallel worker processes.  ``0`` (default)
+      trains in-process; ``W >= 1`` shards every gradient-accumulation
+      group over W replica processes.  The sharding unit is the group, so
+      parallelism needs ``grad_accum >= train_workers`` to bite (the
+      typical setting is ``grad_accum = train_workers`` or a multiple);
+      either way the parameter trajectory is bitwise-identical to the
+      sequential run with the same config and seed.
+    * ``mp_start_method`` — start method for the worker processes
+      (``None`` picks forkserver, else spawn; default fork is never used
+      implicitly — see :mod:`repro.runtime.mp`).
     * ``schedule`` — ``constant`` | ``cosine`` | ``step`` epoch-indexed
       learning-rate decay (``lr_min``, ``lr_step_size``, ``lr_gamma``).
     * ``early_stop_patience`` — stop after this many epochs without
@@ -48,10 +74,11 @@ class TrainConfig:
       validation set is passed to :meth:`Trainer.train`, else training
       loss) by more than ``early_stop_min_delta``.
     * ``checkpoint_path``/``checkpoint_every`` — write a resumable
-      checkpoint (parameters + optimizer state + RNG + epoch) every K
-      epochs; ``resume=True`` continues from it.  ``stop_after`` bounds
-      the epochs executed in *this* invocation (time-budgeted sessions /
-      interruption testing) — the schedule itself stays ``epochs`` long.
+      checkpoint (parameters + optimizer state + RNG + per-shard RNG
+      streams + epoch) every K epochs; ``resume=True`` continues from it.
+      ``stop_after`` bounds the epochs executed in *this* invocation
+      (time-budgeted sessions / interruption testing) — the schedule
+      itself stays ``epochs`` long.
     """
 
     epochs: int = 50
@@ -63,6 +90,8 @@ class TrainConfig:
     tr_weight: float = 1.0
     verbose: bool = False
     grad_accum: int = 1
+    train_workers: int = 0
+    mp_start_method: str | None = None
     schedule: str = "constant"
     lr_min: float = 0.0
     lr_step_size: int = 10
@@ -139,21 +168,35 @@ class Trainer:
 
         When resuming (``config.resume`` with an existing checkpoint), the
         returned history includes the checkpointed epochs, so the caller
-        always sees the full run.
+        always sees the full run.  Shard RNG streams saved by a
+        data-parallel run are restored when the worker count matches;
+        resuming on a *different* worker count re-derives fresh streams
+        (the parameter trajectory is worker-count-independent either way).
         """
         if not len(dataset):
             raise ValueError("empty dataset")
         cfg = self.config
+        if cfg.train_workers < 0:
+            raise ValueError("train_workers must be >= 0")
         opt = optimizer or Adam(model.parameters(), lr=cfg.lr)
         schedule = make_schedule(
             cfg.schedule, cfg.lr, cfg.epochs,
             min_lr=cfg.lr_min, step_size=cfg.lr_step_size, gamma=cfg.lr_gamma,
         )
         rng = np.random.default_rng(cfg.seed)
+        # Per-shard streams (one per worker rank; one for the in-process
+        # path) spawned SeedSequence-style like dataset seeds, so shard
+        # randomness can never collide with the epoch-shuffle stream.
+        # They are checkpointed per rank: any stochastic per-shard state a
+        # worker accrues survives interruption exactly.
+        shards = max(1, cfg.train_workers)
+        shard_rngs = [
+            np.random.default_rng(s) for s in spawn_seeds(cfg.seed, shards)
+        ]
         # Membership is drawn from the fresh seed stream *before* any
         # resume, so a resumed run rebuilds identical minibatches and the
         # restored RNG state continues the epoch-shuffle stream exactly.
-        batches = self._make_batches(dataset, rng)
+        membership = minibatch_membership(len(dataset), cfg.batch_size, rng)
         history: list[EpochStats] = []
         start_epoch = 0
         best = np.inf
@@ -164,6 +207,11 @@ class Trainer:
             ckpt = load_checkpoint(ckpt_path, model, opt)
             if ckpt.rng_state is not None:
                 ckpt.restore_rng(rng)
+            if (
+                ckpt.shard_rng_states is not None
+                and len(ckpt.shard_rng_states) == shards
+            ):
+                ckpt.restore_shard_rngs(shard_rngs)
             start_epoch = ckpt.epoch + 1
             history = _history_from_array(ckpt.extra.get("history"))
             best = float(ckpt.extra.get("best", np.inf))
@@ -177,6 +225,7 @@ class Trainer:
         def save(epoch: int) -> None:
             save_checkpoint(
                 ckpt_path, model, opt, epoch=epoch, rng=rng,
+                shard_rngs=shard_rngs,
                 extra={
                     "history": _history_to_array(history),
                     "best": np.asarray(best),
@@ -185,85 +234,115 @@ class Trainer:
                 },
             )
 
+        if cfg.train_workers > 0:
+            # Workers pack their own batches from the member samples; the
+            # coordinator never runs train_step, so it skips packing (and
+            # the union-plan compiles) entirely.
+            executor = DdpGradExecutor(
+                model,
+                [[dataset[i] for i in members] for members in membership],
+                workers=cfg.train_workers,
+                tr_weight=cfg.tr_weight,
+                lg_weight=cfg.lg_weight,
+                grad_accum=cfg.grad_accum,
+                mp_start_method=cfg.mp_start_method,
+            )
+        else:
+            batches = [
+                pack_samples([dataset[i] for i in members])
+                for members in membership
+            ]
+            executor = LocalGradExecutor(
+                model, batches,
+                tr_weight=cfg.tr_weight, lg_weight=cfg.lg_weight,
+            )
+
         accum = max(1, cfg.grad_accum)
         executed = 0
         last_saved = start_epoch - 1
-        for epoch in range(start_epoch, cfg.epochs):
-            if cfg.stop_after is not None and executed >= cfg.stop_after:
-                break
-            executed += 1
-            opt.lr = schedule.lr_at(epoch)
-            order = (
-                rng.permutation(len(batches))
-                if cfg.shuffle
-                else np.arange(len(batches))
-            )
-            tot = tot_tr = tot_lg = 0.0
-            members = 0
-            for pos, index in enumerate(order):
-                if pos % accum == 0:
-                    opt.zero_grad()
-                    group = min(accum, len(order) - pos)
-                result = train_step(
-                    model,
-                    batches[int(index)],
-                    tr_weight=cfg.tr_weight,
-                    lg_weight=cfg.lg_weight,
-                    loss_scale=1.0 / group,
+        n_batches = len(membership)
+        try:
+            for epoch in range(start_epoch, cfg.epochs):
+                if cfg.stop_after is not None and executed >= cfg.stop_after:
+                    break
+                executed += 1
+                opt.lr = schedule.lr_at(epoch)
+                order = (
+                    rng.permutation(n_batches)
+                    if cfg.shuffle
+                    else np.arange(n_batches)
                 )
-                if (pos + 1) % accum == 0 or pos + 1 == len(order):
-                    opt.step()
-                tot_tr += result.member_tr.sum()
-                tot_lg += result.member_lg.sum()
-                tot += (
-                    cfg.tr_weight * result.member_tr
-                    + cfg.lg_weight * result.member_lg
-                ).sum()
-                members += result.member_tr.size
-            stats = EpochStats(
-                epoch, tot / members, tot_tr / members, tot_lg / members,
-                lr=opt.lr,
-            )
-            if val_dataset:
-                ev = evaluate(model, val_dataset, batch_size=cfg.batch_size)
-                stats.val_pe = 0.5 * (ev.pe_tr + ev.pe_lg)
-            history.append(stats)
-            if cfg.verbose:
-                val = "" if stats.val_pe is None else f"  val {stats.val_pe:.4f}"
-                print(
-                    f"epoch {epoch:3d}  loss {stats.loss:.4f} "
-                    f"(tr {stats.loss_tr:.4f}, lg {stats.loss_lg:.4f})"
-                    f"  lr {stats.lr:.2e}{val}"
+                tot = tot_tr = tot_lg = 0.0
+                members = 0
+                for lo in range(0, len(order), accum):
+                    group = [int(i) for i in order[lo : lo + accum]]
+                    scale = 1.0 / len(group)
+                    results = executor.run_group([(i, scale) for i in group])
+                    # Fixed-order all-reduce: the tree is pinned to batch
+                    # position within the group, so this sum — and hence
+                    # the step — is identical at any worker count.
+                    opt.apply_gradients(
+                        reduce_gradients([r.grads for r in results])
+                    )
+                    for r in results:
+                        tot_tr += r.member_tr.sum()
+                        tot_lg += r.member_lg.sum()
+                        tot += (
+                            cfg.tr_weight * r.member_tr
+                            + cfg.lg_weight * r.member_lg
+                        ).sum()
+                        members += r.member_tr.size
+                stats = EpochStats(
+                    epoch, tot / members, tot_tr / members, tot_lg / members,
+                    lr=opt.lr,
                 )
-            if cfg.early_stop_patience is not None:
-                monitored = stats.val_pe if stats.val_pe is not None else stats.loss
-                if monitored < best - cfg.early_stop_min_delta:
-                    best = monitored
-                    bad_epochs = 0
-                else:
-                    bad_epochs += 1
-                    stopped = bad_epochs >= cfg.early_stop_patience
-            due = (epoch + 1 - start_epoch) % max(1, cfg.checkpoint_every) == 0
-            if ckpt_path is not None and (due or stopped or epoch + 1 == cfg.epochs):
-                save(epoch)
-                last_saved = epoch
-            if stopped:
+                if val_dataset:
+                    ev = evaluate(model, val_dataset, batch_size=cfg.batch_size)
+                    stats.val_pe = 0.5 * (ev.pe_tr + ev.pe_lg)
+                history.append(stats)
                 if cfg.verbose:
-                    print(f"early stop at epoch {epoch} (patience exhausted)")
-                break
-        if (
-            ckpt_path is not None
-            and history
-            and history[-1].epoch > last_saved
-        ):
-            save(history[-1].epoch)
+                    val = "" if stats.val_pe is None else f"  val {stats.val_pe:.4f}"
+                    print(
+                        f"epoch {epoch:3d}  loss {stats.loss:.4f} "
+                        f"(tr {stats.loss_tr:.4f}, lg {stats.loss_lg:.4f})"
+                        f"  lr {stats.lr:.2e}{val}"
+                    )
+                if cfg.early_stop_patience is not None:
+                    monitored = stats.val_pe if stats.val_pe is not None else stats.loss
+                    if monitored < best - cfg.early_stop_min_delta:
+                        best = monitored
+                        bad_epochs = 0
+                    else:
+                        bad_epochs += 1
+                        stopped = bad_epochs >= cfg.early_stop_patience
+                due = (epoch + 1 - start_epoch) % max(1, cfg.checkpoint_every) == 0
+                if ckpt_path is not None and (due or stopped or epoch + 1 == cfg.epochs):
+                    save(epoch)
+                    last_saved = epoch
+                if stopped:
+                    if cfg.verbose:
+                        print(f"early stop at epoch {epoch} (patience exhausted)")
+                    break
+            if (
+                ckpt_path is not None
+                and history
+                and history[-1].epoch > last_saved
+            ):
+                save(history[-1].epoch)
+        finally:
+            executor.close()
         return history
 
     def _make_batches(
         self, dataset: Sequence[CircuitSample], rng: np.random.Generator
     ) -> list[PackedBatch]:
         """Randomized membership partition into packed minibatches."""
-        return make_minibatches(dataset, self.config.batch_size, rng)
+        return [
+            pack_samples([dataset[i] for i in members])
+            for members in minibatch_membership(
+                len(dataset), self.config.batch_size, rng
+            )
+        ]
 
 
 def evaluate(
@@ -282,12 +361,15 @@ def evaluate(
     """
     from repro.runtime import BatchedPredictor
 
-    predictor = BatchedPredictor(
+    # Context-managed: the predictor owns a deadline-timer daemon thread
+    # and queue state; per-epoch validation constructing one per call must
+    # close it or every epoch leaks a thread.
+    with BatchedPredictor(
         model, batch_size=max(1, batch_size), dtype=dtype
-    )
-    preds = predictor.predict_many(
-        [s.graph for s in dataset], [s.workload for s in dataset]
-    )
+    ) as predictor:
+        preds = predictor.predict_many(
+            [s.graph for s in dataset], [s.workload for s in dataset]
+        )
     errs_tr: list[float] = []
     errs_lg: list[float] = []
     nodes = 0

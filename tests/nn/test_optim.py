@@ -130,10 +130,60 @@ class TestOptimizerStateDict:
         with pytest.raises(ValueError):
             opt.load_state_dict(bad)
 
+    def test_dtype_mismatch_rejected(self):
+        # ``slot[...] = value`` silently upcasts float32 checkpoint
+        # moments into float64 slots; the loader must refuse instead.
+        p = Parameter(np.zeros(3))
+        opt = Adam([p], lr=1e-3)
+        state = opt.state_dict()
+        state["m0"] = state["m0"].astype(np.float32)
+        with pytest.raises(ValueError, match="dtype"):
+            opt.load_state_dict(state)
+
     def test_missing_keys_rejected(self):
         opt = SGD([Parameter(np.zeros(3))], momentum=0.9)
         with pytest.raises(KeyError):
             opt.load_state_dict({})
+
+
+class TestApplyGradients:
+    def test_matches_manual_grad_install(self):
+        g = np.array([1.0, -2.0, 0.5])
+        manual = Parameter(np.ones(3))
+        opt_a = Adam([manual], lr=1e-2)
+        manual.grad = g.copy()
+        opt_a.step()
+
+        applied = Parameter(np.ones(3))
+        opt_b = Adam([applied], lr=1e-2)
+        opt_b.apply_gradients([g.copy()])
+        assert np.array_equal(manual.data, applied.data)
+
+    def test_installs_as_is_without_accumulation(self):
+        # The DDP reduction already holds the full group sum; any further
+        # arithmetic here would break the bitwise guarantee.
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=1.0)
+        p.grad = np.array([100.0, 100.0])  # stale — must be discarded
+        opt.apply_gradients([np.array([1.0, 2.0])])
+        assert np.array_equal(p.data, np.array([0.0, -1.0]))
+
+    def test_none_leaves_parameter_untouched(self):
+        p, q = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = SGD([p, q], lr=1.0)
+        opt.apply_gradients([None, np.ones(2)])
+        assert np.array_equal(p.data, np.ones(2))
+        assert np.array_equal(q.data, np.zeros(2))
+
+    def test_length_mismatch_rejected(self):
+        opt = SGD([Parameter(np.ones(2))], lr=1.0)
+        with pytest.raises(ValueError, match="1 parameters"):
+            opt.apply_gradients([np.ones(2), np.ones(2)])
+
+    def test_shape_mismatch_rejected(self):
+        opt = SGD([Parameter(np.ones(2))], lr=1.0)
+        with pytest.raises(ValueError, match="shape"):
+            opt.apply_gradients([np.ones(3)])
 
 
 class TestSchedules:

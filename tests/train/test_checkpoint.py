@@ -77,6 +77,22 @@ class TestCheckpointFile:
         assert load_checkpoint(path).epoch == 2
         assert list(tmp_path.iterdir()) == [path]  # no tmp residue
 
+    def test_concurrent_writer_tmp_not_clobbered(self, tmp_path, dataset):
+        # The temp file must come from mkstemp, not a fixed '<name>.tmp'
+        # sibling: with a fixed name, two concurrent writers (data-parallel
+        # trainers, table drivers sharing a checkpoint dir) interleave
+        # bytes into the same temp file before the rename.  A pre-existing
+        # '<name>.tmp' — another writer mid-save — must survive untouched.
+        model = make_model("deepseq", CFG, "dual_attention")
+        path = tmp_path / "shared.npz"
+        other_writer = tmp_path / "shared.npz.tmp"
+        other_writer.write_bytes(b"half-written by someone else")
+        save_checkpoint(path, model, epoch=7)
+        assert other_writer.read_bytes() == b"half-written by someone else"
+        assert load_checkpoint(path).epoch == 7
+        # ...and this writer's own temp file never lingers.
+        assert sorted(tmp_path.iterdir()) == [path, other_writer]
+
     def test_optimizer_state_mismatch_rejected(self, dataset):
         model = make_model("deepseq", CFG, "dual_attention")
         opt = Adam(model.parameters(), lr=1e-3)

@@ -97,3 +97,16 @@ class TestEvaluate:
         assert ev.num_circuits == len(dataset)
         assert ev.num_nodes == sum(s.num_nodes for s in dataset)
         assert 0 <= ev.pe_tr <= 1 and 0 <= ev.pe_lg <= 1
+
+    def test_does_not_leak_predictor_threads(self, dataset):
+        # evaluate() builds a BatchedPredictor per call; left unclosed it
+        # leaks the predictor's deadline-timer daemon thread, one per
+        # validation epoch, for the life of the process.
+        import threading
+
+        model = make_model("deepseq", CFG)
+        evaluate(model, dataset)  # warm any lazily-started machinery
+        baseline = threading.active_count()
+        for _ in range(5):
+            evaluate(model, dataset)
+        assert threading.active_count() <= baseline
