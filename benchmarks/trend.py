@@ -1,10 +1,10 @@
 """Rolling benchmark-trend snapshots with one shared schema.
 
-CI produces five benchmark artifacts in five different shapes: two
+CI produces six benchmark artifacts in different shapes: two
 pytest-benchmark reports (``benchmark.json``, ``training-benchmark.json``)
-and three custom dicts (``serve-benchmark.json``, ``datagen-benchmark.json``,
-``sim-benchmark.json``).  Comparing a PR against history means opening five
-formats — so this tool normalizes each into one flat schema
+and four custom dicts (``serve-benchmark.json``, ``datagen-benchmark.json``,
+``sim-benchmark.json``, ``scale-benchmark.json``).  Comparing a PR against
+history means opening six formats — so this tool normalizes each into one flat schema
 (``repro-bench-trend-v1``) and maintains a rolling ``BENCH_<NAME>.json``
 snapshot at the repo root per benchmark:
 
@@ -117,6 +117,17 @@ def _normalize_sim(raw: dict) -> dict:
     return metrics
 
 
+def _normalize_scale(raw: dict) -> dict:
+    metrics = {}
+    for scenario, stats in raw["scenarios"].items():
+        for key, value in stats.items():
+            if key.endswith("_s"):
+                metrics[f"{scenario}.{key}"] = _metric(value, "s")
+            elif key.endswith("_shrink"):
+                metrics[f"{scenario}.{key}"] = _metric(value, "x")
+    return metrics
+
+
 #: bench name -> (CI artifact filename, normalizer).
 BENCHES = {
     "perf": ("benchmark.json", _normalize_pytest),
@@ -124,6 +135,7 @@ BENCHES = {
     "serve": ("serve-benchmark.json", _normalize_serve),
     "datagen": ("datagen-benchmark.json", _normalize_datagen),
     "sim": ("sim-benchmark.json", _normalize_sim),
+    "scale": ("scale-benchmark.json", _normalize_scale),
 }
 
 

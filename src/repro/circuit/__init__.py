@@ -1,6 +1,12 @@
 """Circuit substrate: netlist IR, bench I/O, AIG lowering, graphs, suites."""
 
 from repro.circuit.aig import AigMapping, strash, to_aig
+from repro.circuit.aiger import (
+    read_aiger,
+    read_aiger_file,
+    write_aiger,
+    write_aiger_file,
+)
 from repro.circuit.analysis import (
     StructuralProfile,
     fanout_histogram,
@@ -22,11 +28,17 @@ from repro.circuit.benchmarks import (
     family_subcircuits,
     large_design,
     large_design_suite,
+    load_design,
     training_corpus,
 )
-from repro.circuit.compose import UnionMapping, disjoint_union
+from repro.circuit.compose import Stitch, UnionMapping, disjoint_union, stitched_union
 from repro.circuit.library import LIBRARY, library_circuit, library_names
-from repro.circuit.extract import extract_dataset, extract_subcircuit
+from repro.circuit.extract import (
+    LevelPartition,
+    extract_dataset,
+    extract_subcircuit,
+    partition_by_levels,
+)
 from repro.circuit.gates import (
     AIG_TYPES,
     ONE_HOT_DIM,
@@ -35,7 +47,12 @@ from repro.circuit.gates import (
     gate_truth_table,
     one_hot,
 )
-from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.circuit.generate import (
+    GeneratorConfig,
+    HierarchicalConfig,
+    hierarchical_netlist,
+    random_sequential_netlist,
+)
 from repro.circuit.graph import CircuitGraph, EdgeBatch
 from repro.circuit.levelize import Levelization, cut_fanins, levelize
 from repro.circuit.netlist import Netlist, NetlistError
@@ -46,6 +63,10 @@ __all__ = [
     "AigMapping",
     "strash",
     "to_aig",
+    "read_aiger",
+    "read_aiger_file",
+    "write_aiger",
+    "write_aiger_file",
     "StructuralProfile",
     "fanout_histogram",
     "feedback_register_count",
@@ -65,11 +86,16 @@ __all__ = [
     "family_subcircuits",
     "large_design",
     "large_design_suite",
+    "load_design",
     "training_corpus",
+    "Stitch",
     "UnionMapping",
     "disjoint_union",
+    "stitched_union",
+    "LevelPartition",
     "extract_dataset",
     "extract_subcircuit",
+    "partition_by_levels",
     "AIG_TYPES",
     "ONE_HOT_DIM",
     "GateType",
@@ -77,6 +103,8 @@ __all__ = [
     "gate_truth_table",
     "one_hot",
     "GeneratorConfig",
+    "HierarchicalConfig",
+    "hierarchical_netlist",
     "random_sequential_netlist",
     "CircuitGraph",
     "EdgeBatch",

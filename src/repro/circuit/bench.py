@@ -110,8 +110,31 @@ def parse_bench_file(path: str | Path) -> Netlist:
     return parse_bench(path.read_text(), name=path.stem)
 
 
+#: Characters that break ``.bench`` syntax if embedded in a signal name:
+#: whitespace splits tokens, parens/commas terminate argument lists, ``#``
+#: starts a comment, ``=`` ends the lhs.
+_NAME_BREAKERS = set("(),#=")
+
+
+def _check_bench_name(name: str, node: int) -> str:
+    if not name or any(c.isspace() or c in _NAME_BREAKERS for c in name):
+        raise NetlistError(
+            f"node {node} name {name!r} cannot be serialized to .bench "
+            "(empty or contains whitespace or one of '(),#=')"
+        )
+    return name
+
+
 def write_bench(nl: Netlist) -> str:
-    """Serialize a netlist to ``.bench`` text (round-trips with the parser)."""
+    """Serialize a netlist to ``.bench`` text (round-trips with the parser).
+
+    Raises :class:`NetlistError` when a node name would not survive the
+    trip — ``.bench`` has no quoting, so names containing whitespace,
+    parentheses, commas, ``#`` or ``=`` would parse back as different
+    structure (or not at all) instead of round-tripping.
+    """
+    for node in nl.nodes():
+        _check_bench_name(nl.node_name(node), node)
     lines: list[str] = [f"# {nl.name}"]
     for pi in nl.pis:
         lines.append(f"INPUT({nl.node_name(pi)})")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -39,6 +40,7 @@ __all__ = [
     "training_corpus",
     "large_design",
     "large_design_suite",
+    "load_design",
 ]
 
 
@@ -403,3 +405,64 @@ def large_design_suite(
         name: large_design(name, seed=seed, as_aig=as_aig, scale=scale)
         for name in LARGE_DESIGN_SPECS
     }
+
+
+def load_design(
+    source: str | Path,
+    *,
+    as_aig: bool = True,
+    seed: int = 7,
+    scale: float = 1.0,
+) -> Netlist:
+    """One front door for every design a scale suite can name.
+
+    ``source`` resolves in order:
+
+    * a path ending in ``.bench`` — parsed with
+      :func:`repro.circuit.bench.parse_bench_file`;
+    * a path ending in ``.aag`` / ``.aig`` — read with
+      :func:`repro.circuit.aiger.read_aiger_file` (ASCII or binary AIGER);
+    * a :data:`LARGE_DESIGN_SPECS` name (``noc_router`` ...) — built with
+      :func:`large_design` under ``seed``/``scale``;
+    * ``"hier"`` or ``"hier:<cloud_gates>"`` — a generated hierarchical
+      block-composed core (:func:`repro.circuit.generate.hierarchical_netlist`);
+      ``hier:12000`` yields roughly 50k nodes.
+
+    ``as_aig=True`` (default) lowers whatever was loaded with
+    :func:`repro.circuit.aig.to_aig`, so the result feeds the GNN runtime
+    directly; ``as_aig=False`` returns the raw library-gate netlist for
+    the simulator, which accepts either form.
+    """
+    path = Path(source)
+    suffix = path.suffix.lower()
+    if suffix in (".aag", ".aig"):
+        from repro.circuit.aiger import read_aiger_file
+
+        nl = read_aiger_file(path)
+    elif suffix == ".bench":
+        from repro.circuit.bench import parse_bench_file
+
+        nl = parse_bench_file(path)
+    else:
+        name = str(source)
+        if name in LARGE_DESIGN_SPECS:
+            return large_design(name, seed=seed, as_aig=as_aig, scale=scale)
+        if name == "hier" or name.startswith("hier:"):
+            from repro.circuit.generate import (
+                HierarchicalConfig,
+                hierarchical_netlist,
+            )
+
+            config = (
+                HierarchicalConfig()
+                if name == "hier"
+                else HierarchicalConfig(cloud_gates=int(name.split(":", 1)[1]))
+            )
+            nl = hierarchical_netlist(config, seed=seed)
+        else:
+            raise ValueError(
+                f"cannot resolve design {name!r}: not a .bench/.aag/.aig "
+                f"path, not one of {sorted(LARGE_DESIGN_SPECS)}, and not a "
+                "'hier'/'hier:<cloud_gates>' generator spec"
+            )
+    return to_aig(nl).aig if as_aig else nl

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist
 
-__all__ = ["UnionMapping", "disjoint_union"]
+__all__ = ["UnionMapping", "disjoint_union", "Stitch", "stitched_union"]
 
 
 @dataclass(frozen=True)
@@ -75,5 +75,85 @@ def disjoint_union(netlists: list[Netlist], name: str = "union") -> UnionMapping
                 )
         for po in nl.pos:
             union.add_po(offset + po)
+    union.validate()
+    return UnionMapping(union=union, offsets=tuple(offsets), sizes=tuple(sizes))
+
+
+@dataclass(frozen=True)
+class Stitch:
+    """One cross-member wire of :func:`stitched_union`.
+
+    Drives primary input ``pi`` of member ``dst`` from node ``src_node`` of
+    member ``src``.  ``src`` must come before ``dst`` in the member list so
+    stitches can never create a combinational cycle across members.
+    """
+
+    src: int
+    src_node: int
+    dst: int
+    pi: int
+
+
+def stitched_union(
+    netlists: list[Netlist],
+    stitches: list[Stitch],
+    name: str = "stitched",
+) -> UnionMapping:
+    """Merge circuits and wire selected member PIs to earlier members' nodes.
+
+    The workhorse of hierarchical generation: structured tiles (counters,
+    FSMs, adders) and random clouds are built independently, then composed
+    into one large design by converting some of each member's PIs into BUF
+    gates fed from upstream members.  The returned mapping uses the same
+    offset arithmetic as :func:`disjoint_union`; stitched PIs become BUF
+    nodes (same node id) and disappear from the union's PI list.
+    """
+    if not netlists:
+        raise ValueError("empty union")
+    stitched_pis: dict[tuple[int, int], tuple[int, int]] = {}
+    for s in stitches:
+        if not 0 <= s.src < len(netlists) or not 0 <= s.dst < len(netlists):
+            raise ValueError(f"stitch references unknown member: {s}")
+        if s.src >= s.dst:
+            raise ValueError(
+                f"stitch must feed forward (src < dst), got {s.src} -> {s.dst}"
+            )
+        if netlists[s.dst].gate_type(s.pi) is not GateType.PI:
+            raise ValueError(
+                f"stitch target node {s.pi} of member {s.dst} is not a PI"
+            )
+        if not 0 <= s.src_node < len(netlists[s.src]):
+            raise ValueError(f"stitch source node {s.src_node} out of range")
+        key = (s.dst, s.pi)
+        if key in stitched_pis:
+            raise ValueError(f"PI {s.pi} of member {s.dst} stitched twice")
+        stitched_pis[key] = (s.src, s.src_node)
+
+    union = Netlist(name)
+    offsets: list[int] = []
+    sizes: list[int] = []
+    for k, nl in enumerate(netlists):
+        offset = len(union)
+        offsets.append(offset)
+        sizes.append(len(nl))
+        for node in nl.nodes():
+            gt = nl.gate_type(node)
+            node_name = f"c{k}_{nl.node_name(node)}"
+            if gt is GateType.PI and (k, node) in stitched_pis:
+                union.add_gate(GateType.BUF, (), node_name)
+            elif gt is GateType.PI:
+                union.add_pi(node_name)
+            elif gt is GateType.DFF:
+                union.add_dff(None, node_name)
+            else:
+                union.add_gate(gt, (), node_name)
+        for node in nl.nodes():
+            fanins = nl.fanins(node)
+            if fanins:
+                union.set_fanins(offset + node, [offset + f for f in fanins])
+        for po in nl.pos:
+            union.add_po(offset + po)
+    for (dst, pi), (src, src_node) in stitched_pis.items():
+        union.set_fanins(offsets[dst] + pi, [offsets[src] + src_node])
     union.validate()
     return UnionMapping(union=union, offsets=tuple(offsets), sizes=tuple(sizes))

@@ -23,10 +23,20 @@ import numpy as np
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist
 
-__all__ = ["GeneratorConfig", "random_sequential_netlist"]
+__all__ = [
+    "GeneratorConfig",
+    "random_sequential_netlist",
+    "HierarchicalConfig",
+    "hierarchical_netlist",
+]
 
 #: Size of the "recent signals" window used for local wiring.
 _LOCAL_WINDOW = 24
+
+#: ``method="auto"`` switches to the vectorized grower at this many gates.
+#: Every historical dataset circuit sits far below it, so their seeds keep
+#: producing bit-identical netlists through the loop path.
+_VECTOR_THRESHOLD = 4096
 
 #: Gate kinds the random generator may draw, with default mixture weights
 #: loosely following gate histograms of the ISCAS'89 suite.
@@ -61,6 +71,14 @@ class GeneratorConfig:
             encouraging reconvergent fanout (the structure probabilistic
             methods get wrong — central to Tables V/VII).
         n_pos: number of primary outputs to mark (sampled from sinks first).
+        method: fanin-drawing strategy.  ``"loop"`` is the original
+            gate-at-a-time path (seed-stable since the first release);
+            ``"vectorized"`` bulk-draws all types/arities/fanins with numpy
+            and makes 100k-gate generation a seconds-scale operation;
+            ``"auto"`` picks vectorized at ``n_gates >= 4096`` and loop
+            below, so every historical small-circuit seed keeps its bits.
+            The two methods draw different random streams — same seed,
+            same *distribution*, different netlist.
     """
 
     n_pis: int = 8
@@ -73,6 +91,7 @@ class GeneratorConfig:
     locality: float = 0.6
     reconvergence_bias: float = 0.25
     n_pos: int = 4
+    method: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_pis < 1:
@@ -86,6 +105,8 @@ class GeneratorConfig:
         total = sum(self.gate_mix.values())
         if total <= 0:
             raise ValueError("gate_mix weights must sum to a positive value")
+        if self.method not in ("auto", "loop", "vectorized"):
+            raise ValueError("method must be 'auto', 'loop' or 'vectorized'")
 
 
 def random_sequential_netlist(
@@ -109,19 +130,26 @@ def random_sequential_netlist(
     weights = np.array([config.gate_mix[t] for t in types], dtype=np.float64)
     weights /= weights.sum()
 
-    available: list[int] = pis + dffs
-    gates: list[int] = []
-    for g in range(config.n_gates):
-        gate_type = types[int(rng.choice(len(types), p=weights))]
-        fanins = _draw_fanins(rng, available, gate_type, config)
-        node = nl.add_gate(gate_type, fanins, f"g{g}")
-        gates.append(node)
-        available.append(node)
+    method = config.method
+    if method == "auto":
+        method = "vectorized" if config.n_gates >= _VECTOR_THRESHOLD else "loop"
+
+    if method == "vectorized":
+        gates = _grow_gates_vectorized(rng, nl, config, types, weights)
+    else:
+        available: list[int] = pis + dffs
+        gates = []
+        for g in range(config.n_gates):
+            gate_type = types[int(rng.choice(len(types), p=weights))]
+            fanins = _draw_fanins(rng, available, gate_type, config)
+            node = nl.add_gate(gate_type, fanins, f"g{g}")
+            gates.append(node)
+            available.append(node)
 
     # Close sequential loops: each DFF samples a combinational gate (or, for
     # tiny circuits, any available signal that is not the DFF itself).
     for ff in dffs:
-        pool = gates if gates else [s for s in available if s != ff]
+        pool = gates if gates else [s for s in pis + dffs if s != ff]
         nl.set_fanins(ff, [int(rng.choice(pool))])
 
     _mark_pos(rng, nl, gates, config.n_pos)
@@ -176,6 +204,79 @@ def _draw_fanins(
     return [available[p] for p in picks]
 
 
+def _grow_gates_vectorized(
+    rng: np.random.Generator,
+    nl: Netlist,
+    config: GeneratorConfig,
+    types: list[GateType],
+    weights: np.ndarray,
+) -> list[int]:
+    """Bulk-draw every gate's type, arity and fanins with numpy.
+
+    Exploits the construction invariant that node ids are dense and
+    append-ordered (PIs, then DFFs, then gates), so "available signal p"
+    IS node id p and no indirection array is needed.  Distribution matches
+    the loop path — locality window, reconvergence neighbourhood, distinct
+    fanins — but the draw order differs, so bits differ for the same seed.
+    """
+    base = config.n_pis + config.n_dffs
+    G = config.n_gates
+
+    type_codes = rng.choice(len(types), size=G, p=weights)
+    arity = rng.integers(2, config.max_fanin + 1, size=G)
+    fixed = np.array(
+        [
+            1 if t in (GateType.NOT, GateType.BUF)
+            else 3 if t is GateType.MUX
+            else 2 if t is GateType.XOR
+            else 0
+            for t in types
+        ],
+        dtype=np.int64,
+    )[type_codes]
+    arity = np.where(fixed > 0, fixed, arity)
+    max_ar = int(arity.max())
+
+    n_avail = base + np.arange(G, dtype=np.int64)  # signals visible to gate g
+    window = np.minimum(n_avail, _LOCAL_WINDOW)
+
+    u_pos = rng.random((G, max_ar))
+    local = rng.random((G, max_ar)) < config.locality
+    local_cand = (n_avail - window)[:, None] + (u_pos * window[:, None]).astype(
+        np.int64
+    )
+    global_cand = (u_pos * n_avail[:, None]).astype(np.int64)
+    cand = np.where(local, local_cand, global_cand)
+
+    if max_ar >= 2:
+        # Reconvergence: slot 1 re-draws from slot 0's neighbourhood.
+        first = cand[:, 0]
+        recon = (rng.random(G) < config.reconvergence_bias) & (n_avail >= 4)
+        lo = np.maximum(0, first - 4)
+        hi = np.minimum(n_avail, first + 5)
+        recon_cand = lo + (u_pos[:, 1] * (hi - lo)).astype(np.int64)
+        cand[:, 1] = np.where(recon, recon_cand, cand[:, 1])
+
+    # Distinct fanins (where enough signals exist): resolve collisions by
+    # shifting +1 mod n_avail, exactly the "re-draw until fresh" contract
+    # without data-dependent RNG consumption.
+    for j in range(1, max_ar):
+        active = (arity > j) & (n_avail >= arity)
+        while True:
+            dup = active & (cand[:, :j] == cand[:, j : j + 1]).any(axis=1)
+            if not dup.any():
+                break
+            cand[dup, j] = (cand[dup, j] + 1) % n_avail[dup]
+
+    gates: list[int] = []
+    cand_rows = cand.tolist()
+    arity_list = arity.tolist()
+    for g, code in enumerate(type_codes.tolist()):
+        node = nl.add_gate(types[code], cand_rows[g][: arity_list[g]], f"g{g}")
+        gates.append(node)
+    return gates
+
+
 def _mark_pos(
     rng: np.random.Generator, nl: Netlist, gates: list[int], n_pos: int
 ) -> None:
@@ -186,3 +287,140 @@ def _mark_pos(
     chosen = rng.choice(len(pool), size=count, replace=False)
     for c in chosen:
         nl.add_po(pool[int(c)])
+
+
+# ----------------------------------------------------------------------
+# hierarchical generation
+# ----------------------------------------------------------------------
+
+@dataclass
+class HierarchicalConfig:
+    """Knobs of the hierarchical block-composed generator.
+
+    The generator mimics how real SoC-scale netlists are put together:
+    structured IP tiles (counters, LFSRs, FSMs, adders, shift chains) and
+    unstructured random logic clouds, wired into one design by driving a
+    fraction of each member's primary inputs from upstream members
+    (:func:`repro.circuit.compose.stitched_union`).  Total size is
+    dominated by ``n_clouds * cloud_gates``; the defaults land around
+    10k nodes and ``cloud_gates=12_000`` pushes past 50k.
+
+    Attributes:
+        n_tiles: number of structured tiles drawn from the tile palette.
+        tile_scale: width multiplier for tile state (>= 1).
+        n_clouds: number of random logic clouds.
+        cloud_gates: combinational gates per cloud (vectorized growth).
+        cloud_pis: primary inputs per cloud (stitch attachment points).
+        cloud_dffs: flip-flops per cloud.
+        stitch_fraction: fraction of each non-first member's PIs driven
+            by earlier members instead of staying primary inputs.
+        max_fanin: cloud gate fanin cap.
+    """
+
+    n_tiles: int = 6
+    tile_scale: int = 2
+    n_clouds: int = 4
+    cloud_gates: int = 2400
+    cloud_pis: int = 16
+    cloud_dffs: int = 48
+    stitch_fraction: float = 0.5
+    max_fanin: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_tiles < 0 or self.n_clouds < 1:
+            raise ValueError("need n_tiles >= 0 and n_clouds >= 1")
+        if self.tile_scale < 1:
+            raise ValueError("tile_scale must be >= 1")
+        if self.cloud_pis < 2 or self.cloud_gates < 1:
+            raise ValueError("clouds need >= 2 PIs and >= 1 gate")
+        if not 0.0 <= self.stitch_fraction < 1.0:
+            raise ValueError("stitch_fraction must be in [0, 1)")
+
+
+def _build_tile(kind: int, scale: int, tag: str):
+    """One structured tile from the palette; returns a finished netlist."""
+    from repro.circuit.blocks import BlockBuilder
+
+    b = BlockBuilder(f"tile_{tag}")
+    w = 8 * scale
+    if kind == 0:
+        en = b.pi("en")
+        bits = b.counter(w, enable=en)
+        b.po(b.parity_tree(bits))
+    elif kind == 1:
+        bits = b.lfsr(w)
+        sel = [b.pi(f"s{i}") for i in range(3)]
+        b.po(b.mux_tree(sel, bits[: 8 * 1] if w >= 8 else bits * (8 // w)))
+    elif kind == 2:
+        data = b.pi("d")
+        taps = b.shift_register(data, 4 * w)
+        b.po(b.parity_tree(taps))
+    elif kind == 3:
+        adv, rst = b.pi("adv"), b.pi("rst")
+        state = b.fsm_one_hot(2 * w, adv, rst)
+        b.po(b.parity_tree(state))
+    else:
+        a = [b.pi(f"a{i}") for i in range(w)]
+        c = [b.pi(f"b{i}") for i in range(w)]
+        regs_a = b.register_bank(a)
+        regs_b = b.register_bank(c)
+        out, carry = b.ripple_adder(regs_a, regs_b)
+        b.po(carry)
+        b.po(b.parity_tree(out))
+    return b.finish()
+
+
+def hierarchical_netlist(
+    config: HierarchicalConfig, seed: int, name: str | None = None
+) -> Netlist:
+    """Generate one large, validated, block-composed sequential netlist.
+
+    Members are built independently (tiles from the structured palette,
+    clouds from :func:`random_sequential_netlist`'s vectorized path) and
+    composed with forward-only stitches, so the result is acyclic across
+    members by construction and seed-deterministic.
+    """
+    from repro.circuit.compose import Stitch, stitched_union
+
+    rng = np.random.default_rng(seed)
+    members: list[Netlist] = []
+    for t in range(config.n_tiles):
+        kind = int(rng.integers(0, 5))
+        members.append(_build_tile(kind, config.tile_scale, f"{t}"))
+    for c in range(config.n_clouds):
+        sub_seed = int(rng.integers(0, 2**31))
+        members.append(
+            random_sequential_netlist(
+                GeneratorConfig(
+                    n_pis=config.cloud_pis,
+                    n_dffs=config.cloud_dffs,
+                    n_gates=config.cloud_gates,
+                    max_fanin=config.max_fanin,
+                    n_pos=max(2, config.cloud_pis // 4),
+                    method="vectorized",
+                ),
+                seed=sub_seed,
+                name=f"cloud{c}",
+            )
+        )
+    # Interleave tiles and clouds so stitches cross both kinds.
+    order = rng.permutation(len(members))
+    members = [members[int(i)] for i in order]
+
+    stitches: list[Stitch] = []
+    for k in range(1, len(members)):
+        pis = members[k].pis
+        n_stitch = int(config.stitch_fraction * len(pis))
+        if n_stitch == 0:
+            continue
+        chosen = rng.choice(len(pis), size=n_stitch, replace=False)
+        for idx in np.sort(chosen):
+            src = int(rng.integers(0, k))
+            src_node = int(rng.integers(0, len(members[src])))
+            stitches.append(
+                Stitch(src=src, src_node=src_node, dst=k, pi=pis[int(idx)])
+            )
+    mapping = stitched_union(
+        members, stitches, name=name or f"hier_s{seed}"
+    )
+    return mapping.union

@@ -11,10 +11,13 @@ per-cycle reference loop — cold-path labelling got ~2x (fault-free) to
 written by either engine hit for both.
 
 * **fan-out** — labelling jobs are distributed over a
-  ``concurrent.futures.ProcessPoolExecutor``; each worker receives raw
-  :class:`~repro.circuit.netlist.Netlist`\\ s (cheap to pickle), compiles
-  them locally and returns plain label arrays, so no simulator state or
-  graph object ever crosses the process boundary.  Uncached jobs are
+  ``concurrent.futures.ProcessPoolExecutor``.  Each *unique* netlist is
+  pickled **once** into the pool's initializer payload and registered in
+  the workers under its content fingerprint; the per-task job args carry
+  only fingerprints, workloads and configs.  A 100k-node design labelled
+  under 32 workloads therefore crosses the process boundary one time,
+  not 32.  Workers compile locally and return plain label arrays, so no
+  simulator state or graph object ever crosses back.  Uncached jobs are
   grouped into **packed sweeps** (:mod:`repro.sim.pack`) of up to
   ``pack_size`` circuits per pool task, amortizing per-level dispatch
   across the batch without moving a label bit;
@@ -33,6 +36,7 @@ netlists) per sample — opt back in where a consumer genuinely needs them
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
@@ -100,6 +104,67 @@ def _packed_fault_job(
     args: tuple[list[Netlist], list[Workload], SimConfig, FaultConfig]
 ) -> list[dict[str, np.ndarray]]:
     nls, workloads, sim_config, fault_config = args
+    results = simulate_with_faults_packed(
+        nls, workloads, sim_config, fault_config
+    )
+    return [_fault_labels(r) for r in results]
+
+
+#: Worker-side netlist registry, filled by the pool initializer before any
+#: job runs: ``{fingerprint: netlist}``.  Pool tasks reference circuits by
+#: fingerprint, so one netlist crosses the process boundary exactly once
+#: per pool no matter how many (workload, config) jobs reuse it.
+_WORKER_NETLISTS: dict[str, Netlist] = {}
+
+
+def _init_worker_netlists(payload: bytes) -> None:
+    """Pool initializer: install this pool's netlists in the worker."""
+    _WORKER_NETLISTS.clear()
+    _WORKER_NETLISTS.update(pickle.loads(payload))
+
+
+def _netlist_payload(circuits: list[Netlist], fps: list[str]) -> bytes:
+    """Pickle the unique ``{fingerprint: netlist}`` map shipped per pool."""
+    return pickle.dumps(dict(zip(fps, circuits)), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _registered(fp: str) -> Netlist:
+    try:
+        return _WORKER_NETLISTS[fp]
+    except KeyError:
+        raise RuntimeError(
+            f"netlist {fp[:12]} not registered in this worker — fingerprint "
+            "jobs only run in pools started with _init_worker_netlists"
+        ) from None
+
+
+def _sim_job_fp(args: tuple[str, Workload, SimConfig]) -> dict[str, np.ndarray]:
+    fp, workload, sim_config = args
+    return _sim_labels(simulate(_registered(fp), workload, sim_config))
+
+
+def _fault_job_fp(
+    args: tuple[str, Workload, SimConfig, FaultConfig]
+) -> dict[str, np.ndarray]:
+    fp, workload, sim_config, fault_config = args
+    return _fault_labels(
+        simulate_with_faults(_registered(fp), workload, sim_config, fault_config)
+    )
+
+
+def _packed_sim_job_fp(
+    args: tuple[list[str], list[Workload], SimConfig]
+) -> list[dict[str, np.ndarray]]:
+    fps, workloads, sim_config = args
+    nls = [_registered(fp) for fp in fps]
+    return [_sim_labels(r) for r in simulate_packed(nls, workloads, sim_config)]
+
+
+def _packed_fault_job_fp(
+    args: tuple[list[str], list[Workload], SimConfig, FaultConfig]
+) -> list[dict[str, np.ndarray]]:
+    fps, workloads, sim_config, fault_config = args
+    nls = [_registered(fp) for fp in fps]
     results = simulate_with_faults_packed(
         nls, workloads, sim_config, fault_config
     )
@@ -335,13 +400,16 @@ class DataFactory:
         the rest fan out to the process pool (or run serially), grouped
         into packed sweeps of up to ``pack_size`` circuits per pool task
         (group size shrinks below ``pack_size`` when that keeps more
-        workers busy).  Result order always matches the input order, and
-        duplicate digests within one call are simulated once.  Neither
-        packing nor scheduling ever touches label values.
+        workers busy).  Pooled runs ship each unique netlist once via the
+        pool initializer and reference it by fingerprint in the job args.
+        Result order always matches the input order, and duplicate
+        digests within one call are simulated once.  Neither packing nor
+        scheduling ever touches label values.
         """
+        fps = [nl.fingerprint() for nl in circuits]
         keys = [
-            label_key(kind, nl.fingerprint(), wl, sim_config, fault_config)
-            for nl, wl in zip(circuits, workloads)
+            label_key(kind, fp, wl, sim_config, fault_config)
+            for fp, wl in zip(fps, workloads)
         ]
         results: dict[str, dict[str, np.ndarray]] = {}
         pending: list[int] = []
@@ -369,21 +437,25 @@ class DataFactory:
                 else (sim_config, fault_config)
             )
             if pack > 1:
-                job = _packed_sim_job if kind == "sim" else _packed_fault_job
                 groups = [
                     pending[j : j + pack]
                     for j in range(0, len(pending), pack)
                 ]
-                args = [
-                    (
-                        [circuits[i] for i in grp],
-                        [workloads[i] for i in grp],
-                    )
-                    + cfg_tail
-                    for grp in groups
-                ]
                 workers = min(workers, len(groups))
                 if workers > 1:
+                    job = (
+                        _packed_sim_job_fp
+                        if kind == "sim"
+                        else _packed_fault_job_fp
+                    )
+                    args = [
+                        (
+                            [fps[i] for i in grp],
+                            [workloads[i] for i in grp],
+                        )
+                        + cfg_tail
+                        for grp in groups
+                    ]
                     chunk = max(
                         self.config.min_chunk,
                         len(groups) // (4 * workers) or 1,
@@ -391,17 +463,28 @@ class DataFactory:
                     with ProcessPoolExecutor(
                         max_workers=workers,
                         mp_context=resolve_mp_context(self.config.mp_start_method),
+                        initializer=_init_worker_netlists,
+                        initargs=(self._pending_payload(circuits, fps, pending),),
                     ) as pool:
                         grouped = list(pool.map(job, args, chunksize=chunk))
                 else:
+                    job = _packed_sim_job if kind == "sim" else _packed_fault_job
+                    args = [
+                        (
+                            [circuits[i] for i in grp],
+                            [workloads[i] for i in grp],
+                        )
+                        + cfg_tail
+                        for grp in groups
+                    ]
                     grouped = [job(a) for a in args]
                 fresh = [labels for batch in grouped for labels in batch]
             else:
-                job = _sim_job if kind == "sim" else _fault_job
-                args = [
-                    (circuits[i], workloads[i]) + cfg_tail for i in pending
-                ]
                 if workers > 1:
+                    job = _sim_job_fp if kind == "sim" else _fault_job_fp
+                    args = [
+                        (fps[i], workloads[i]) + cfg_tail for i in pending
+                    ]
                     chunk = max(
                         self.config.min_chunk,
                         len(pending) // (4 * workers) or 1,
@@ -409,14 +492,30 @@ class DataFactory:
                     with ProcessPoolExecutor(
                         max_workers=workers,
                         mp_context=resolve_mp_context(self.config.mp_start_method),
+                        initializer=_init_worker_netlists,
+                        initargs=(self._pending_payload(circuits, fps, pending),),
                     ) as pool:
                         fresh = list(pool.map(job, args, chunksize=chunk))
                 else:
+                    job = _sim_job if kind == "sim" else _fault_job
+                    args = [
+                        (circuits[i], workloads[i]) + cfg_tail for i in pending
+                    ]
                     fresh = [job(a) for a in args]
             for i, labels in zip(pending, fresh):
                 results[keys[i]] = labels
                 self.cache.put(keys[i], labels)
         return [results[key] for key in keys]
+
+    @staticmethod
+    def _pending_payload(
+        circuits: list[Netlist], fps: list[str], pending: list[int]
+    ) -> bytes:
+        """One pickle of the unique netlists the pool's workers will need."""
+        uniq: dict[str, Netlist] = {}
+        for i in pending:
+            uniq.setdefault(fps[i], circuits[i])
+        return _netlist_payload(list(uniq.values()), list(uniq.keys()))
 
     @property
     def stats(self):

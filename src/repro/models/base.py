@@ -209,6 +209,7 @@ class RecurrentDagGnn(Module):
         *,
         plan: GraphPlan | None = None,
         h0: Tensor | None = None,
+        budget=None,
     ) -> Tensor:
         """Run the full T-iteration propagation; returns final (N, d) states.
 
@@ -219,6 +220,9 @@ class RecurrentDagGnn(Module):
             h0: initial hidden-state override — the batched runtime passes
                 the concatenation of per-member initial states here, and
                 the sweep runs in ``h0``'s dtype (features follow).
+            budget: optional :class:`~repro.memory.MemoryBudget`; when the
+                materialized per-level feature rows exceed its plan bytes
+                the sweep streams them lazily (bitwise-identical values).
         """
         if plan is None:
             plan = plan_for(graph)
@@ -229,7 +233,9 @@ class RecurrentDagGnn(Module):
         else:
             h = h0 if isinstance(h0, Tensor) else Tensor(h0)
         fwd_batches, rev_batches = plan.schedule(custom=self.use_custom_batches)
-        fwd_rows, rev_rows = plan.feature_rows(self.use_custom_batches, h.data.dtype)
+        fwd_rows, rev_rows = plan.feature_rows(
+            self.use_custom_batches, h.data.dtype, budget=budget
+        )
         inplace = not is_grad_enabled()
         for _ in range(self.config.iterations):
             h = self._run_pass(h, fwd_rows, fwd_batches, self.forward_agg, self.forward_gru)
@@ -249,9 +255,10 @@ class RecurrentDagGnn(Module):
         *,
         plan: GraphPlan | None = None,
         h0: Tensor | None = None,
+        budget=None,
     ) -> tuple[Tensor, Tensor]:
         """Differentiable forward: returns (pred_tr (N,2), pred_lg (N,1))."""
-        h = self.embed(graph, workload, plan=plan, h0=h0)
+        h = self.embed(graph, workload, plan=plan, h0=h0, budget=budget)
         return self.head_tr(h), self.head_lg(h)
 
     def predict(

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.circuit.graph import CircuitGraph
 from repro.circuit.netlist import Netlist
+from repro.memory import MemoryBudget
 from repro.models.base import Prediction, RecurrentDagGnn
 from repro.nn.module import Module, parameter_version
 from repro.nn.tensor import Tensor, no_grad
@@ -156,8 +157,14 @@ def predict_one(
     workload,
     dtype=np.float64,
     plan: GraphPlan | None = None,
+    budget: MemoryBudget | None = None,
 ) -> Prediction:
-    """Inference on one circuit at ``dtype`` through the compiled plan."""
+    """Inference on one circuit at ``dtype`` through the compiled plan.
+
+    ``budget`` bounds the sweep's bookkeeping memory: when the plan's
+    materialized per-level feature rows exceed ``budget.plan_bytes`` the
+    propagation streams them lazily instead (bitwise-identical outputs).
+    """
     graph, plan = _resolve(circuit, plan)
     dt = np.dtype(dtype)
     with _model_lock(model), no_grad():
@@ -165,7 +172,7 @@ def predict_one(
         if h0.data.dtype != dt:
             h0 = Tensor(h0.data.astype(dt))
         with _shadow_context(model, dt):
-            pred_tr, pred_lg = model.forward(graph, plan=plan, h0=h0)
+            pred_tr, pred_lg = model.forward(graph, plan=plan, h0=h0, budget=budget)
     return Prediction(tr=pred_tr.data.copy(), lg=pred_lg.data[:, 0].copy())
 
 
@@ -175,11 +182,14 @@ def predict_packed(
     workloads: Sequence,
     dtype=np.float64,
     packed: PackedPlan | None = None,
+    budget: MemoryBudget | None = None,
 ) -> list[Prediction]:
     """Run K circuits as one packed sweep; returns per-member predictions.
 
     Each member keeps the initial hidden state it would get standalone, so
     float64 results are bit-identical to sequential ``predict`` calls.
+    ``budget`` streams the union plan's feature rows when they exceed its
+    plan bytes (values unchanged).
     """
     if len(graphs) != len(workloads):
         raise ValueError(
@@ -201,6 +211,7 @@ def predict_packed(
                 packed.plan.graph,
                 plan=packed.plan,
                 h0=Tensor(h0),
+                budget=budget,
             )
     out: list[Prediction] = []
     for member in range(packed.num_members):
@@ -216,6 +227,7 @@ def run_packed_isolated(
     graphs: Sequence[CircuitGraph],
     workloads: Sequence,
     dtype=np.float64,
+    budget: MemoryBudget | None = None,
 ) -> list[Prediction | Exception]:
     """Packed inference with per-member failure isolation.
 
@@ -226,12 +238,16 @@ def run_packed_isolated(
     (:mod:`repro.serve.server`) resolve their handles through this.
     """
     try:
-        return list(predict_packed(model, graphs, workloads, dtype=dtype))
+        return list(
+            predict_packed(model, graphs, workloads, dtype=dtype, budget=budget)
+        )
     except Exception:
         out: list[Prediction | Exception] = []
         for graph, wl in zip(graphs, workloads):
             try:
-                out.append(predict_packed(model, [graph], [wl], dtype=dtype)[0])
+                out.append(
+                    predict_packed(model, [graph], [wl], dtype=dtype, budget=budget)[0]
+                )
             except Exception as exc:
                 out.append(exc)
         return out
@@ -288,6 +304,14 @@ class BatchedPredictor:
             long — the micro-batching latency bound.  ``None`` (default)
             keeps the legacy behaviour: flush only on a full queue,
             explicit :meth:`flush`, or ``handle.result()``.
+        memory_budget: optional :class:`~repro.memory.MemoryBudget`.  Its
+            ``plan_bytes`` bounds each flushed pack: members are admitted
+            while the sum of their plans' materialized feature-row bytes
+            (:meth:`GraphPlan.resident_bytes`) stays within the budget
+            (always at least one member — per-circuit state is
+            irreducible), and the packed sweep itself streams its feature
+            rows under the same budget.  Results are unchanged; only pack
+            shape and resident memory move.
 
     Example::
 
@@ -310,6 +334,7 @@ class BatchedPredictor:
         dtype=np.float32,
         max_pending: int = 64,
         max_latency_ms: float | None = None,
+        memory_budget: MemoryBudget | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -322,6 +347,7 @@ class BatchedPredictor:
         self.dtype = np.dtype(dtype)
         self.max_pending = int(max_pending)
         self.max_latency_ms = max_latency_ms
+        self.memory_budget = memory_budget
         self._queue: deque[
             tuple[CircuitGraph, object, PendingPrediction, float]
         ] = deque()
@@ -390,21 +416,39 @@ class BatchedPredictor:
                     continue
             self.flush()
 
+    def _member_bytes(self, graph: CircuitGraph) -> int:
+        """One member's feature-row footprint inside a packed sweep."""
+        return plan_for(graph).resident_bytes(
+            self.model.use_custom_batches, self.dtype
+        )
+
     def flush(self) -> int:
-        """Drain the queue in packs of ``batch_size``; returns circuits run."""
+        """Drain the queue in packs of ``batch_size``; returns circuits run.
+
+        With a ``memory_budget``, packs close early once the next member
+        would push the summed feature-row bytes past ``plan_bytes`` — but
+        never below one member.
+        """
+        budget = self.memory_budget
+        cap = budget.plan_bytes if budget is not None else None
         flushed = 0
         while True:
             with self._lock:
                 if not self._queue:
                     break
-                chunk = [
-                    self._queue.popleft()
-                    for _ in range(min(self.batch_size, len(self._queue)))
-                ]
+                chunk: list[tuple[CircuitGraph, object, PendingPrediction, float]] = []
+                total = 0
+                while self._queue and len(chunk) < self.batch_size:
+                    if cap is not None:
+                        need = self._member_bytes(self._queue[0][0])
+                        if chunk and total + need > cap:
+                            break
+                        total += need
+                    chunk.append(self._queue.popleft())
             graphs = [graph for graph, _, _, _ in chunk]
             workloads = [wl for _, wl, _, _ in chunk]
             results = run_packed_isolated(
-                self.model, graphs, workloads, dtype=self.dtype
+                self.model, graphs, workloads, dtype=self.dtype, budget=budget
             )
             for (_, _, handle, _), res in zip(chunk, results):
                 if isinstance(res, Exception):

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.circuit.netlist import Netlist
+from repro.memory import MemoryBudget
 from repro.sim.bitvec import popcount, popcount_int64
 from repro.sim.logicsim import (
     CompiledCircuit,
@@ -214,6 +215,8 @@ def simulate_with_faults(
     replay_seed: int | None = None,
     engine: str = "block",
     block_cycles: int | None = None,
+    budget: "MemoryBudget | None" = None,
+    max_partition_nodes: int | None = None,
 ) -> FaultSimResult:
     """Run golden and faulty simulations in lockstep; collect error stats.
 
@@ -224,14 +227,29 @@ def simulate_with_faults(
 
     ``engine="block"`` (default) runs both machines block-stepped with
     per-block statistics; ``"cycle"`` is the original per-cycle loop kept
-    as the pinned reference.  Stimulus draws, episode resets and fault
-    injector draws happen in identical generator order under both engines
+    as the pinned reference; ``"partitioned"`` runs both machines through
+    the partition-and-stitch engine of :mod:`repro.sim.partition` with
+    pre-drawn per-cycle masks.  Stimulus draws, episode resets and fault
+    injector draws happen in identical generator order under all engines
     (the injector only draws inside faulty steps, whose cycle order is
     unchanged), so results are float64-bitwise-identical and cached fault
-    labels keep their digests.
+    labels keep their digests.  ``budget`` bounds plan buffers
+    (:class:`~repro.memory.MemoryBudget`) without affecting results.
     """
     sim_config = sim_config or SimConfig()
     fault_config = fault_config or FaultConfig()
+    if engine == "partitioned":
+        from repro.sim.partition import simulate_with_faults_partitioned
+
+        return simulate_with_faults_partitioned(
+            circuit,
+            workload,
+            sim_config,
+            fault_config,
+            replay_seed=replay_seed,
+            budget=budget,
+            max_partition_nodes=max_partition_nodes,
+        )
     compiled = (
         circuit if isinstance(circuit, CompiledCircuit) else compile_netlist(circuit)
     )
@@ -259,6 +277,7 @@ def simulate_with_faults(
             fault_config,
             stats,
             block_cycles,
+            budget,
         )
     else:
         raise ValueError(f"unknown engine {engine!r}")
@@ -313,6 +332,7 @@ def _run_faults_block(
     fault_config: FaultConfig,
     stats: _FaultStats,
     block_cycles: int | None,
+    budget: "MemoryBudget | None" = None,
 ) -> None:
     """Block-stepped lockstep: two plans, shared stimulus blocks.
 
@@ -324,8 +344,8 @@ def _run_faults_block(
     summation is arithmetically identical to per-cycle summation.
     """
     compiled = golden.compiled
-    plan_g = SimPlan(compiled, golden.words, block_cycles)
-    plan_f = SimPlan(compiled, golden.words, block_cycles)
+    plan_g = SimPlan(compiled, golden.words, block_cycles, budget=budget)
+    plan_f = SimPlan(compiled, golden.words, block_cycles, budget=budget)
     po_ids = stats.po_ids
     streams = golden.streams
     cycle = 0

@@ -45,6 +45,7 @@ import numpy as np
 from repro.circuit.gates import GateType, eval_gate, eval_gate_into
 from repro.circuit.levelize import levelize
 from repro.circuit.netlist import Netlist
+from repro.memory import MemoryBudget
 from repro.sim.bitvec import popcount, popcount_int64, words_for
 from repro.sim.workload import PatternSource, Workload
 
@@ -167,6 +168,15 @@ class SimPlan:
 
     ``block_cycles`` is clamped so the history stays under
     ``max_block_bytes`` regardless of netlist size.
+
+    A :class:`~repro.memory.MemoryBudget` tightens both bounds further:
+    ``history_bytes`` caps the history window's depth (windows are flushed
+    to observers every block, so statistics and tracing survive any depth
+    down to one cycle), and when the dedicated per-op buffers would exceed
+    ``plan_bytes`` the plan switches to **streamed** mode — one shared
+    arena, each evaluation group chunked over its gates so the resident
+    gather/output buffers never exceed the arena.  Either way execution
+    stays bitwise-identical to the unbudgeted plan.
     """
 
     def __init__(
@@ -175,36 +185,66 @@ class SimPlan:
         words: int,
         block_cycles: int | None = None,
         max_block_bytes: int = MAX_BLOCK_BYTES,
+        budget: MemoryBudget | None = None,
     ) -> None:
         if block_cycles is not None and block_cycles < 1:
             raise ValueError("block_cycles must be >= 1")
         self.compiled = compiled
         self.words = words
+        self.budget = budget
         bytes_per_cycle = max(1, compiled.num_nodes * words * 8)
         cap = max(1, max_block_bytes // bytes_per_cycle)
         want = DEFAULT_BLOCK_CYCLES if block_cycles is None else block_cycles
         self.block_cycles = max(1, min(want, cap))
+        if budget is not None:
+            self.block_cycles = budget.cap_count(
+                bytes_per_cycle, self.block_cycles
+            )
         self.history = np.empty(
             (self.block_cycles, compiled.num_nodes, words), dtype=np.uint64
         )
         self.state_buf = np.empty(
             (compiled.dff_ids.size, words), dtype=np.uint64
         )
+        full_bytes = sum(
+            (op.fanins.shape[0] + 1) * op.fanins.shape[1] * words * 8
+            for op in compiled.ops
+        )
+        self.streamed = budget is not None and not budget.allows_plan(full_bytes)
         # Per-op entry: (gate_type, nodes, flat fanin ids, gather view,
         # stacked input view, output buffer).  The gather view is the
         # stacked buffer reshaped flat so one np.take fills every fanin row.
         self.entries: list[tuple] = []
+        #: Streamed entry: (gate_type, nodes, 2-d fanins, chunk gates).
+        self.stream_entries: list[tuple] = []
+        self.arena: np.ndarray | None = None
         const_rows: list[np.ndarray] = []
         const_fill: list[np.ndarray] = []
+        if self.streamed:
+            # One gate of the widest group must fit, whatever the budget.
+            max_need = max(
+                (op.fanins.shape[0] + 1) * words * 8 for op in compiled.ops
+            )
+            arena_bytes = max(budget.plan_bytes, max_need)
+            self.arena = np.empty(arena_bytes // 8, dtype=np.uint64)
+            for op in compiled.ops:
+                arity, m = op.fanins.shape
+                chunk = max(1, arena_bytes // ((arity + 1) * words * 8))
+                self.stream_entries.append(
+                    (op.gate_type, op.nodes, op.fanins, min(chunk, m))
+                )
+        else:
+            for op in compiled.ops:
+                arity, m = op.fanins.shape
+                in_buf = np.empty((arity, m, words), dtype=np.uint64)
+                out = np.empty((m, words), dtype=np.uint64)
+                flat = np.ascontiguousarray(op.fanins.reshape(arity * m))
+                gather = in_buf.reshape(arity * m, words)
+                self.entries.append(
+                    (op.gate_type, op.nodes, flat, gather, in_buf, out)
+                )
         for op in compiled.ops:
             arity, m = op.fanins.shape
-            in_buf = np.empty((arity, m, words), dtype=np.uint64)
-            out = np.empty((m, words), dtype=np.uint64)
-            flat = np.ascontiguousarray(op.fanins.reshape(arity * m))
-            gather = in_buf.reshape(arity * m, words)
-            self.entries.append(
-                (op.gate_type, op.nodes, flat, gather, in_buf, out)
-            )
             if arity == 0:
                 const_rows.append(op.nodes)
                 fill = (
@@ -231,6 +271,61 @@ class SimPlan:
         """Write the constant gates' fixed outputs into a value array."""
         if self._const_nodes.size:
             values[self._const_nodes] = self._const_vals
+
+    def resident_bytes(self) -> int:
+        """Bytes of bookkeeping buffers this plan keeps resident.
+
+        History window + DFF staging + either the dedicated per-op
+        gather/output buffers or the shared streamed arena.  Excludes the
+        irreducible ``(num_nodes, words)`` value array the simulator owns.
+        """
+        total = self.history.nbytes + self.state_buf.nbytes
+        if self.streamed:
+            total += self.arena.nbytes
+        else:
+            total += sum(e[4].nbytes + e[5].nbytes for e in self.entries)
+        return total
+
+
+def _run_ops_streamed(
+    vals: np.ndarray,
+    stream_entries: list[tuple],
+    arena: np.ndarray,
+    words: int,
+    cycle: int,
+    fault_hook: FaultHook | None,
+) -> None:
+    """Evaluate one cycle's groups through a shared bounded arena.
+
+    Each group is chunked over its gates; gather, evaluate and scatter
+    run per chunk through views carved out of ``arena``.  Within a level
+    no gate reads another's output, so chunking cannot change any bit.
+    The fault hook is still called exactly once per (cycle, group) with
+    the *full* node list — identical RNG consumption to the dedicated
+    path — and its mask is sliced per chunk.
+    """
+    for gate_type, nodes, fanins, chunk in stream_entries:
+        arity, m = fanins.shape
+        if fault_hook is not None:
+            mask = fault_hook(cycle, nodes)
+        elif arity == 0:
+            continue  # constants were scattered once before the loop
+        for lo in range(0, m, chunk):
+            hi = min(m, lo + chunk)
+            mm = hi - lo
+            in_buf = arena[: arity * mm * words].reshape(arity, mm, words)
+            out = arena[
+                arity * mm * words : (arity + 1) * mm * words
+            ].reshape(mm, words)
+            if arity:
+                flat = np.ascontiguousarray(
+                    fanins[:, lo:hi]
+                ).reshape(arity * mm)
+                vals.take(flat, 0, in_buf.reshape(arity * mm, words), "clip")
+            eval_gate_into(gate_type, in_buf, out)
+            if fault_hook is not None:
+                np.bitwise_xor(out, mask[lo:hi], out=out)
+            vals[nodes[lo:hi]] = out
 
 
 class Simulator:
@@ -360,6 +455,26 @@ class Simulator:
         state_buf = plan.state_buf
         has_pis = pi_ids.size > 0
         has_dffs = dff_ids.size > 0
+        if plan.streamed:
+            if fault_hook is None:
+                plan.scatter_consts(vals)
+            for b in range(len(pi_block)):
+                if has_pis:
+                    vals[pi_ids] = pi_block[b]
+                _run_ops_streamed(
+                    vals,
+                    plan.stream_entries,
+                    plan.arena,
+                    self.words,
+                    start_cycle + b,
+                    fault_hook,
+                )
+                if history is not None:
+                    history[b] = vals
+                if has_dffs:
+                    vals.take(dff_src, 0, state_buf, "clip")
+                    vals[dff_ids] = state_buf
+            return vals
         if fault_hook is None:
             plan.scatter_consts(vals)
             entries = plan.dyn_entries
@@ -394,6 +509,8 @@ class Simulator:
         fault_hook: FaultHook | None = None,
         plan: SimPlan | None = None,
         block_cycles: int | None = None,
+        budget: MemoryBudget | None = None,
+        observers: "list | None" = None,
         start_cycle: int = 0,
     ) -> "ActivityCounter | None":
         """Block-stepped execution of ``warmup + cycles`` clock cycles.
@@ -404,18 +521,25 @@ class Simulator:
         so bitstreams match the per-cycle engine bit-for-bit — or a
         precompiled ``(warmup + cycles, num_pis, words)`` stimulus array
         (testbench programs).  Observed cycles (the ones past ``warmup``)
-        are accumulated into ``counter`` whole blocks at a time.  The
-        caller owns :meth:`reset`; passing an explicit ``plan`` amortizes
-        buffer construction across runs.  Returns ``counter``.
+        are accumulated into ``counter`` whole blocks at a time, as is
+        every extra ``observers`` entry (anything with an
+        ``observe_block(history)`` method — e.g. a
+        :class:`~repro.sim.vcd.VcdTracer`), so value histories reach
+        observers even when a :class:`~repro.memory.MemoryBudget` shrinks
+        the window to a spill buffer of a few cycles.  The caller owns
+        :meth:`reset`; passing an explicit ``plan`` amortizes buffer
+        construction across runs.  Returns ``counter``.
         """
         if cycles < 0 or warmup < 0:
             raise ValueError("cycles and warmup must be >= 0")
-        if plan is not None and block_cycles is not None:
+        if plan is not None and (block_cycles is not None or budget is not None):
             raise ValueError(
-                "pass either a prebuilt plan or block_cycles, not both "
-                "(a plan's history depth is fixed at construction)"
+                "pass either a prebuilt plan or block_cycles/budget, not "
+                "both (a plan's buffers are fixed at construction)"
             )
-        plan = plan or SimPlan(self.compiled, self.words, block_cycles)
+        plan = plan or SimPlan(
+            self.compiled, self.words, block_cycles, budget=budget
+        )
         from_source = hasattr(source, "next_block")
         total = warmup + cycles
         if not from_source:
@@ -433,8 +557,9 @@ class Simulator:
             )
             lo = max(warmup - done, 0)
             # Skip the per-cycle history copy when nothing observes it
-            # (no counter, or the block lies entirely inside warmup).
-            observing = counter is not None and lo < b
+            # (no counter/observers, or the block lies entirely in warmup).
+            has_sinks = counter is not None or observers
+            observing = has_sinks and lo < b
             hist = plan.history[:b] if observing else None
             self.run_block(
                 block,
@@ -444,7 +569,10 @@ class Simulator:
                 start_cycle=start_cycle + done,
             )
             if observing:
-                counter.observe_block(hist[lo:])
+                if counter is not None:
+                    counter.observe_block(hist[lo:])
+                for obs in observers or ():
+                    obs.observe_block(hist[lo:])
             done += b
         return counter
 
@@ -571,6 +699,8 @@ def simulate(
     replay_seed: int | None = None,
     engine: str = "block",
     block_cycles: int | None = None,
+    budget: MemoryBudget | None = None,
+    max_partition_nodes: int | None = None,
 ) -> SimResult:
     """Run a workload and collect per-node activity statistics.
 
@@ -584,13 +714,29 @@ def simulate(
     ``engine`` selects the execution strategy, never the result:
     ``"block"`` (default) runs the block-stepped :meth:`Simulator.run`
     path, ``"cycle"`` the original per-cycle loop kept as the pinned
-    reference.  The two are float64-bitwise-identical (golden-hash and
-    differential tests enforce it), so the engine choice is deliberately
-    excluded from label-cache digests.  ``block_cycles`` tunes the block
-    engine's history depth (default :data:`DEFAULT_BLOCK_CYCLES`, capped
-    by a flat memory bound) without affecting results.
+    reference, ``"partitioned"`` the partition-and-stitch engine of
+    :mod:`repro.sim.partition` (the netlist cut into fanin-closed level
+    bands sized by ``max_partition_nodes``, compiled independently and
+    stitched through a shared value array).  All engines are
+    float64-bitwise-identical (golden-hash and differential tests enforce
+    it), so the engine choice is deliberately excluded from label-cache
+    digests.  ``block_cycles`` tunes the block engine's history depth
+    (default :data:`DEFAULT_BLOCK_CYCLES`, capped by a flat memory bound)
+    and ``budget`` bounds the plan's resident buffers
+    (:class:`~repro.memory.MemoryBudget`), neither affecting results.
     """
     config = config or SimConfig()
+    if engine == "partitioned":
+        from repro.sim.partition import simulate_partitioned
+
+        return simulate_partitioned(
+            circuit,
+            workload,
+            config,
+            replay_seed=replay_seed,
+            budget=budget,
+            max_partition_nodes=max_partition_nodes,
+        )
     sim = Simulator(circuit, streams=config.streams)
     compiled = sim.compiled
     rng = np.random.default_rng(config.seed)
@@ -604,6 +750,7 @@ def simulate(
             counter,
             warmup=config.warmup,
             block_cycles=block_cycles,
+            budget=budget,
         )
     elif engine == "cycle":
         total = config.warmup + config.cycles

@@ -1,0 +1,365 @@
+"""Partition-and-stitch simulation for memory-bounded large designs.
+
+When even one level's evaluation buffers blow past a
+:class:`~repro.memory.MemoryBudget`, streaming inside a monolithic
+:class:`~repro.sim.logicsim.SimPlan` is not enough — the plan's index
+arrays and the packed-history window still scale with the whole netlist.
+This engine goes one step further: the netlist is cut into fanin-closed
+bands of contiguous logic levels (:func:`repro.circuit.extract.partition_by_levels`),
+each band is compiled *independently* as its own small netlist, and bands
+execute in level order against one shared parent-indexed value array —
+imports gathered in, settled gate values stitched back out.
+
+Because uint64 gate evaluation is exact and within a level no gate reads
+another's output, executing the same gates in the same level order through
+any partitioning yields float64-bitwise-identical results to the
+monolithic engines (the golden-hash and differential tests enforce this).
+
+The fault path keeps the bitwise contract too: flip masks are pre-drawn
+once per cycle by iterating the *monolithic* compiled op list in its
+canonical order — exactly the draw sequence of the per-cycle reference
+engine — and bands then look their slices up by parent node id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.extract import LevelPartition, partition_by_levels
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.memory import MemoryBudget
+from repro.sim.bitvec import popcount, words_for
+from repro.sim.logicsim import (
+    ActivityCounter,
+    CompiledCircuit,
+    SimConfig,
+    SimResult,
+    _run_ops_streamed,
+    compile_netlist,
+)
+from repro.sim.workload import PatternSource, Workload
+
+__all__ = [
+    "DEFAULT_PARTITION_NODES",
+    "PartitionedSimulator",
+    "simulate_partitioned",
+    "simulate_with_faults_partitioned",
+]
+
+#: Band size (combinational gates) when neither a budget nor an explicit
+#: ``max_partition_nodes`` pins one down.
+DEFAULT_PARTITION_NODES = 4096
+
+
+class PartitionedSimulator:
+    """Bit-parallel simulator executing fanin-closed level bands in order.
+
+    Mirrors :class:`~repro.sim.logicsim.Simulator`'s per-cycle semantics
+    (reset / step / latch, identical random-DFF initialization draws) while
+    only ever holding one band's evaluation buffers resident: each band's
+    groups run through a shared arena sized by ``budget.plan_bytes``.
+    """
+
+    def __init__(
+        self,
+        circuit: Netlist | CompiledCircuit,
+        streams: int = 64,
+        *,
+        max_partition_nodes: int | None = None,
+        budget: MemoryBudget | None = None,
+    ) -> None:
+        nl = circuit.netlist if isinstance(circuit, CompiledCircuit) else circuit
+        if nl is None:
+            raise ValueError("partitioned simulation needs a netlist")
+        self.netlist = nl
+        self.words = words_for(streams)
+        self.streams = self.words * 64
+        self.budget = budget
+        if max_partition_nodes is None:
+            if budget is not None and budget.plan_bytes is not None:
+                # One band's gather+output footprint ~ 4 rows per gate.
+                max_partition_nodes = max(
+                    1, budget.plan_bytes // (self.words * 8 * 4)
+                )
+            else:
+                max_partition_nodes = DEFAULT_PARTITION_NODES
+        self.parts: list[LevelPartition] = partition_by_levels(
+            nl, max_partition_nodes
+        )
+        self._compiled_parts = [compile_netlist(p.netlist) for p in self.parts]
+        self._sub_vals = [
+            np.zeros((len(p.netlist), self.words), dtype=np.uint64)
+            for p in self.parts
+        ]
+        self._imports = [
+            p.parent_of[: len(p.netlist.pis)] for p in self.parts
+        ]
+        self._exports = [p.parent_of[p.comb_ids] for p in self.parts]
+
+        all_ops = [op for cp in self._compiled_parts for op in cp.ops]
+        max_need = max(
+            ((op.fanins.shape[0] + 1) * self.words * 8 for op in all_ops),
+            default=self.words * 8,
+        )
+        if budget is not None and budget.plan_bytes is not None:
+            arena_bytes = max(budget.plan_bytes, max_need)
+        else:
+            arena_bytes = max(
+                (
+                    (op.fanins.shape[0] + 1)
+                    * op.fanins.shape[1]
+                    * self.words
+                    * 8
+                    for op in all_ops
+                ),
+                default=self.words * 8,
+            )
+        self.arena = np.empty(arena_bytes // 8, dtype=np.uint64)
+        self._entries: list[list[tuple]] = []
+        for cp in self._compiled_parts:
+            entries = []
+            for op in cp.ops:
+                arity, m = op.fanins.shape
+                chunk = max(1, arena_bytes // ((arity + 1) * self.words * 8))
+                entries.append((op.gate_type, op.nodes, op.fanins, min(chunk, m)))
+            self._entries.append(entries)
+
+        self.pi_ids = np.asarray(nl.pis, dtype=np.int64)
+        self.dff_ids = np.asarray(nl.dffs, dtype=np.int64)
+        self.dff_src = np.asarray(
+            [nl.fanins(int(d))[0] for d in self.dff_ids], dtype=np.int64
+        )
+        self.values = np.zeros((len(nl), self.words), dtype=np.uint64)
+        self._pending_state: np.ndarray | None = None
+
+        # Constant gates, per part and globally (the hook-free streamed
+        # loop skips arity-0 groups, so their outputs are scattered once).
+        self._const_scatter: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for part, cp, sub_vals in zip(
+            self.parts, self._compiled_parts, self._sub_vals
+        ):
+            for op in cp.ops:
+                if op.fanins.shape[0] == 0:
+                    fill = (
+                        np.uint64(0xFFFFFFFFFFFFFFFF)
+                        if op.gate_type is GateType.CONST1
+                        else np.uint64(0)
+                    )
+                    vals = np.full(
+                        (op.nodes.size, self.words), fill, dtype=np.uint64
+                    )
+                    self._const_scatter.append(
+                        (sub_vals, op.nodes, vals)
+                    )
+                    self.values[part.parent_of[op.nodes]] = vals
+
+    def resident_bytes(self) -> int:
+        """Bookkeeping bytes resident at once: arena + sub value arrays."""
+        return self.arena.nbytes + sum(v.nbytes for v in self._sub_vals)
+
+    def reset(
+        self,
+        init_state: str = "zero",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Reset node values; draw-identical to ``Simulator.reset``."""
+        self.values[:] = 0
+        self._pending_state = None
+        if init_state == "random":
+            rng = rng or np.random.default_rng(0)
+            dffs = self.dff_ids
+            self.values[dffs] = rng.integers(
+                0, 2**64, size=(dffs.size, self.words), dtype=np.uint64
+            )
+        elif init_state != "zero":
+            raise ValueError(f"unknown init_state {init_state!r}")
+        for sub_vals, nodes, vals in self._const_scatter:
+            sub_vals[nodes] = vals
+        for part, cp in zip(self.parts, self._compiled_parts):
+            for op in cp.ops:
+                if op.fanins.shape[0] == 0:
+                    self.values[part.parent_of[op.nodes]] = (
+                        np.uint64(0xFFFFFFFFFFFFFFFF)
+                        if op.gate_type is GateType.CONST1
+                        else np.uint64(0)
+                    )
+
+    def step(
+        self,
+        pi_words: np.ndarray,
+        cycle: int = 0,
+        mask_global: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Advance one clock cycle; returns the settled global values.
+
+        ``mask_global`` is a pre-drawn ``(num_nodes, words)`` flip mask
+        (see :func:`simulate_with_faults_partitioned`); bands xor the rows
+        of their own gates, reproducing the monolithic fault semantics.
+        """
+        vals = self.values
+        pi_words = np.asarray(pi_words, dtype=np.uint64).reshape(
+            self.pi_ids.size, self.words
+        )
+        if self.pi_ids.size:
+            vals[self.pi_ids] = pi_words
+        for part, sub_vals, entries, imports, exports in zip(
+            self.parts, self._sub_vals, self._entries, self._imports, self._exports
+        ):
+            if imports.size:
+                sub_vals[: imports.size] = vals[imports]
+            hook = None
+            if mask_global is not None:
+                parent_of = part.parent_of
+
+                def hook(c, nodes, _p=parent_of):
+                    return mask_global[_p[nodes]]
+
+            _run_ops_streamed(
+                sub_vals, entries, self.arena, self.words, cycle, hook
+            )
+            vals[exports] = sub_vals[part.comb_ids]
+        self._pending_state = vals[self.dff_src].copy()
+        return vals
+
+    def latch(self) -> None:
+        """Commit the pending DFF next-state (end of the clock cycle)."""
+        if self._pending_state is None:
+            raise RuntimeError("latch() without a preceding step()")
+        self.values[self.dff_ids] = self._pending_state
+
+
+def simulate_partitioned(
+    circuit: Netlist | CompiledCircuit,
+    workload: Workload,
+    config: SimConfig | None = None,
+    *,
+    replay_seed: int | None = None,
+    budget: MemoryBudget | None = None,
+    max_partition_nodes: int | None = None,
+) -> SimResult:
+    """Partition-and-stitch twin of :func:`repro.sim.logicsim.simulate`.
+
+    Same stimulus draws (one :class:`PatternSource` consuming cycle by
+    cycle), same DFF-init draws, same integer statistics accumulation —
+    the result is float64-bitwise-identical to the monolithic engines.
+    """
+    config = config or SimConfig()
+    sim = PartitionedSimulator(
+        circuit,
+        streams=config.streams,
+        budget=budget,
+        max_partition_nodes=max_partition_nodes,
+    )
+    rng = np.random.default_rng(config.seed)
+    sim.reset(config.init_state, rng)
+    source = PatternSource(workload, streams=config.streams, seed=replay_seed)
+    counter = ActivityCounter(len(sim.netlist), sim.words)
+    total = config.warmup + config.cycles
+    for cycle in range(total):
+        values = sim.step(source.next_cycle(), cycle)
+        if cycle >= config.warmup:
+            counter.observe(values)
+        sim.latch()
+    samples = counter.cycles * sim.streams
+    pair_samples = max(counter.pairs, 1) * sim.streams
+    return SimResult(
+        logic_prob=counter.ones / samples,
+        tr01_prob=counter.tr01 / pair_samples,
+        tr10_prob=counter.tr10 / pair_samples,
+        cycles=counter.cycles,
+        streams=sim.streams,
+        netlist=sim.netlist,
+    )
+
+
+def simulate_with_faults_partitioned(
+    circuit: Netlist | CompiledCircuit,
+    workload: Workload,
+    sim_config: SimConfig | None = None,
+    fault_config=None,
+    *,
+    replay_seed: int | None = None,
+    budget: MemoryBudget | None = None,
+    max_partition_nodes: int | None = None,
+):
+    """Partition-and-stitch twin of the lockstep fault reference engine.
+
+    The injector draws once per (cycle, monolithic op group) in the
+    canonical compiled order — golden steps never draw, matching
+    ``_run_faults_cycle`` — into a global mask that bands index by parent
+    id, so per-node error statistics carry the reference bits exactly.
+    """
+    from repro.sim.faults import (
+        FaultConfig,
+        _episode_schedule,
+        _FaultInjector,
+        _FaultStats,
+    )
+
+    sim_config = sim_config or SimConfig()
+    fault_config = fault_config or FaultConfig()
+    compiled = (
+        circuit
+        if isinstance(circuit, CompiledCircuit)
+        else compile_netlist(circuit)
+    )
+    golden = PartitionedSimulator(
+        compiled,
+        streams=sim_config.streams,
+        budget=budget,
+        max_partition_nodes=max_partition_nodes,
+    )
+    faulty = PartitionedSimulator(
+        compiled,
+        streams=sim_config.streams,
+        budget=budget,
+        max_partition_nodes=max_partition_nodes,
+    )
+    injector = _FaultInjector(
+        fault_config.effective_cycle_rate,
+        golden.words,
+        np.random.default_rng(fault_config.seed),
+        batch_draws=False,
+    )
+    source = PatternSource(
+        workload, streams=sim_config.streams, seed=replay_seed
+    )
+    stats = _FaultStats(compiled)
+    op_nodes = [op.nodes for op in compiled.ops]
+    num_nodes = compiled.num_nodes
+    po_ids = stats.po_ids
+    mask = np.zeros((num_nodes, golden.words), dtype=np.uint64)
+    cycle = 0
+    for episode, observe in enumerate(
+        _episode_schedule(sim_config, fault_config)
+    ):
+        golden.reset(
+            sim_config.init_state,
+            np.random.default_rng(sim_config.seed + episode),
+        )
+        faulty.reset(
+            sim_config.init_state,
+            np.random.default_rng(sim_config.seed + episode),
+        )
+        for k in range(sim_config.warmup + observe):
+            pi_words = source.next_cycle()
+            gv = golden.step(pi_words, cycle)
+            for nodes in op_nodes:
+                mask[nodes] = injector.mask(cycle, nodes)
+            fv = faulty.step(pi_words, cycle, mask_global=mask)
+            cycle += 1
+            if k >= sim_config.warmup:
+                zeros = ~gv
+                stats.obs0 += popcount(zeros, axis=1).astype(np.int64)
+                stats.obs1 += popcount(gv, axis=1).astype(np.int64)
+                stats.e01 += popcount(zeros & fv, axis=1).astype(np.int64)
+                stats.e10 += popcount(gv & ~fv, axis=1).astype(np.int64)
+                if po_ids.size:
+                    mismatch = gv[po_ids] ^ fv[po_ids]
+                    any_bad = np.bitwise_or.reduce(mismatch, axis=0)
+                    stats.po_total += golden.streams
+                    stats.po_ok += golden.streams - int(popcount(any_bad))
+            golden.latch()
+            faulty.latch()
+    return stats.result(compiled)

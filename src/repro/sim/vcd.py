@@ -72,6 +72,17 @@ class VcdTracer:
         lane = (values[self.nodes, word] >> np.uint64(bit)) & np.uint64(1)
         self._history.append(lane.astype(np.uint8))
 
+    def observe_block(self, history: np.ndarray) -> None:
+        """Record a ``(block, N, words)`` run of consecutive cycles.
+
+        The block-engine observer hook: spilled history windows land here
+        one flush at a time, so a full waveform survives simulations whose
+        :class:`~repro.memory.MemoryBudget` shrinks the resident history
+        window to a few cycles.  Equivalent to :meth:`observe` per cycle.
+        """
+        for b in range(history.shape[0]):
+            self.observe(history[b])
+
     @property
     def cycles(self) -> int:
         return len(self._history)
@@ -130,8 +141,16 @@ def trace_simulation(
     cycles: int,
     nodes: list[int] | None = None,
     seed: int = 0,
+    engine: str = "cycle",
+    budget=None,
 ) -> VcdTracer:
-    """Convenience: simulate ``cycles`` cycles and return a filled tracer."""
+    """Convenience: simulate ``cycles`` cycles and return a filled tracer.
+
+    ``engine="cycle"`` (default) steps per cycle; ``"block"`` runs the
+    block engine with the tracer attached as a history observer — under a
+    :class:`~repro.memory.MemoryBudget` the window spills to the tracer
+    every flush, producing the identical waveform.
+    """
     from repro.sim.logicsim import Simulator
     from repro.sim.workload import PatternSource
 
@@ -139,8 +158,13 @@ def trace_simulation(
     sim.reset()
     source = PatternSource(workload, streams=64, seed=seed)
     tracer = VcdTracer(netlist, nodes=nodes)
-    for cycle in range(cycles):
-        values = sim.step(source.next_cycle(), cycle)
-        tracer.observe(values)
-        sim.latch()
+    if engine == "block":
+        sim.run(cycles, source, observers=[tracer], budget=budget)
+    elif engine == "cycle":
+        for cycle in range(cycles):
+            values = sim.step(source.next_cycle(), cycle)
+            tracer.observe(values)
+            sim.latch()
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
     return tracer

@@ -105,3 +105,88 @@ class TestRoundTrip:
         again = parse_bench_file(path)
         assert again.name == "s27"
         assert len(again) == len(nl)
+
+
+class TestNameValidation:
+    """write_bench must refuse names that cannot survive the trip."""
+
+    @pytest.mark.parametrize(
+        "bad", ["a b", "a\tb", "n(1", "n)1", "n,1", "n#1", "n=1", ""]
+    )
+    def test_unserializable_name_rejected(self, bad):
+        from repro.circuit.netlist import Netlist
+
+        nl = Netlist("t")
+        a = nl.add_pi("a")
+        node = nl.add_gate(GateType.NOT, [a], "ok")
+        nl.add_po(node)
+        # No public rename: force the bad name through the node table, the
+        # way a buggy importer or hand-built netlist would.
+        nl._nodes[node].name = bad
+        with pytest.raises(NetlistError, match="serialized"):
+            write_bench(nl)
+
+    def test_clean_names_accepted(self):
+        from repro.circuit.netlist import Netlist
+
+        nl = Netlist("t")
+        a = nl.add_pi("in_1.a[0]")
+        nl.add_po(nl.add_gate(GateType.BUF, [a], "out-1$x"))
+        assert "in_1.a[0]" in write_bench(nl)
+
+
+class TestHypothesisRoundTrip:
+    """parse_bench(write_bench(nl)) is structurally the identity."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    def _random_netlist(seed: int, n_dffs: int, with_consts: bool):
+        from repro.circuit.netlist import Netlist
+
+        nl = random_sequential_netlist(
+            GeneratorConfig(
+                n_pis=4,
+                n_dffs=n_dffs,
+                n_gates=30,
+                gate_mix={
+                    GateType.AND: 0.3,
+                    GateType.NOT: 0.2,
+                    GateType.XOR: 0.2,
+                    GateType.MUX: 0.2,
+                    GateType.OR: 0.1,
+                },
+                n_pos=3,
+            ),
+            seed=seed,
+        )
+        if with_consts:
+            k0 = nl.add_gate(GateType.CONST0, [], "konst0")
+            k1 = nl.add_gate(GateType.CONST1, [], "konst1")
+            nl.add_po(nl.add_gate(GateType.OR, [k0, k1], "kor"))
+            nl.validate()
+        return nl
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_dffs=st.integers(min_value=0, max_value=6),
+        with_consts=st.booleans(),
+    )
+    def test_structural_identity(self, seed, n_dffs, with_consts):
+        nl = self._random_netlist(seed, n_dffs, with_consts)
+        again = parse_bench(write_bench(nl))
+        assert len(again) == len(nl)
+        assert len(again.pis) == len(nl.pis)
+        assert len(again.dffs) == len(nl.dffs)
+        assert [again.node_name(p) for p in again.pos] == [
+            nl.node_name(p) for p in nl.pos
+        ]
+        for node in nl.nodes():
+            name = nl.node_name(node)
+            other = again.node_by_name(name)
+            assert again.gate_type(other) is nl.gate_type(node)
+            assert [again.node_name(f) for f in again.fanins(other)] == [
+                nl.node_name(f) for f in nl.fanins(node)
+            ]

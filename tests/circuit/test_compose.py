@@ -85,3 +85,56 @@ class TestDisjointUnion:
         union_max = levelize(m.union).max_level
         member_max = max(levelize(nl).max_level for nl in nls)
         assert union_max == member_max
+
+
+class TestStitchedUnion:
+    def test_stitched_pis_become_bufs(self):
+        from repro.circuit.compose import Stitch, stitched_union
+        from repro.circuit.gates import GateType
+
+        ms = members()
+        st = Stitch(src=0, src_node=0, dst=1, pi=0)
+        mapping = stitched_union(ms, [st])
+        union = mapping.union
+        stitched_node = mapping.offsets[1] + ms[1].pis[0]
+        assert union.gate_type(stitched_node) is GateType.BUF
+        assert union.fanins(stitched_node) == (mapping.offsets[0] + 0,)
+        assert union.validate() is None
+
+    def test_backward_stitch_rejected(self):
+        from repro.circuit.compose import Stitch, stitched_union
+        from repro.circuit.netlist import NetlistError
+
+        with pytest.raises((ValueError, NetlistError)):
+            stitched_union(members(), [Stitch(src=1, src_node=0, dst=0, pi=0)])
+
+    def test_duplicate_target_rejected(self):
+        from repro.circuit.compose import Stitch, stitched_union
+        from repro.circuit.netlist import NetlistError
+
+        sts = [
+            Stitch(src=0, src_node=0, dst=1, pi=0),
+            Stitch(src=0, src_node=1, dst=1, pi=0),
+        ]
+        with pytest.raises((ValueError, NetlistError)):
+            stitched_union(members(), sts)
+
+    def test_non_pi_target_rejected(self):
+        from repro.circuit.compose import Stitch, stitched_union
+        from repro.circuit.netlist import NetlistError
+
+        ms = members()
+        not_a_pi = next(
+            n for n in ms[1].nodes() if n not in ms[1].pis
+        )
+        with pytest.raises((ValueError, NetlistError)):
+            stitched_union(ms, [Stitch(src=0, src_node=0, dst=1, pi=not_a_pi)])
+
+    def test_unstitched_behaviour_matches_disjoint(self):
+        from repro.circuit.compose import stitched_union
+
+        ms = members()
+        assert (
+            stitched_union(ms, []).union.fingerprint()
+            == disjoint_union(ms).union.fingerprint()
+        )

@@ -94,3 +94,94 @@ class TestGeneration:
         )
         nl.validate()
         assert len(nl) == 3 + n_dffs + n_gates
+
+
+class TestVectorizedGenerator:
+    """The vectorized fanin-drawing path must mirror the loop path's
+    contract (valid netlists, deterministic) and, below the auto
+    threshold, must not disturb historical seeds at all."""
+
+    SMALL = GeneratorConfig(n_pis=6, n_dffs=4, n_gates=80, n_pos=3)
+
+    def test_method_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="method"):
+            GeneratorConfig(method="turbo")
+
+    def test_auto_keeps_historical_small_seeds(self):
+        from dataclasses import replace
+
+        for seed in (0, 7, 123):
+            auto = random_sequential_netlist(self.SMALL, seed=seed)
+            loop = random_sequential_netlist(
+                replace(self.SMALL, method="loop"), seed=seed
+            )
+            assert auto.fingerprint() == loop.fingerprint()
+
+    def test_vectorized_deterministic(self):
+        from dataclasses import replace
+
+        cfg = replace(self.SMALL, method="vectorized")
+        a = random_sequential_netlist(cfg, seed=9)
+        b = random_sequential_netlist(cfg, seed=9)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_vectorized_validates_at_scale(self):
+        from dataclasses import replace
+
+        cfg = replace(
+            self.SMALL, n_gates=20_000, n_dffs=200, n_pis=64, method="vectorized"
+        )
+        nl = random_sequential_netlist(cfg, seed=3)
+        assert nl.validate() is None
+        assert len(nl) == 64 + 200 + 20_000
+
+    def test_vectorized_no_duplicate_fanins(self):
+        from dataclasses import replace
+
+        cfg = replace(self.SMALL, n_gates=5000, method="vectorized")
+        nl = random_sequential_netlist(cfg, seed=11)
+        for node in nl.nodes():
+            fanins = nl.fanins(node)
+            if len(fanins) > 1:
+                assert len(set(fanins)) == len(fanins)
+
+
+class TestHierarchicalGenerator:
+    def test_deterministic(self):
+        from repro.circuit.generate import HierarchicalConfig, hierarchical_netlist
+
+        cfg = HierarchicalConfig(n_tiles=3, n_clouds=2, cloud_gates=600)
+        a = hierarchical_netlist(cfg, seed=5)
+        b = hierarchical_netlist(cfg, seed=5)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.validate() is None
+
+    def test_size_scales_with_cloud_gates(self):
+        from repro.circuit.generate import HierarchicalConfig, hierarchical_netlist
+
+        small = hierarchical_netlist(
+            HierarchicalConfig(n_tiles=2, n_clouds=2, cloud_gates=300), seed=1
+        )
+        big = hierarchical_netlist(
+            HierarchicalConfig(n_tiles=2, n_clouds=2, cloud_gates=3000), seed=1
+        )
+        assert len(big) > len(small) * 3
+
+    def test_config_validated(self):
+        import pytest
+
+        from repro.circuit.generate import HierarchicalConfig
+
+        with pytest.raises(ValueError):
+            HierarchicalConfig(n_tiles=0, n_clouds=0)
+        with pytest.raises(ValueError):
+            HierarchicalConfig(stitch_fraction=1.5)
+
+    def test_default_config_reaches_10k_nodes(self):
+        from repro.circuit.generate import HierarchicalConfig, hierarchical_netlist
+
+        nl = hierarchical_netlist(HierarchicalConfig(), seed=0)
+        assert len(nl) >= 10_000
+        assert nl.validate() is None

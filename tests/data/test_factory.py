@@ -290,3 +290,69 @@ class TestDefaultFactory:
             assert get_factory() is custom
         finally:
             set_factory(None)
+
+
+class TestFingerprintShipping:
+    """Pooled builds ship netlists to workers once, by fingerprint.
+
+    Each unique netlist is pickled a single time into the pool
+    initializer payload; jobs then carry only the fingerprint string.
+    The shipping mechanics must be invisible in the results.
+    """
+
+    def test_pooled_unpacked_build_matches_reference(self, circuits, reference):
+        built = DataFactory(FactoryConfig(workers=2, pack_size=1)).build(
+            circuits, SIM, seed=0
+        )
+        for a, b in zip(reference, built):
+            assert_bitwise(a, b)
+
+    def test_pooled_packed_simulate_many_matches_direct(self, circuits):
+        workloads = [random_workload(nl, 70 + i) for i, nl in enumerate(circuits)]
+        factory = DataFactory(FactoryConfig(workers=2, pack_size=2))
+        got = factory.simulate_many(list(circuits), workloads, SIM)
+        for nl, wl, g in zip(circuits, workloads, got):
+            ref = simulate(nl, wl, SIM)
+            assert np.array_equal(ref.logic_prob, g.logic_prob)
+            assert np.array_equal(ref.tr01_prob, g.tr01_prob)
+            assert np.array_equal(ref.tr10_prob, g.tr10_prob)
+
+    def test_pooled_faults_match_direct(self, circuits):
+        workloads = [random_workload(nl, 80 + i) for i, nl in enumerate(circuits)]
+        factory = DataFactory(FactoryConfig(workers=2, pack_size=1))
+        got = factory.simulate_faults_many(list(circuits), workloads, SIM, FAULT)
+        for nl, wl, g in zip(circuits, workloads, got):
+            ref = simulate_with_faults(nl, wl, SIM, FAULT)
+            assert np.array_equal(ref.err01, g.err01)
+            assert np.array_equal(ref.err10, g.err10)
+            assert ref.reliability == g.reliability
+
+    def test_payload_dedups_duplicate_netlists(self, circuits):
+        import pickle
+
+        nl = circuits[0]
+        batch = [nl, nl, circuits[1], nl]
+        fps = [c.fingerprint() for c in batch]
+        payload = DataFactory._pending_payload(batch, fps, range(len(batch)))
+        shipped = pickle.loads(payload)
+        assert set(shipped) == {circuits[0].fingerprint(), circuits[1].fingerprint()}
+        assert len(shipped) == 2, "duplicate netlists pickled once"
+
+    def test_pooled_build_with_duplicates_matches_serial(self, circuits):
+        nl = circuits[0]
+        batch = [nl, nl, circuits[1]]
+        wls = [random_workload(c, 90 + i) for i, c in enumerate(batch)]
+        serial = DataFactory(FactoryConfig(workers=0)).build(
+            batch, SIM, workloads=wls
+        )
+        pooled = DataFactory(FactoryConfig(workers=2)).build(
+            batch, SIM, workloads=wls
+        )
+        for a, b in zip(serial, pooled):
+            assert_bitwise(a, b)
+
+    def test_unregistered_fingerprint_is_a_hard_error(self):
+        from repro.data.factory import _registered
+
+        with pytest.raises(RuntimeError, match="fingerprint"):
+            _registered("no-such-fp")

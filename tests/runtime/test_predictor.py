@@ -354,3 +354,71 @@ class TestDeadlineFlushAndShutdown:
         with pytest.raises(RuntimeError, match="closed"):
             predictor.submit(graph, wl)
         predictor.close()  # idempotent
+
+
+class TestMemoryBudget:
+    """Budgets move pack shape and resident rows, never output bits."""
+
+    def test_predict_one_budget_bitwise(self):
+        from repro.memory import MemoryBudget
+
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        graph, wl = make_pair(seed=31)
+        ref = predict_one(model, graph, wl)
+        got = predict_one(model, graph, wl, budget=MemoryBudget(plan_bytes=64))
+        np.testing.assert_array_equal(ref.tr, got.tr)
+        np.testing.assert_array_equal(ref.lg, got.lg)
+
+    def test_predict_packed_budget_bitwise(self):
+        from repro.memory import MemoryBudget
+
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        pairs = [make_pair(seed=s) for s in (41, 42, 43)]
+        graphs = [g for g, _ in pairs]
+        wls = [w for _, w in pairs]
+        ref = predict_packed(model, graphs, wls)
+        got = predict_packed(
+            model, graphs, wls, budget=MemoryBudget(plan_bytes=64)
+        )
+        for a, b in zip(ref, got):
+            np.testing.assert_array_equal(a.tr, b.tr)
+            np.testing.assert_array_equal(a.lg, b.lg)
+
+    def test_batched_predictor_budget_splits_packs_bitwise(self):
+        from repro.memory import MemoryBudget
+        from repro.runtime.plan import plan_for
+
+        model = DeepSeq(ModelConfig(hidden=16, iterations=2, seed=0))
+        pairs = [make_pair(seed=s) for s in (51, 52, 53, 54)]
+        graphs = [g for g, _ in pairs]
+        wls = [w for _, w in pairs]
+        with BatchedPredictor(model, batch_size=4, dtype=np.float64) as ref_pred:
+            ref = ref_pred.predict_many(graphs, wls)
+        one = plan_for(graphs[0]).resident_bytes(
+            model.use_custom_batches, np.float64
+        )
+        tight = BatchedPredictor(
+            model,
+            batch_size=4,
+            dtype=np.float64,
+            memory_budget=MemoryBudget(plan_bytes=one + one // 2),
+        )
+        with tight:
+            got = tight.predict_many(graphs, wls)
+        assert tight.batches_flushed > 1  # the budget split the pack
+        for a, b in zip(ref, got):
+            np.testing.assert_array_equal(a.tr, b.tr)
+            np.testing.assert_array_equal(a.lg, b.lg)
+
+    def test_budgeted_pack_always_admits_one_member(self):
+        from repro.memory import MemoryBudget
+
+        model = DeepSeq(ModelConfig(hidden=16, iterations=1, seed=0))
+        graph, wl = make_pair(seed=61)
+        with BatchedPredictor(
+            model,
+            batch_size=2,
+            dtype=np.float64,
+            memory_budget=MemoryBudget(plan_bytes=1),
+        ) as predictor:
+            assert predictor.predict(graph, wl).tr.shape[0] == graph.num_nodes

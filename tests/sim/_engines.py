@@ -100,7 +100,11 @@ class BlockTraceHasher:
 
 
 def block_trace_hash(
-    circuit, workload, config: SimConfig, block_cycles: int | None = None
+    circuit,
+    workload,
+    config: SimConfig,
+    block_cycles: int | None = None,
+    budget=None,
 ) -> str:
     """SHA-256 over the block engine's settled value trace (all cycles)."""
     sim = Simulator(circuit, streams=config.streams)
@@ -112,6 +116,7 @@ def block_trace_hash(
         source,
         recorder,
         block_cycles=block_cycles,
+        budget=budget,
     )
     return recorder.hexdigest()
 

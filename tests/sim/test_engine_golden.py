@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro.data.cache import label_key
+from repro.memory import MemoryBudget
 from repro.sim.faults import FaultConfig, simulate_with_faults
 from repro.sim.logicsim import SimConfig, simulate
 
@@ -61,23 +62,65 @@ class TestValueTrace:
         nl, wl = zoo
         assert block_trace_hash(nl, wl, CFG, block_cycles) == TRACE
 
+    @pytest.mark.parametrize(
+        "budget",
+        [
+            MemoryBudget(history_bytes=8192),
+            MemoryBudget(plan_bytes=2048),
+            MemoryBudget(plan_bytes=2048, history_bytes=8192),
+        ],
+        ids=["history-capped", "streamed-plan", "both"],
+    )
+    def test_trace_independent_of_memory_budget(self, zoo, budget):
+        """Budgets shrink buffers, spill history — never move a bit."""
+        nl, wl = zoo
+        assert block_trace_hash(nl, wl, CFG, budget=budget) == TRACE
+
 
 class TestFinalStats:
     def test_netlist_fingerprint_pinned(self, zoo):
         nl, _ = zoo
         assert nl.fingerprint() == FINGERPRINT
 
-    @pytest.mark.parametrize("engine", ["cycle", "block"])
+    @pytest.mark.parametrize("engine", ["cycle", "block", "partitioned"])
     def test_sim_stats_pinned(self, zoo, engine):
         nl, wl = zoo
-        r = simulate(nl, wl, CFG, engine=engine)
+        kwargs = {"max_partition_nodes": 6} if engine == "partitioned" else {}
+        r = simulate(nl, wl, CFG, engine=engine, **kwargs)
         digest = stats_hash([r.logic_prob, r.tr01_prob, r.tr10_prob])
         assert digest == STATS_SIM
 
-    @pytest.mark.parametrize("engine", ["cycle", "block"])
+    def test_budgeted_block_stats_pinned(self, zoo):
+        nl, wl = zoo
+        r = simulate(
+            nl, wl, CFG, engine="block",
+            budget=MemoryBudget(plan_bytes=2048, history_bytes=8192),
+        )
+        digest = stats_hash([r.logic_prob, r.tr01_prob, r.tr10_prob])
+        assert digest == STATS_SIM
+
+    @pytest.mark.parametrize("engine", ["cycle", "block", "partitioned"])
     def test_fault_stats_pinned(self, zoo, engine):
         nl, wl = zoo
-        fr = simulate_with_faults(nl, wl, CFG, FAULT_CFG, engine=engine)
+        kwargs = {"max_partition_nodes": 6} if engine == "partitioned" else {}
+        fr = simulate_with_faults(nl, wl, CFG, FAULT_CFG, engine=engine, **kwargs)
+        digest = stats_hash(
+            [
+                fr.err01,
+                fr.err10,
+                fr.observed0,
+                fr.observed1,
+                np.float64(fr.reliability),
+            ]
+        )
+        assert digest == STATS_FAULT
+
+    def test_budgeted_block_fault_stats_pinned(self, zoo):
+        nl, wl = zoo
+        fr = simulate_with_faults(
+            nl, wl, CFG, FAULT_CFG, engine="block",
+            budget=MemoryBudget(plan_bytes=2048, history_bytes=8192),
+        )
         digest = stats_hash(
             [
                 fr.err01,

@@ -1,0 +1,161 @@
+"""Differential tests of the partition-and-stitch engine and memory budgets.
+
+The contract under test is absolute: budgets and partitioning change how
+much memory the execution keeps resident, never a single result bit.
+Every test here compares against the monolithic engines with
+``np.array_equal`` (exact float64 / uint64 equality), not tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.generate import GeneratorConfig, random_sequential_netlist
+from repro.memory import MemoryBudget
+from repro.sim.faults import FaultConfig, simulate_with_faults
+from repro.sim.logicsim import SimConfig, SimPlan, Simulator, compile_netlist, simulate
+from repro.sim.partition import (
+    DEFAULT_PARTITION_NODES,
+    PartitionedSimulator,
+    simulate_partitioned,
+)
+from repro.sim.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_sequential_netlist(
+        GeneratorConfig(n_pis=8, n_dffs=6, n_gates=300, n_pos=4), seed=21
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(np.full(8, 0.5), seed=17)
+
+
+CFG = SimConfig(cycles=48, streams=128, warmup=4, seed=3, init_state="random")
+
+
+def assert_same_sim(a, b):
+    assert np.array_equal(a.logic_prob, b.logic_prob)
+    assert np.array_equal(a.tr01_prob, b.tr01_prob)
+    assert np.array_equal(a.tr10_prob, b.tr10_prob)
+
+
+class TestMemoryBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(plan_bytes=0)
+        with pytest.raises(ValueError):
+            MemoryBudget(history_bytes=-1)
+        assert MemoryBudget.unlimited().allows_plan(1 << 60)
+
+    def test_cap_count_floors_at_one(self):
+        b = MemoryBudget(history_bytes=100)
+        assert b.cap_count(1000, want=64) == 1
+        assert b.cap_count(10, want=64) == 10
+        assert MemoryBudget().cap_count(10, want=64) == 64
+
+
+class TestStreamedSimPlan:
+    def test_streamed_plan_shrinks_resident_bytes(self, circuit):
+        compiled = compile_netlist(circuit)
+        words = 2
+        full = SimPlan(compiled, words)
+        tight = SimPlan(
+            compiled,
+            words,
+            budget=MemoryBudget(plan_bytes=4096, history_bytes=20_000),
+        )
+        assert tight.streamed
+        assert tight.resident_bytes() < full.resident_bytes()
+
+    def test_block_budget_bitwise(self, circuit, workload):
+        ref = simulate(circuit, workload, CFG, engine="block")
+        got = simulate(
+            circuit,
+            workload,
+            CFG,
+            engine="block",
+            budget=MemoryBudget(plan_bytes=4096, history_bytes=20_000),
+        )
+        assert_same_sim(ref, got)
+
+    def test_history_only_budget_bitwise(self, circuit, workload):
+        ref = simulate(circuit, workload, CFG, engine="cycle")
+        got = simulate(
+            circuit,
+            workload,
+            CFG,
+            engine="block",
+            budget=MemoryBudget(history_bytes=circuit.num_nodes * 2 * 8 * 2),
+        )
+        assert_same_sim(ref, got)
+
+
+class TestPartitionedEngine:
+    @pytest.mark.parametrize("max_nodes", [16, 64, 10_000])
+    def test_fault_free_bitwise(self, circuit, workload, max_nodes):
+        ref = simulate(circuit, workload, CFG, engine="cycle")
+        got = simulate(
+            circuit,
+            workload,
+            CFG,
+            engine="partitioned",
+            max_partition_nodes=max_nodes,
+        )
+        assert_same_sim(ref, got)
+
+    def test_budget_caps_partition_size(self):
+        big = random_sequential_netlist(
+            GeneratorConfig(n_pis=16, n_dffs=32, n_gates=4000, n_pos=8), seed=4
+        )
+        tight = PartitionedSimulator(
+            big, streams=64, budget=MemoryBudget(plan_bytes=8192)
+        )
+        free = PartitionedSimulator(big, streams=64)
+        assert len(tight.parts) > len(free.parts)
+        # The acceptance bar: partitioned execution keeps far less
+        # bookkeeping resident than the monolithic block plan's buffers.
+        mono = SimPlan(compile_netlist(big), tight.words)
+        assert tight.resident_bytes() < mono.resident_bytes()
+
+    def test_faults_bitwise_across_engines(self, circuit, workload):
+        fcfg = FaultConfig(fault_rate=0.01, episode_cycles=20, seed=5)
+        ref = simulate_with_faults(circuit, workload, CFG, fcfg, engine="cycle")
+        blk = simulate_with_faults(circuit, workload, CFG, fcfg, engine="block")
+        par = simulate_with_faults(
+            circuit, workload, CFG, fcfg, engine="partitioned",
+            max_partition_nodes=48,
+        )
+        for got in (blk, par):
+            assert np.array_equal(ref.err01, got.err01)
+            assert np.array_equal(ref.err10, got.err10)
+            assert np.array_equal(ref.observed0, got.observed0)
+            assert np.array_equal(ref.observed1, got.observed1)
+            assert ref.reliability == got.reliability
+
+    def test_replay_seed_honoured(self, circuit, workload):
+        a = simulate_partitioned(circuit, workload, CFG, replay_seed=99)
+        b = simulate(circuit, workload, CFG, engine="cycle", replay_seed=99)
+        assert_same_sim(a, b)
+
+    def test_combinational_only_netlist(self):
+        from repro.circuit.netlist import Netlist
+        from repro.circuit.gates import GateType
+
+        nl = Netlist("comb")
+        a = nl.add_pi("a")
+        b = nl.add_pi("b")
+        x = nl.add_gate(GateType.XOR, [a, b], "x")
+        nl.add_po(x)
+        nl.validate()
+        wl = Workload(np.array([0.5, 0.5]), seed=1)
+        cfg = SimConfig(cycles=32, streams=64)
+        assert_same_sim(
+            simulate(nl, wl, cfg, engine="cycle"),
+            simulate(nl, wl, cfg, engine="partitioned", max_partition_nodes=1),
+        )
+
+    def test_default_partition_constant(self):
+        assert DEFAULT_PARTITION_NODES >= 1
