@@ -1,0 +1,51 @@
+"""reprolint: AST-based invariant checks for this reproduction.
+
+Every speedup this repo ships rests on invariants the paper's
+result-equivalence claims depend on — all randomness flowing from
+``SeedSequence``/``spawn_seeds``, never-default-fork multiprocessing,
+lock-guarded shared state in the threaded serving/caching layers,
+``/dev/shm`` hygiene, and content-addressed label caches whose key inputs
+move in lock-step with ``CACHE_VERSION``.  Until this package existed
+those invariants lived in docstrings and were enforced by after-the-fact
+runtime tests; three of four recent PRs shipped bugfix sweeps for
+violations of exactly these rules.  reprolint makes them machine-checked
+at PR time.
+
+Usage::
+
+    python -m repro.lint src tests benchmarks
+    python -m repro.lint --format json --output report.json
+    python -m repro.lint --update-cache-manifest   # after a CACHE_VERSION bump
+
+Per-line suppression (same line or a comment line directly above)::
+
+    store[key] = value  # reprolint: disable=REP006 -- transient per-call dict
+
+Configuration lives in ``[tool.reprolint]`` of ``pyproject.toml`` (paths,
+per-rule enable/disable, baseline location) so the CLI and CI share one
+source of truth.  The committed baseline (``baseline.json``) is empty and
+must stay empty: fix new findings or suppress them with a reason.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.cli import main
+from repro.lint.config import LintConfig, load_config
+from repro.lint.core import Finding, LintResult, ModuleContext, Rule, run_lint
+from repro.lint.rules import all_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "load_baseline",
+    "load_config",
+    "main",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,74 @@
+"""Committed JSON baseline: known findings that do not fail the build.
+
+The baseline exists so the linter could have been introduced onto a dirty
+tree without blocking every PR; this repo's self-clean sweep landed an
+*empty* baseline, and the policy is to keep it empty — fix new findings
+or suppress them in-line with a reason.  Matching is by
+:meth:`repro.lint.core.Finding.key`, which excludes line numbers, so
+unrelated edits that shift code do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.core import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline", "partition"]
+
+_SCHEMA = "reprolint-baseline-v1"
+
+
+@dataclass
+class Baseline:
+    """The set (multiset, by finding key) of accepted findings."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def counter(self) -> Counter:
+        return Counter(f.key() for f in self.findings)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.is_file():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("schema") != _SCHEMA:
+        raise ValueError(f"unrecognized baseline schema in {path}")
+    return Baseline(
+        findings=[Finding.from_json(obj) for obj in data.get("findings", [])]
+    )
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": _SCHEMA,
+        "findings": [f.to_json() for f in sorted(findings, key=Finding.key)],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into (new, baselined) against ``baseline``.
+
+    Multiset semantics: a baseline entry absorbs at most one live
+    finding with the same key, so duplicated violations still surface.
+    """
+    budget = baseline.counter()
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

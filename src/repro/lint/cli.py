@@ -1,0 +1,156 @@
+"""Command line: ``python -m repro.lint [paths ...]``.
+
+Exit status: 0 when every finding is baselined (this repo's baseline is
+empty, so 0 means *clean*), 1 when new findings exist, 2 on usage or
+configuration errors.  ``--format json`` emits a machine-readable report
+(also written to ``--output`` for CI artifact upload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import load_baseline, partition, write_baseline
+from repro.lint.config import load_config
+from repro.lint.core import LintError, run_lint
+from repro.lint.rules import rule_table
+from repro.lint.rules.cachekey import update_manifest
+
+__all__ = ["main"]
+
+_JSON_SCHEMA = "reprolint-report-v1"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checks (determinism, mp-safety, "
+        "lock discipline, shm hygiene, cache-key drift, id()-keyed caches)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: [tool.reprolint] paths)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root holding pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the report (in the chosen format) to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file (default: [tool.reprolint] baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--update-cache-manifest",
+        action="store_true",
+        help="regenerate the REP005 cache-key manifest from the tree",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="REPxxx",
+        help="disable a rule (repeatable; adds to config disable list)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    return parser
+
+
+def _render_text(result, new, known) -> str:
+    lines = [f.render() for f in result.parse_errors + new]
+    lines.append(
+        f"reprolint: {result.files_checked} files, "
+        f"{len(new) + len(result.parse_errors)} new finding(s), "
+        f"{len(known)} baselined, {result.suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(result, new, known) -> str:
+    return json.dumps(
+        {
+            "schema": _JSON_SCHEMA,
+            "files_checked": result.files_checked,
+            "new": [f.to_json() for f in result.parse_errors + new],
+            "baselined": [f.to_json() for f in known],
+            "suppressed_count": result.suppressed,
+            "exit_code": 1 if (new or result.parse_errors) else 0,
+        },
+        indent=2,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in rule_table():
+            print(f"{rule_id}  {summary}")
+        return 0
+
+    try:
+        config = load_config(Path(args.root))
+        for rule_id in args.disable:
+            config.disable.append(rule_id.upper())
+
+        if args.update_cache_manifest:
+            path = update_manifest(config)
+            print(f"reprolint: wrote {path}")
+            return 0
+
+        result = run_lint(config, paths=args.paths or None)
+    except LintError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else config.baseline_path
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(
+            f"reprolint: wrote {len(result.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, known = partition(result.findings, baseline)
+
+    report = (
+        _render_json(result, new, known)
+        if args.fmt == "json"
+        else _render_text(result, new, known)
+    )
+    print(report)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        text = (
+            report
+            if args.fmt == "json"
+            else _render_json(result, new, known)
+        )
+        out.write_text(text + "\n", encoding="utf-8")
+    return 1 if (new or result.parse_errors) else 0

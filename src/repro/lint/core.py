@@ -1,0 +1,334 @@
+"""Engine: file walking, AST contexts, suppression handling, rule dispatch.
+
+The engine parses each file once into a :class:`ModuleContext` (AST with
+parent links, an import-alias table, source lines and per-line
+suppressions) and hands it to every enabled module-scoped rule.
+Project-scoped rules (REP005) run once against the tree root instead of
+per file.  Findings landing on a line that carries — or whose directly
+preceding comment line carries — ``# reprolint: disable=REPxxx`` (or
+``disable=all``) are counted but not reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.config import LintConfig
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "iter_source_files",
+    "run_lint",
+]
+
+#: Directories never descended into while collecting ``*.py`` files.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    ".venv",
+    "node_modules",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s+--|\s+—|$)")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+class LintError(Exception):
+    """Unrecoverable engine error (bad config, unreadable tree)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    rule: str
+    path: str  # posix-style, relative to the lint root
+    line: int
+    col: int
+    message: str
+
+    def key(self) -> str:
+        """Baseline identity: deliberately excludes the line number so
+        unrelated edits shifting code up or down do not churn the
+        baseline."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Finding":
+        return cls(
+            rule=str(obj["rule"]),
+            path=str(obj["path"]),
+            line=int(obj.get("line", 0)),
+            col=int(obj.get("col", 0)),
+            message=str(obj["message"]),
+        )
+
+
+class ModuleContext:
+    """Everything a module-scoped rule needs about one parsed file."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._reprolint_parent = node  # type: ignore[attr-defined]
+        self.imports: dict[str, str] = {}
+        self.from_imports: dict[str, tuple[str, str]] = {}
+        self._collect_imports()
+        self.suppressions = self._collect_suppressions()
+
+    # ------------------------------------------------------------------
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+    def _collect_suppressions(self) -> dict[int, set[str]]:
+        table: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            rules = {
+                part.strip().upper()
+                for part in m.group(1).split(",")
+                if part.strip()
+            }
+            table[lineno] = rules
+        return table
+
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return getattr(node, "_reprolint_parent", None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted path of a name/attribute chain, or ``None``.
+
+        Import aliases are folded in, so ``np.random.default_rng``
+        resolves to ``numpy.random.default_rng`` and a
+        ``from x import y as z`` call site resolves to ``x.y``.
+        Non-static bases (calls, subscripts) resolve to ``None``.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.from_imports:
+                mod, orig = self.from_imports[node.id]
+                return f"{mod}.{orig}"
+            return self.imports.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        for lineno in (finding.line, finding.line - 1):
+            rules = self.suppressions.get(lineno)
+            if rules is None:
+                continue
+            if lineno != finding.line and not _COMMENT_ONLY_RE.match(
+                self.lines[lineno - 1]
+            ):
+                continue  # the directive above belongs to that line's code
+            if "ALL" in rules or finding.rule.upper() in rules:
+                return True
+        return False
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``rule_id``/``summary`` and implement either
+    :meth:`check_module` (runs per parsed file) or :meth:`check_project`
+    (runs once against the root — REP005's whole-tree digest check).
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    scope: str = "module"  # or "project"
+
+    def check_module(
+        self, ctx: ModuleContext, config: "LintConfig"
+    ) -> Iterable[Finding]:
+        return ()
+
+    def check_project(
+        self, config: "LintConfig", files: list[tuple[Path, str]]
+    ) -> Iterable[Finding]:
+        return ()
+
+    # ------------------------------------------------------------------
+    def options(self, config: "LintConfig") -> dict:
+        return config.rule_options.get(self.rule_id.lower(), {})
+
+    def path_matches(self, relpath: str, patterns: Iterable[str]) -> bool:
+        return any(fnmatch.fnmatch(relpath, pat) for pat in patterns)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding]
+    suppressed: int
+    files_checked: int
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return self.parse_errors + self.findings
+
+
+def iter_source_files(root: Path, paths: Iterable[str]) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``paths`` (relative to ``root``), sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        base = (root / raw) if not Path(raw).is_absolute() else Path(raw)
+        if base.is_file() and base.suffix == ".py":
+            candidates: Iterable[Path] = [base]
+        elif base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            raise LintError(f"lint path does not exist: {base}")
+        for path in candidates:
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield path
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    config: "LintConfig",
+    paths: Iterable[str] | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> LintResult:
+    """Run ``rules`` (default: all enabled by ``config``) over ``paths``."""
+    from repro.lint.rules import all_rules
+
+    active = [
+        r
+        for r in (rules if rules is not None else all_rules())
+        if r.rule_id.upper() not in {d.upper() for d in config.disable}
+    ]
+    module_rules = [r for r in active if r.scope == "module"]
+    project_rules = [r for r in active if r.scope == "project"]
+
+    findings: list[Finding] = []
+    parse_errors: list[Finding] = []
+    suppressed = 0
+    files: list[tuple[Path, str]] = []
+
+    for path in iter_source_files(config.root, paths or config.paths):
+        rel = _relpath(path, config.root)
+        if any(fnmatch.fnmatch(rel, pat) for pat in config.exclude):
+            continue
+        text = path.read_text(encoding="utf-8")
+        files.append((path, rel))
+        try:
+            ctx = ModuleContext(path, rel, text)
+        except SyntaxError as exc:
+            parse_errors.append(
+                Finding(
+                    rule="REP000",
+                    path=rel,
+                    line=int(exc.lineno or 0),
+                    col=int(exc.offset or 0),
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in module_rules:
+            for finding in rule.check_module(ctx, config):
+                if ctx.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+
+    for rule in project_rules:
+        for finding in rule.check_project(config, files):
+            # Project findings anchor to a real file line; honor the
+            # same per-line suppression syntax there.
+            target = config.root / finding.path
+            if target.is_file():
+                try:
+                    ctx = ModuleContext(
+                        target, finding.path, target.read_text(encoding="utf-8")
+                    )
+                except SyntaxError:
+                    ctx = None
+                if ctx is not None and ctx.is_suppressed(finding):
+                    suppressed += 1
+                    continue
+            findings.append(finding)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        files_checked=len(files),
+        parse_errors=parse_errors,
+    )

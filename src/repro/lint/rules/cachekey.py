@@ -1,0 +1,249 @@
+"""REP005: cache-key drift vs ``CACHE_VERSION``.
+
+The label cache stores arrays under a SHA-256 of
+``(CACHE_VERSION, kind, fingerprint, Workload, SimConfig[, FaultConfig])``.
+The docstring policy — "bump ``CACHE_VERSION`` when label semantics
+change" — is unenforceable by tests, because a stale cache entry is never
+*wrong in-process*; it is wrong across checkouts sharing a cache dir.
+This rule turns the policy into a hard check: the dataclass field sets of
+``SimConfig``/``FaultConfig``/``Workload`` and the body of ``label_key``
+are digested into a committed manifest
+(``src/repro/lint/cache_key_manifest.json``).  If the digest moves while
+``CACHE_VERSION`` does not, the build fails.  After a legitimate bump,
+``python -m repro.lint --update-cache-manifest`` regenerates the
+manifest.
+
+The digest is computed from the *AST* (docstrings stripped), so
+comments, formatting and docstring edits never trigger it — only real
+field/keying changes do.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.core import Finding, LintError, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.config import LintConfig
+
+__all__ = [
+    "CacheKeyDriftRule",
+    "compute_cache_key_state",
+    "load_manifest",
+    "update_manifest",
+]
+
+MANIFEST_SCHEMA = "reprolint-cache-key-manifest-v1"
+
+
+def _parse(path: Path) -> ast.Module:
+    if not path.is_file():
+        raise LintError(f"REP005 source file missing: {path}")
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def _find_class(tree: ast.Module, name: str, path: Path) -> ast.ClassDef:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    raise LintError(f"REP005: class {name} not found in {path}")
+
+
+def _strip_docstring(node: ast.AST) -> ast.AST:
+    node = copy.deepcopy(node)
+    body = getattr(node, "body", None)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        del body[0]
+    return node
+
+
+def _class_fields(cls: ast.ClassDef) -> list[dict]:
+    """Ordered dataclass fields: name, annotation and default (as AST
+    dumps, so formatting is irrelevant but real changes are not)."""
+    fields: list[dict] = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            fields.append(
+                {
+                    "name": stmt.target.id,
+                    "annotation": ast.dump(stmt.annotation),
+                    "default": (
+                        ast.dump(stmt.value) if stmt.value is not None else None
+                    ),
+                }
+            )
+    return fields
+
+
+def compute_cache_key_state(config: "LintConfig") -> dict:
+    """The current (digest, cache_version, inputs) of the tree.
+
+    ``inputs`` is a human-readable summary (field names per dataclass)
+    stored alongside the digest so manifest diffs in review show *what*
+    moved, not just that something did.
+    """
+    opts_dc = config.rule_option("REP005", "dataclasses", [])
+    cache_module = config.root / config.rule_option("REP005", "cache_module")
+    version_name = config.rule_option("REP005", "version_name", "CACHE_VERSION")
+    key_function = config.rule_option("REP005", "key_function", "label_key")
+
+    material: dict = {"dataclasses": {}, "key_function": None}
+    summary: dict = {"dataclasses": {}, "key_function": key_function}
+
+    for spec in opts_dc:
+        relpath, _, clsname = spec.partition("::")
+        if not clsname:
+            raise LintError(f"REP005 dataclass spec needs 'file::Class': {spec}")
+        tree = _parse(config.root / relpath)
+        cls = _find_class(tree, clsname, config.root / relpath)
+        fields = _class_fields(cls)
+        material["dataclasses"][clsname] = fields
+        summary["dataclasses"][clsname] = [f["name"] for f in fields]
+
+    tree = _parse(cache_module)
+    cache_version: str | None = None
+    version_line = 0
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == version_name:
+                    if isinstance(node.value, ast.Constant) and isinstance(
+                        node.value.value, str
+                    ):
+                        cache_version = node.value.value
+                        version_line = node.lineno
+        elif isinstance(node, ast.FunctionDef) and node.name == key_function:
+            material["key_function"] = ast.dump(_strip_docstring(node))
+    if cache_version is None:
+        raise LintError(
+            f"REP005: string constant {version_name} not found in {cache_module}"
+        )
+    if material["key_function"] is None:
+        raise LintError(
+            f"REP005: function {key_function} not found in {cache_module}"
+        )
+
+    digest = hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode()
+    ).hexdigest()
+    return {
+        "digest": digest,
+        "cache_version": cache_version,
+        "version_line": version_line,
+        "inputs": summary,
+    }
+
+
+def _manifest_path(config: "LintConfig") -> Path:
+    p = Path(config.rule_option("REP005", "manifest"))
+    return p if p.is_absolute() else config.root / p
+
+
+def load_manifest(config: "LintConfig") -> dict | None:
+    path = _manifest_path(config)
+    if not path.is_file():
+        return None
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("schema") != MANIFEST_SCHEMA:
+        raise LintError(f"unrecognized manifest schema in {path}")
+    return data
+
+
+def update_manifest(config: "LintConfig") -> Path:
+    """Regenerate the committed manifest from the current tree."""
+    state = compute_cache_key_state(config)
+    path = _manifest_path(config)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": MANIFEST_SCHEMA,
+        "cache_version": state["cache_version"],
+        "digest": state["digest"],
+        "inputs": state["inputs"],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+class CacheKeyDriftRule(Rule):
+    rule_id = "REP005"
+    summary = (
+        "label-cache key inputs (SimConfig/FaultConfig/Workload fields, "
+        "label_key body) may only change together with a CACHE_VERSION bump"
+    )
+    scope = "project"
+
+    def check_project(
+        self, config: "LintConfig", files: list[tuple[Path, str]]
+    ) -> Iterable[Finding]:
+        cache_rel = str(config.rule_option("REP005", "cache_module"))
+        try:
+            state = compute_cache_key_state(config)
+        except LintError as exc:
+            yield Finding(
+                rule=self.rule_id,
+                path=cache_rel,
+                line=0,
+                col=0,
+                message=str(exc),
+            )
+            return
+        manifest = load_manifest(config)
+        anchor = dict(
+            rule=self.rule_id,
+            path=cache_rel,
+            line=state["version_line"],
+            col=0,
+        )
+        if manifest is None:
+            yield Finding(
+                **anchor,
+                message=(
+                    "cache-key manifest missing; run `python -m repro.lint "
+                    "--update-cache-manifest` and commit the result"
+                ),
+            )
+            return
+        digest_moved = state["digest"] != manifest["digest"]
+        version_moved = state["cache_version"] != manifest["cache_version"]
+        if digest_moved and not version_moved:
+            yield Finding(
+                **anchor,
+                message=(
+                    "cache-key inputs changed (dataclass fields or "
+                    "label_key body) but CACHE_VERSION is still "
+                    f"'{state['cache_version']}': stale disk caches would "
+                    "be served as current labels. Bump CACHE_VERSION, then "
+                    "run `python -m repro.lint --update-cache-manifest`"
+                ),
+            )
+        elif digest_moved and version_moved:
+            yield Finding(
+                **anchor,
+                message=(
+                    "cache-key inputs and CACHE_VERSION both changed; "
+                    "regenerate the committed manifest with `python -m "
+                    "repro.lint --update-cache-manifest`"
+                ),
+            )
+        elif version_moved:
+            yield Finding(
+                **anchor,
+                message=(
+                    "CACHE_VERSION changed without any cache-key input "
+                    "change (or the manifest is stale); regenerate it with "
+                    "`python -m repro.lint --update-cache-manifest`"
+                ),
+            )

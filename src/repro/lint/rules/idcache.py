@@ -1,0 +1,146 @@
+"""REP006: ``id()``-keyed caches — the pre-PR-1 bug class.
+
+The seed repo cached per-model batch plans in a dict keyed by
+``id(model)``: CPython recycles addresses after garbage collection, so a
+dead model's plan could be served to a freshly allocated one.  PR 1
+replaced that with content fingerprints.  This rule flags mappings keyed
+by ``id(...)`` — direct subscripts, ``get``/``setdefault``/``pop``
+calls, ``in`` containment tests, dict-literal and comprehension keys,
+and the one-hop local pattern ``k = id(x); d[k]``.  Lifetimes that
+provably pin the keyed object (e.g. a dict that lives only for the
+duration of one call while the graph holds the object) are legitimate —
+suppress with the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.core import Finding, ModuleContext, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.config import LintConfig
+
+__all__ = ["IdKeyedCacheRule"]
+
+_MSG = (
+    "id()-keyed mapping: CPython recycles addresses after GC, so a dead "
+    "object's entry can be served to a new one; key by content "
+    "fingerprint (or suppress with the lifetime argument)"
+)
+
+_MAP_METHODS = {"get", "setdefault", "pop"}
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+        and len(node.args) == 1
+    )
+
+
+class _FuncScan(ast.NodeVisitor):
+    """Collect names bound from bare ``id(...)`` in one scope."""
+
+    def __init__(self) -> None:
+        self.id_names: set[str] = set()
+
+    def visit_FunctionDef(self, node) -> None:
+        pass  # nested scopes scanned separately
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_id_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.id_names.add(target.id)
+        self.generic_visit(node)
+
+
+class IdKeyedCacheRule(Rule):
+    rule_id = "REP006"
+    summary = "mappings must not be keyed by id(); use content fingerprints"
+
+    def check_module(
+        self, ctx: ModuleContext, config: "LintConfig"
+    ) -> Iterable[Finding]:
+        id_names = self._id_names_by_scope(ctx)
+        reported: set[tuple[int, int]] = set()
+
+        def emit(node: ast.AST) -> Iterable[Finding]:
+            pos = (node.lineno, node.col_offset)
+            if pos in reported:
+                return
+            reported.add(pos)
+            yield Finding(
+                rule=self.rule_id,
+                path=ctx.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=_MSG,
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Subscript):
+                if self._keylike(node.slice, ctx, id_names, node):
+                    yield from emit(node)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MAP_METHODS
+                    and node.args
+                    and self._keylike(node.args[0], ctx, id_names, node)
+                ):
+                    yield from emit(node)
+            elif isinstance(node, ast.Compare):
+                if (
+                    len(node.ops) == 1
+                    and isinstance(node.ops[0], (ast.In, ast.NotIn))
+                    and self._keylike(node.left, ctx, id_names, node)
+                ):
+                    yield from emit(node)
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is not None and self._keylike(
+                        key, ctx, id_names, node
+                    ):
+                        yield from emit(node)
+            elif isinstance(node, ast.DictComp):
+                if self._keylike(node.key, ctx, id_names, node):
+                    yield from emit(node)
+
+    # ------------------------------------------------------------------
+    def _id_names_by_scope(self, ctx: ModuleContext) -> dict[ast.AST, set[str]]:
+        """``scope node -> names assigned from id(...)`` (nodes hash by
+        identity and the tree outlives the table, so keying by the node
+        itself is safe where keying by ``id(node)`` would not be)."""
+        table: dict[ast.AST, set[str]] = {}
+        scopes: list[ast.AST] = [ctx.tree]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            scan = _FuncScan()
+            for stmt in getattr(scope, "body", []):
+                scan.visit(stmt)
+            table[scope] = scan.id_names
+        return table
+
+    def _keylike(
+        self,
+        expr: ast.AST,
+        ctx: ModuleContext,
+        id_names: dict[ast.AST, set[str]],
+        site: ast.AST,
+    ) -> bool:
+        if _is_id_call(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            scope = ctx.enclosing_function(site) or ctx.tree
+            return expr.id in id_names.get(scope, set())
+        return False

@@ -1,0 +1,177 @@
+"""REP003: lock-discipline race detector for thread-owning classes.
+
+Scoped (via ``[tool.reprolint.rep003] modules``) to the modules that own
+threads — the serving layer, the batched predictor and the label cache.
+For each class that creates ``threading.Lock``/``RLock``/``Condition``
+attributes, the rule infers the *guarded set*: every ``self.<attr>``
+that is ever written inside a ``with self.<lock>:`` block.  Any read or
+write of a guarded attribute lexically outside every lock block is then
+flagged as a potential race.  ``__init__``/``__del__``/``__repr__`` are
+exempt (they run before threads exist or are best-effort debugging);
+deliberately lock-free accesses (monotonic flags, post-join reads) carry
+an inline suppression with the reason.
+
+This is a lexical approximation — a closure defined under a lock is
+treated as guarded even though it may run later — which is exactly the
+right bias for a review gate: it errs toward asking a human to state why
+an unlocked access is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.core import Finding, ModuleContext, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.config import LintConfig
+
+__all__ = ["LockDisciplineRule"]
+
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+}
+
+#: Methods where unguarded access is structurally safe: construction
+#: happens before any thread can see the object, finalizers and repr are
+#: best-effort.
+_EXEMPT_METHODS = {"__init__", "__del__", "__repr__"}
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is ``self.<attr>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ClassScan(ast.NodeVisitor):
+    """One pass over a class body tracking with-lock nesting."""
+
+    def __init__(self, ctx: ModuleContext, lock_attrs: set[str]) -> None:
+        self.ctx = ctx
+        self.lock_attrs = lock_attrs
+        self.depth = 0  # with-lock nesting depth
+        self.method: str | None = None
+        self.guarded_writes: set[str] = set()
+        self.accesses: list[tuple[str, ast.Attribute, bool, bool, str]] = []
+        # (attr, node, inside_lock, is_write, method_name)
+
+    # ------------------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # nested classes get their own scan
+
+    def _visit_func(self, node) -> None:
+        outer = self.method
+        if self.method is None:
+            self.method = node.name
+        self.generic_visit(node)
+        self.method = outer
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_With(self, node: ast.With) -> None:
+        holds = 0
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.lock_attrs:
+                holds += 1
+        self.depth += holds
+        for stmt in node.body:
+            self.visit(stmt)
+        self.depth -= holds
+        # with-items themselves (the lock expressions) are not accesses
+        for item in node.items:
+            if _self_attr(item.context_expr) is None:
+                self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+
+    visit_AsyncWith = visit_With
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is not None and attr not in self.lock_attrs:
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            inside = self.depth > 0
+            if is_write and inside:
+                self.guarded_writes.add(attr)
+            self.accesses.append(
+                (attr, node, inside, is_write, self.method or "<class>")
+            )
+        self.generic_visit(node)
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "REP003"
+    summary = (
+        "attributes written under a class's lock must never be touched "
+        "outside it (thread-owning modules only)"
+    )
+
+    def check_module(
+        self, ctx: ModuleContext, config: "LintConfig"
+    ) -> Iterable[Finding]:
+        modules = config.rule_option(self.rule_id, "modules", [])
+        if not self.path_matches(ctx.relpath, modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _lock_attrs(self, ctx: ModuleContext, cls: ast.ClassDef) -> set[str]:
+        locks: set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            target_fn = ctx.resolve(node.value.func)
+            if target_fn not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    locks.add(attr)
+        return locks
+
+    def _check_class(
+        self, ctx: ModuleContext, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        lock_attrs = self._lock_attrs(ctx, cls)
+        if not lock_attrs:
+            return
+        scan = _ClassScan(ctx, lock_attrs)
+        for stmt in cls.body:
+            scan.visit(stmt)
+        guarded = scan.guarded_writes
+        if not guarded:
+            return
+        for attr, node, inside, is_write, method in scan.accesses:
+            if inside or attr not in guarded:
+                continue
+            if method in _EXEMPT_METHODS:
+                continue
+            verb = "written" if is_write else "read"
+            yield Finding(
+                rule=self.rule_id,
+                path=ctx.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"self.{attr} is {verb} in {cls.name}.{method} without "
+                    f"holding the lock that guards its writes "
+                    f"({'/'.join(sorted(lock_attrs))})"
+                ),
+            )

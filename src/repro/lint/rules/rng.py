@@ -1,0 +1,124 @@
+"""REP001: global-RNG ban.
+
+Every random draw in this repo must flow from an explicitly seeded
+generator derived from ``numpy.random.SeedSequence`` (usually via
+``repro.sim.workload.spawn_seeds``).  Module-level numpy RNG calls
+(``np.random.rand``/``seed``/``shuffle``/...) mutate hidden process-wide
+state, the stdlib ``random`` module is a process-global Mersenne Twister,
+and a seedless ``default_rng()``/``PCG64()`` pulls OS entropy — all three
+silently break the bitwise-reproducibility claims (packed == sequential,
+resume == uninterrupted, worker-count-independent training).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.core import Finding, ModuleContext, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.config import LintConfig
+
+__all__ = ["GlobalRngRule"]
+
+#: numpy.random attributes that are constructors of explicit, seedable
+#: state rather than draws from the hidden global generator.
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Constructors whose *seedless* invocation pulls OS entropy.
+_SEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+}
+
+
+def _is_seedless(call: ast.Call) -> bool:
+    if call.keywords:
+        return False
+    if not call.args:
+        return True
+    if len(call.args) == 1:
+        arg = call.args[0]
+        return isinstance(arg, ast.Constant) and arg.value is None
+    return False
+
+
+class GlobalRngRule(Rule):
+    rule_id = "REP001"
+    summary = (
+        "all randomness must flow from SeedSequence/spawn_seeds: no "
+        "module-level np.random/stdlib-random calls, no seedless "
+        "default_rng()/PCG64()"
+    )
+
+    def check_module(
+        self, ctx: ModuleContext, config: "LintConfig"
+    ) -> Iterable[Finding]:
+        stdlib_random_imported = (
+            ctx.imports.get("random") == "random"
+            or any(mod == "random" for mod, _ in ctx.from_imports.values())
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target is None:
+                continue
+            if target.startswith("numpy.random."):
+                attr = target[len("numpy.random."):]
+                head = attr.split(".")[0]
+                if head not in _ALLOWED_NP_RANDOM:
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=ctx.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"module-level numpy RNG call np.random.{attr} "
+                            "mutates hidden global state; draw from a "
+                            "seeded Generator (SeedSequence/spawn_seeds)"
+                        ),
+                    )
+                    continue
+                if target in _SEEDED_CONSTRUCTORS and _is_seedless(node):
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=ctx.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"seedless {attr}() pulls OS entropy; pass a "
+                            "seed derived from SeedSequence/spawn_seeds"
+                        ),
+                    )
+            elif (
+                stdlib_random_imported
+                and target.startswith("random.")
+                and "." not in target[len("random."):]
+            ):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=ctx.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"stdlib random call {target} uses the process-"
+                        "global Mersenne Twister; use a numpy Generator "
+                        "seeded via SeedSequence/spawn_seeds"
+                    ),
+                )

@@ -1,0 +1,165 @@
+"""REP004: ``/dev/shm`` hygiene.
+
+All shared-memory segments must be created through
+``repro.runtime.shm.ShmBlock`` (which names segments under the auditable
+``repro-shm`` prefix and registers a best-effort atexit unlink for owner
+blocks); raw ``SharedMemory(create=True)`` anywhere else bypasses both.
+Additionally, a ``ShmBlock.create(...)`` whose result neither escapes the
+enclosing function (returned, stored on an object, passed along) nor has
+a visible ``close``/``unlink`` call is a leak-by-construction: the name
+outlives the process unless the atexit net catches it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.core import Finding, ModuleContext, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.config import LintConfig
+
+__all__ = ["ShmHygieneRule"]
+
+
+def _is_create_true(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "create" and isinstance(kw.value, ast.Constant):
+            return kw.value.value is True
+    return False
+
+
+class ShmHygieneRule(Rule):
+    rule_id = "REP004"
+    summary = (
+        "SharedMemory(create=True) only inside runtime/shm.py; every "
+        "ShmBlock.create result needs a close/unlink path"
+    )
+
+    def check_module(
+        self, ctx: ModuleContext, config: "LintConfig"
+    ) -> Iterable[Finding]:
+        allow = config.rule_option(self.rule_id, "allow", [])
+        allowed_file = self.path_matches(ctx.relpath, allow)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target is None:
+                continue
+            if (
+                not allowed_file
+                and (
+                    target.endswith("shared_memory.SharedMemory")
+                    or target == "multiprocessing.SharedMemory"
+                )
+                and _is_create_true(node)
+            ):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=ctx.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "raw SharedMemory(create=True) bypasses the "
+                        "repro-shm naming/atexit-unlink policy; create "
+                        "segments via repro.runtime.shm.ShmBlock.create"
+                    ),
+                )
+            elif target.endswith("ShmBlock.create") and not allowed_file:
+                leak = self._leak_reason(ctx, node)
+                if leak is not None:
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=ctx.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=leak,
+                    )
+
+    # ------------------------------------------------------------------
+    def _leak_reason(self, ctx: ModuleContext, call: ast.Call) -> str | None:
+        """Why this ``ShmBlock.create`` looks leaked, or ``None`` if ok."""
+        parent = ctx.parent(call)
+        if isinstance(parent, ast.Expr):
+            return (
+                "ShmBlock.create result discarded: the segment can never "
+                "be closed or unlinked"
+            )
+        # Escapes we accept without further analysis: returned directly,
+        # stored on an object, passed straight into another call, bound
+        # by a with-statement (its __exit__ owns cleanup).
+        if isinstance(parent, (ast.Return, ast.Call, ast.withitem)):
+            return None
+        if isinstance(parent, ast.Assign):
+            targets = parent.targets
+            if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                name = targets[0].id
+                scope = ctx.enclosing_function(call) or ctx.tree
+                if self._name_is_handled(ctx, scope, name):
+                    return None
+                return (
+                    f"ShmBlock.create bound to '{name}' with no visible "
+                    "close()/unlink() call and no escape (return/attribute/"
+                    "argument) in the enclosing scope"
+                )
+            return None  # tuple/attribute/subscript targets: escaped
+        # Anything else (tuple element of a return, comprehension, ...)
+        # counts as an escape — the owner is elsewhere.
+        return None
+
+    def _name_is_handled(
+        self, ctx: ModuleContext, scope: ast.AST, name: str
+    ) -> bool:
+        def _escapes(expr: ast.AST) -> bool:
+            # `return block` / `return (block, x)` escapes; a plain
+            # attribute or subscript *read* (`return block.name`) does not
+            # — the segment itself stays trapped in the dropped local.
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    parent = ctx.parent(sub)
+                    if (
+                        isinstance(parent, (ast.Attribute, ast.Subscript))
+                        and parent.value is sub
+                    ):
+                        continue
+                    return True
+            return False
+
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+                and node.func.attr in ("close", "unlink")
+            ):
+                return True
+            if isinstance(node, ast.Return) and node.value is not None:
+                if _escapes(node.value):
+                    return True
+            if isinstance(node, ast.Call):
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id == name:
+                        return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ) and any(
+                        isinstance(sub, ast.Name) and sub.id == name
+                        for sub in ast.walk(node.value)
+                    ):
+                        return True
+            if isinstance(node, ast.withitem) and (
+                isinstance(node.context_expr, ast.Name)
+                and node.context_expr.id == name
+            ):
+                return True
+        return False

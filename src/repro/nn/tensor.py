@@ -267,6 +267,9 @@ class Tensor:
             if self.size != 1:
                 raise RuntimeError("backward() without grad needs a scalar")
             grad = np.ones_like(self.data)
+        # The id()-keyed structures below are transient to this one call
+        # and every keyed Tensor is pinned by `stack`/`order`/the graph
+        # for its whole duration, so ids cannot be recycled mid-walk.
         order: list[Tensor] = []
         seen: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -275,16 +278,16 @@ class Tensor:
             if processed:
                 order.append(node)
                 continue
-            if id(node) in seen:
+            if id(node) in seen:  # reprolint: disable=REP006 -- transient, nodes pinned
                 continue
             seen.add(id(node))
             stack.append((node, True))
             for p in node._parents:
-                if p.requires_grad and id(p) not in seen:
+                if p.requires_grad and id(p) not in seen:  # reprolint: disable=REP006 -- transient, nodes pinned
                     stack.append((p, False))
-        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=self.data.dtype)}
+        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=self.data.dtype)}  # reprolint: disable=REP006 -- transient, nodes pinned
         for node in reversed(order):
-            g = grads.pop(id(node), None)
+            g = grads.pop(id(node), None)  # reprolint: disable=REP006 -- transient, nodes pinned
             if g is None:
                 continue
             if node._backward is None:
@@ -302,11 +305,13 @@ class Tensor:
         if parent._backward is None and not parent._parents:
             parent._accumulate(grad)
             return
+        # Keyed by id() for speed: the store lives only until the current
+        # backward() returns and `parent` is pinned by the graph edge.
         key = id(parent)
-        if key in store:
-            store[key] += grad
+        if key in store:  # reprolint: disable=REP006 -- transient, parent pinned by graph
+            store[key] += grad  # reprolint: disable=REP006 -- transient, parent pinned by graph
         else:
-            store[key] = grad.copy()
+            store[key] = grad.copy()  # reprolint: disable=REP006 -- transient, parent pinned by graph
 
     # ------------------------------------------------------------------
     # elementwise arithmetic

@@ -35,7 +35,7 @@ SAFE_METHODS = ("forkserver", "spawn")
 #: every worker inherits them pre-imported instead of importing per child.
 _PRELOAD = ["repro"]
 
-_PRELOADED: set[int] = set()
+_PRELOADED: set[str] = set()
 
 
 def resolve_mp_context(
@@ -64,9 +64,10 @@ def resolve_mp_context(
                 continue
         if ctx is None:  # pragma: no cover - every platform has spawn
             ctx = multiprocessing.get_context("spawn")
-    if ctx.get_start_method() == "forkserver" and id(ctx) not in _PRELOADED:
+    if ctx.get_start_method() == "forkserver" and "forkserver" not in _PRELOADED:
         # Idempotent and a no-op once the forkserver is already running;
-        # recording the context keeps repeated resolution cheap.
+        # contexts are per-method singletons, so the method name is the
+        # stable key (an id() key here would be the REP006 bug class).
         ctx.set_forkserver_preload(_PRELOAD)
-        _PRELOADED.add(id(ctx))
+        _PRELOADED.add("forkserver")
     return ctx

@@ -367,7 +367,9 @@ class BatchedPredictor:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        # Monotonic False->True flag; a stale read only delays the caller
+        # one submit(), which re-checks under the lock.
+        return self._closed  # reprolint: disable=REP003 -- lock-free read of monotonic flag
 
     def submit(self, circuit: CircuitGraph | Netlist, workload) -> PendingPrediction:
         """Enqueue one request; flushes automatically when the queue fills.

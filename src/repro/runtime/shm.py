@@ -23,13 +23,18 @@ copies and segment churn.
 Ownership rule: whoever *creates* a block unlinks it; attachers only
 close.  The gateway owns every segment, so a SIGKILLed worker can never
 leak a ``/dev/shm`` entry — the kernel drops the dead worker's mapping
-and the gateway's close still unlinks the name.
+and the gateway's close still unlinks the name.  As defense in depth,
+:meth:`ShmBlock.create` registers every owner block with an atexit net
+that best-effort unlinks whatever an explicit close path missed; this is
+the sanctioned creation pattern reprolint's REP004 rule points at.
 """
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import os
+import weakref
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -51,6 +56,29 @@ _ALIGN = 64
 
 _COUNTER = itertools.count()
 
+#: Owner blocks whose segment is still linked.  Weak references: the
+#: normal unlink path removes entries eagerly, and a block the program
+#: simply dropped must not be kept alive just to be tracked.
+_LIVE_OWNERS: "weakref.WeakSet[ShmBlock]" = weakref.WeakSet()
+
+
+def _unlink_leaked_owners() -> None:
+    """atexit net: best-effort unlink of owner blocks never unlinked.
+
+    Defense in depth behind the explicit-ownership rule (and behind
+    reprolint's REP004): a crashed or sloppily-exited process must not
+    leave ``/dev/shm/repro-shm*`` entries behind on a clean interpreter
+    shutdown.  SIGKILL still leaks — only the kernel can help there.
+    """
+    for block in list(_LIVE_OWNERS):
+        try:
+            block.unlink()
+        except Exception:  # pragma: no cover - shutdown best-effort
+            pass
+
+
+atexit.register(_unlink_leaked_owners)
+
 
 class ShmBlock:
     """A named shared-memory segment plus ndarray views into it.
@@ -60,7 +88,7 @@ class ShmBlock:
     system; both sides :meth:`close` their mapping.
     """
 
-    __slots__ = ("shm", "owner", "_unlinked")
+    __slots__ = ("shm", "owner", "_unlinked", "__weakref__")
 
     def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
         self.shm = shm
@@ -74,10 +102,12 @@ class ShmBlock:
         if nbytes < 1:
             raise ValueError("nbytes must be >= 1")
         name = f"{SHM_PREFIX}-{os.getpid()}-{next(_COUNTER)}-{tag}"
-        return cls(
+        block = cls(
             shared_memory.SharedMemory(name=name, create=True, size=int(nbytes)),
             owner=True,
         )
+        _LIVE_OWNERS.add(block)
+        return block
 
     @classmethod
     def attach(cls, name: str) -> "ShmBlock":
@@ -122,6 +152,7 @@ class ShmBlock:
         if not self.owner or self._unlinked:
             return
         self._unlinked = True
+        _LIVE_OWNERS.discard(self)
         try:
             self.shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone

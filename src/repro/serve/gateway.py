@@ -639,7 +639,10 @@ class Gateway:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         if self._started.is_set() and self._startup_error is None:
-            if not self._loop.is_closed() and not self._loop_stopped:
+            # Lock-free pre-check: _loop_stopped is monotonic and the
+            # authoritative test re-runs under _close_lock below; a stale
+            # False here only submits an idempotent drain coroutine.
+            if not self._loop.is_closed() and not self._loop_stopped:  # reprolint: disable=REP003 -- double-checked under _close_lock below
                 asyncio.run_coroutine_threadsafe(
                     self._begin_close(drain), self._loop
                 ).result(timeout=60.0)

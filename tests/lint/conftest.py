@@ -1,0 +1,70 @@
+"""Fixtures for the reprolint test suite.
+
+Fixture trees are built in ``tmp_path`` as miniature projects (their own
+``pyproject.toml`` + source files) and linted through the real engine,
+so every test exercises exactly the code path CI runs.  Snippets live in
+strings here, not as checked-in ``.py`` files — the repo's own lint run
+over ``tests/`` must not see the deliberately-bad fixtures.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import load_config
+from repro.lint.core import run_lint
+
+#: pyproject block pointing every path-scoped rule at the fixture package,
+#: so snippets exercise REP003/REP004 without mimicking the repo layout.
+FIXTURE_TOML = """
+[tool.reprolint]
+paths = ["pkg"]
+baseline = "baseline.json"
+# Fixture trees have no cache module for REP005 to digest.
+disable = ["REP005"]
+
+[tool.reprolint.rep002]
+allow = ["pkg/allowed_mp.py"]
+
+[tool.reprolint.rep003]
+modules = ["pkg/*.py"]
+
+[tool.reprolint.rep004]
+allow = ["pkg/allowed_shm.py"]
+"""
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Build a throwaway project; returns its root."""
+
+    def build(files: dict[str, str], toml: str = FIXTURE_TOML) -> Path:
+        (tmp_path / "pyproject.toml").write_text(
+            textwrap.dedent(toml), encoding="utf-8"
+        )
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return tmp_path
+
+    return build
+
+
+@pytest.fixture
+def lint_snippet(make_project):
+    """Lint one snippet as ``pkg/mod.py``; returns the LintResult."""
+
+    def run(code: str, filename: str = "pkg/mod.py", toml: str = FIXTURE_TOML):
+        root = make_project({filename: code}, toml=toml)
+        config = load_config(root)
+        return run_lint(config)
+
+    return run
+
+
+def rules_fired(result) -> list[str]:
+    return [f.rule for f in result.findings]

@@ -1,0 +1,230 @@
+"""Engine-level tests: suppressions, baseline semantics, CLI, config."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import Baseline, load_baseline, partition, write_baseline
+from repro.lint.cli import main
+from repro.lint.config import DEFAULTS, load_config
+from repro.lint.core import Finding, run_lint
+
+_BAD = """
+import numpy as np
+
+def draw(n):
+    return np.random.rand(n)
+"""
+
+
+class TestSuppressions:
+    def test_own_line_comment_above(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw(n):
+                # reprolint: disable=REP001 -- fixture
+                return np.random.rand(n)
+            """
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_disable_all(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw(n):
+                return np.random.rand(n)  # reprolint: disable=all -- fixture
+            """
+        )
+        assert result.findings == []
+
+    def test_wrong_rule_id_does_not_silence(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw(n):
+                return np.random.rand(n)  # reprolint: disable=REP002 -- wrong id
+            """
+        )
+        assert [f.rule for f in result.findings] == ["REP001"]
+
+    def test_directive_above_code_line_scopes_to_that_line(self, lint_snippet):
+        # A directive trailing *code* on the previous line must not leak
+        # onto the next line.
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw(n):
+                a = np.random.rand(n)  # reprolint: disable=REP001 -- this line only
+                b = np.random.rand(n)
+                return a + b
+            """
+        )
+        assert len(result.findings) == 1
+        assert result.suppressed == 1
+
+
+class TestBaseline:
+    def test_partition_multiset(self):
+        f = Finding(rule="REP001", path="a.py", line=3, col=0, message="m")
+        dup = Finding(rule="REP001", path="a.py", line=9, col=0, message="m")
+        base = Baseline(findings=[f])
+        new, known = partition([f, dup], base)
+        assert len(known) == 1 and len(new) == 1
+
+    def test_line_drift_does_not_churn(self, tmp_path):
+        f = Finding(rule="REP001", path="a.py", line=3, col=0, message="m")
+        write_baseline(tmp_path / "b.json", [f])
+        moved = Finding(rule="REP001", path="a.py", line=30, col=7, message="m")
+        new, known = partition([moved], load_baseline(tmp_path / "b.json"))
+        assert new == [] and len(known) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json").findings == []
+
+    def test_baselined_finding_exits_zero(self, make_project, capsys):
+        root = make_project({"pkg/mod.py": _BAD})
+        assert main(["--root", str(root)]) == 1
+        assert main(["--root", str(root), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, make_project, capsys):
+        root = make_project({"pkg/mod.py": "x = 1\n"})
+        assert main(["--root", str(root)]) == 0
+
+    def test_new_finding_exits_one(self, make_project, capsys):
+        root = make_project({"pkg/mod.py": _BAD})
+        assert main(["--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "pkg/mod.py:5" in out
+
+    def test_json_format_and_output_file(self, make_project, capsys):
+        root = make_project({"pkg/mod.py": _BAD})
+        report_path = root / "report.json"
+        code = main(
+            [
+                "--root",
+                str(root),
+                "--format",
+                "json",
+                "--output",
+                str(report_path),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "reprolint-report-v1"
+        assert payload["exit_code"] == 1
+        assert payload["new"][0]["rule"] == "REP001"
+        on_disk = json.loads(report_path.read_text())
+        assert on_disk == payload
+
+    def test_disable_flag(self, make_project):
+        root = make_project({"pkg/mod.py": _BAD})
+        assert main(["--root", str(root), "--disable", "REP001"]) == 0
+
+    def test_syntax_error_is_a_finding(self, make_project, capsys):
+        root = make_project({"pkg/mod.py": "def broken(:\n"})
+        assert main(["--root", str(root)]) == 1
+        assert "REP000" in capsys.readouterr().out
+
+    def test_explicit_paths_override_config(self, make_project):
+        root = make_project(
+            {"pkg/mod.py": "x = 1\n", "elsewhere/bad.py": _BAD}
+        )
+        assert main(["--root", str(root)]) == 0
+        assert main(["--root", str(root), "elsewhere"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert rule_id in out
+
+    def test_missing_path_is_usage_error(self, make_project, capsys):
+        root = make_project({"pkg/mod.py": "x = 1\n"})
+        assert main(["--root", str(root), "does-not-exist"]) == 2
+
+
+class TestConfig:
+    def test_defaults_without_pyproject(self, tmp_path):
+        config = load_config(tmp_path)
+        assert config.paths == DEFAULTS["paths"]
+        assert config.rule_option("REP004", "allow") == DEFAULTS["rep004"]["allow"]
+
+    def test_table_overrides_merge_over_defaults(self, make_project):
+        root = make_project(
+            {"pkg/mod.py": "x = 1\n"},
+            toml="""
+            [tool.reprolint]
+            paths = ["pkg"]
+            disable = ["rep006"]
+
+            [tool.reprolint.rep004]
+            allow = ["pkg/special.py"]
+            """,
+        )
+        config = load_config(root)
+        assert config.paths == ["pkg"]
+        assert config.disable == ["REP006"]
+        assert config.rule_option("REP004", "allow") == ["pkg/special.py"]
+        # untouched rule tables still fall back to defaults
+        assert config.rule_option("REP005", "version_name") == "CACHE_VERSION"
+
+    def test_config_disable_skips_rule(self, make_project):
+        root = make_project(
+            {"pkg/mod.py": _BAD},
+            toml="""
+            [tool.reprolint]
+            paths = ["pkg"]
+            disable = ["REP001", "REP005"]
+            """,
+        )
+        config = load_config(root)
+        assert run_lint(config).findings == []
+
+    def test_exclude_globs(self, make_project):
+        root = make_project(
+            {"pkg/mod.py": _BAD},
+            toml="""
+            [tool.reprolint]
+            paths = ["pkg"]
+            disable = ["REP005"]
+            exclude = ["pkg/mod.py"]
+            """,
+        )
+        config = load_config(root)
+        result = run_lint(config)
+        assert result.findings == [] and result.files_checked == 0
+
+
+class TestPyprojectBlockIsCanonical:
+    def test_repo_config_matches_defaults(self, repo_root):
+        """The committed [tool.reprolint] block and DEFAULTS must agree,
+        or the CLI-from-anywhere and CI-from-root behaviors diverge."""
+        config = load_config(repo_root)
+        assert config.paths == DEFAULTS["paths"]
+        assert config.baseline == DEFAULTS["baseline"]
+        for rule_id in ("rep002", "rep003", "rep004", "rep005"):
+            for key, value in DEFAULTS[rule_id].items():
+                assert config.rule_option(rule_id, key) == value
+
+
+@pytest.fixture
+def repo_root():
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[2]

@@ -1,0 +1,157 @@
+"""REP001 fixtures: known-bad fires, clean passes, suppression silences."""
+
+from __future__ import annotations
+
+
+def _rules(result):
+    return [f.rule for f in result.findings]
+
+
+class TestRep001Fires:
+    def test_module_level_np_random_call(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw(n):
+                return np.random.rand(n)
+            """
+        )
+        assert _rules(result) == ["REP001"]
+        assert "np.random.rand" in result.findings[0].message
+
+    def test_np_random_seed(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            np.random.seed(0)
+            """
+        )
+        assert _rules(result) == ["REP001"]
+
+    def test_seedless_default_rng(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def fresh():
+                return np.random.default_rng()
+            """
+        )
+        assert _rules(result) == ["REP001"]
+        assert "seedless" in result.findings[0].message
+
+    def test_seedless_default_rng_from_import(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from numpy.random import default_rng
+
+            RNG = default_rng()
+            """
+        )
+        assert _rules(result) == ["REP001"]
+
+    def test_none_seed_counts_as_seedless(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            RNG = np.random.default_rng(None)
+            """
+        )
+        assert _rules(result) == ["REP001"]
+
+    def test_seedless_pcg64(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            BITGEN = np.random.PCG64()
+            """
+        )
+        assert _rules(result) == ["REP001"]
+
+    def test_stdlib_random(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import random
+
+            def flip():
+                return random.random() < 0.5
+            """
+        )
+        assert _rules(result) == ["REP001"]
+        assert "Mersenne" in result.findings[0].message
+
+    def test_stdlib_random_from_import(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from random import randint
+
+            def roll():
+                return randint(1, 6)
+            """
+        )
+        assert _rules(result) == ["REP001"]
+
+
+class TestRep001Clean:
+    def test_seeded_default_rng(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw(seed, n):
+                rng = np.random.default_rng(seed)
+                return rng.random(n)
+            """
+        )
+        assert result.findings == []
+
+    def test_seed_sequence_and_spawn(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def children(seed, count):
+                parent = np.random.SeedSequence(seed)
+                return [np.random.default_rng(c) for c in parent.spawn(count)]
+            """
+        )
+        assert result.findings == []
+
+    def test_seeded_pcg64(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from numpy.random import PCG64, Generator
+
+            def gen(seed):
+                return Generator(PCG64(seed))
+            """
+        )
+        assert result.findings == []
+
+    def test_unrelated_random_attribute(self, lint_snippet):
+        # `workload.random()` on some object is not the stdlib module.
+        result = lint_snippet(
+            """
+            def run(workload):
+                return workload.random.choice()
+            """
+        )
+        assert result.findings == []
+
+
+class TestRep001Suppressed:
+    def test_same_line_suppression(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)  # reprolint: disable=REP001 -- demo only
+            """
+        )
+        assert result.findings == []
+        assert result.suppressed == 1

@@ -1,0 +1,128 @@
+"""REP002 fixtures: pools/processes must route through resolve_mp_context."""
+
+from __future__ import annotations
+
+
+def _rules(result):
+    return [f.rule for f in result.findings]
+
+
+class TestRep002Fires:
+    def test_executor_without_mp_context(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(jobs):
+                with ProcessPoolExecutor(max_workers=4) as pool:
+                    return list(pool.map(len, jobs))
+            """
+        )
+        assert _rules(result) == ["REP002"]
+        assert "mp_context" in result.findings[0].message
+
+    def test_raw_multiprocessing_pool(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import multiprocessing
+
+            def fan_out(jobs):
+                with multiprocessing.Pool(4) as pool:
+                    return pool.map(len, jobs)
+            """
+        )
+        assert _rules(result) == ["REP002"]
+
+    def test_raw_process_via_alias(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def start(target):
+                proc = mp.Process(target=target)
+                proc.start()
+                return proc
+            """
+        )
+        assert _rules(result) == ["REP002"]
+
+    def test_get_context_banned_outside_mp_module(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import multiprocessing
+
+            def ctx():
+                return multiprocessing.get_context("spawn")
+            """
+        )
+        assert _rules(result) == ["REP002"]
+        assert "resolve_mp_context" in result.findings[0].message
+
+    def test_set_start_method(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import multiprocessing
+
+            multiprocessing.set_start_method("fork")
+            """
+        )
+        assert _rules(result) == ["REP002"]
+
+
+class TestRep002Clean:
+    def test_executor_with_resolved_context(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            from repro.runtime.mp import resolve_mp_context
+
+            def fan_out(jobs, method=None):
+                with ProcessPoolExecutor(
+                    max_workers=4, mp_context=resolve_mp_context(method)
+                ) as pool:
+                    return list(pool.map(len, jobs))
+            """
+        )
+        assert result.findings == []
+
+    def test_process_on_resolved_context(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from repro.runtime.mp import resolve_mp_context
+
+            def start(target):
+                ctx = resolve_mp_context()
+                proc = ctx.Process(target=target)
+                proc.start()
+                return proc
+            """
+        )
+        assert result.findings == []
+
+    def test_allowed_module_exempt(self, lint_snippet):
+        # The sanctioned mp module itself may call get_context.
+        result = lint_snippet(
+            """
+            import multiprocessing
+
+            def resolve(method):
+                return multiprocessing.get_context(method)
+            """,
+            filename="pkg/allowed_mp.py",
+        )
+        assert result.findings == []
+
+
+class TestRep002Suppressed:
+    def test_suppression_with_reason(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import multiprocessing
+
+            def fork_ctx():
+                # reprolint: disable=REP002 -- single-threaded bootstrap owns the fork proof
+                return multiprocessing.get_context("fork")
+            """
+        )
+        assert result.findings == []
+        assert result.suppressed == 1

@@ -1,0 +1,179 @@
+"""REP003 fixtures: the guarded-attribute inference and race detection."""
+
+from __future__ import annotations
+
+_RACY_CLASS = """
+import threading
+
+class Queue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def push(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._items = list(self._items)
+
+    def drain(self):
+        items = self._items
+        self._items = []
+        return items
+"""
+
+
+def _rules(result):
+    return [f.rule for f in result.findings]
+
+
+class TestRep003Fires:
+    def test_unlocked_read_and_write_flagged(self, lint_snippet):
+        result = lint_snippet(_RACY_CLASS)
+        assert _rules(result) == ["REP003", "REP003"]
+        messages = [f.message for f in result.findings]
+        assert any("read in Queue.drain" in m for m in messages)
+        assert any("written in Queue.drain" in m for m in messages)
+
+    def test_condition_guard_counts_as_lock(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+                    self._value = None
+
+                def put(self, value):
+                    with self._ready:
+                        self._value = value
+                        self._ready.notify()
+
+                def peek(self):
+                    return self._value
+            """
+        )
+        assert _rules(result) == ["REP003"]
+        assert "peek" in result.findings[0].message
+
+    def test_closure_outside_lock_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def spawn(self):
+                    def loop():
+                        self._count += 1
+                    return loop
+            """
+        )
+        assert _rules(result) == ["REP003"]
+
+
+class TestRep003Clean:
+    def test_all_access_under_lock(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def push(self, item):
+                    with self._lock:
+                        self._items.append(item)
+                        self._items = list(self._items)
+
+                def drain(self):
+                    with self._lock:
+                        items = self._items
+                        self._items = []
+                    return items
+            """
+        )
+        assert result.findings == []
+
+    def test_init_and_repr_exempt(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def __repr__(self):
+                    return f"Counter({self._n})"
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+            """
+        )
+        assert result.findings == []
+
+    def test_lockless_class_ignored(self, lint_snippet):
+        result = lint_snippet(
+            """
+            class Plain:
+                def __init__(self):
+                    self._items = []
+
+                def push(self, item):
+                    self._items.append(item)
+            """
+        )
+        assert result.findings == []
+
+    def test_rule_scoped_to_configured_modules(self, lint_snippet):
+        # Same racy class outside the configured module globs: no finding.
+        result = lint_snippet(
+            _RACY_CLASS,
+            filename="other/not_threaded.py",
+            toml="""
+            [tool.reprolint]
+            paths = ["other"]
+            disable = ["REP005"]
+
+            [tool.reprolint.rep003]
+            modules = ["pkg/*.py"]
+            """,
+        )
+        assert result.findings == []
+
+
+class TestRep003Suppressed:
+    def test_suppressed_monotonic_flag_read(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._closed = False
+
+                def close(self):
+                    with self._lock:
+                        self._closed = True
+
+                @property
+                def closed(self):
+                    return self._closed  # reprolint: disable=REP003 -- monotonic flag
+            """
+        )
+        assert result.findings == []
+        assert result.suppressed == 1

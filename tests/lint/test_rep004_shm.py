@@ -1,0 +1,128 @@
+"""REP004 fixtures: /dev/shm hygiene."""
+
+from __future__ import annotations
+
+
+def _rules(result):
+    return [f.rule for f in result.findings]
+
+
+class TestRep004Fires:
+    def test_raw_shared_memory_create(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from multiprocessing import shared_memory
+
+            def arena(nbytes):
+                return shared_memory.SharedMemory(create=True, size=nbytes)
+            """
+        )
+        assert _rules(result) == ["REP004"]
+        assert "ShmBlock.create" in result.findings[0].message
+
+    def test_discarded_create_result(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from repro.runtime.shm import ShmBlock
+
+            def warm():
+                ShmBlock.create(1024)
+            """
+        )
+        assert _rules(result) == ["REP004"]
+        assert "discarded" in result.findings[0].message
+
+    def test_bound_but_never_closed(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from repro.runtime.shm import ShmBlock
+
+            def leaky(nbytes):
+                block = ShmBlock.create(nbytes)
+                return block.name
+            """
+        )
+        assert _rules(result) == ["REP004"]
+        assert "no visible close()/unlink()" in result.findings[0].message
+
+
+class TestRep004Clean:
+    def test_attach_is_fine(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+            """
+        )
+        assert result.findings == []
+
+    def test_create_with_unlink_path(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from repro.runtime.shm import ShmBlock
+
+            def roundtrip(nbytes):
+                block = ShmBlock.create(nbytes)
+                try:
+                    return block.size
+                finally:
+                    block.close()
+                    block.unlink()
+            """
+        )
+        assert result.findings == []
+
+    def test_returned_block_is_callers_problem(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from repro.runtime.shm import ShmBlock
+
+            def arena(nbytes):
+                block = ShmBlock.create(nbytes)
+                return block
+            """
+        )
+        assert result.findings == []
+
+    def test_stored_on_self_escapes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from repro.runtime.shm import ShmBlock
+
+            class Owner:
+                def open(self, nbytes):
+                    self.block = ShmBlock.create(nbytes)
+            """
+        )
+        assert result.findings == []
+
+    def test_allowed_module_exempt(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from multiprocessing import shared_memory
+
+            def create(name, nbytes):
+                return shared_memory.SharedMemory(
+                    name=name, create=True, size=nbytes
+                )
+            """,
+            filename="pkg/allowed_shm.py",
+        )
+        assert result.findings == []
+
+
+class TestRep004Suppressed:
+    def test_suppressed_with_reason(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from multiprocessing import shared_memory
+
+            def probe(nbytes):
+                # reprolint: disable=REP004 -- capability probe, unlinked by caller
+                return shared_memory.SharedMemory(create=True, size=nbytes)
+            """
+        )
+        assert result.findings == []
+        assert result.suppressed == 1

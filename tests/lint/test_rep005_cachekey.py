@@ -1,0 +1,199 @@
+"""REP005 fixtures: cache-key drift vs CACHE_VERSION, incl. the mutation
+test proving that adding a SimConfig field without bumping CACHE_VERSION
+is caught (and makes the CLI exit nonzero)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.cli import main
+from repro.lint.config import load_config
+from repro.lint.core import run_lint
+from repro.lint.rules.cachekey import update_manifest
+
+_TOML = """
+[tool.reprolint]
+paths = ["mini"]
+baseline = "baseline.json"
+
+[tool.reprolint.rep005]
+manifest = "manifest.json"
+cache_module = "mini/cache.py"
+version_name = "CACHE_VERSION"
+key_function = "label_key"
+dataclasses = [
+    "mini/sim.py::SimConfig",
+    "mini/sim.py::FaultConfig",
+    "mini/sim.py::Workload",
+]
+"""
+
+_SIM = """
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class SimConfig:
+    \"\"\"Run parameters.\"\"\"
+
+    cycles: int = 156
+    streams: int = 64
+    seed: int = 0
+
+@dataclass(frozen=True)
+class FaultConfig:
+    fault_rate: float = 5e-4
+    seed: int = 1
+
+@dataclass(frozen=True)
+class Workload:
+    name: str = "w"
+    seed: int = 0
+"""
+
+_CACHE = """
+import hashlib
+
+CACHE_VERSION = "mini-v1"
+
+def label_key(kind, fingerprint, workload, sim_config):
+    \"\"\"Digest of everything the labels depend on.\"\"\"
+    h = hashlib.sha256()
+    for part in (CACHE_VERSION, kind, fingerprint, str(workload.seed),
+                 str(sim_config.cycles), str(sim_config.streams),
+                 str(sim_config.seed)):
+        h.update(part.encode())
+    return h.hexdigest()
+"""
+
+
+def _build(make_project):
+    root = make_project({"mini/sim.py": _SIM, "mini/cache.py": _CACHE}, toml=_TOML)
+    update_manifest(load_config(root))
+    return root
+
+
+def _rep005(root):
+    result = run_lint(load_config(root))
+    return [f for f in result.findings if f.rule == "REP005"]
+
+
+def _rewrite(root, rel, old, new):
+    path = root / rel
+    text = path.read_text()
+    assert old in text
+    path.write_text(text.replace(old, new))
+
+
+class TestRep005CleanTree:
+    def test_fresh_manifest_is_clean(self, make_project):
+        root = _build(make_project)
+        assert _rep005(root) == []
+
+    def test_comment_and_docstring_edits_do_not_fire(self, make_project):
+        root = _build(make_project)
+        _rewrite(root, "mini/sim.py", '"""Run parameters."""', '"""Changed doc."""')
+        _rewrite(
+            root,
+            "mini/cache.py",
+            "import hashlib",
+            "import hashlib  # formatting-only edit",
+        )
+        assert _rep005(root) == []
+
+
+class TestRep005Mutation:
+    def test_added_field_without_bump_is_caught(self, make_project):
+        root = _build(make_project)
+        _rewrite(
+            root,
+            "mini/sim.py",
+            "    streams: int = 64",
+            "    streams: int = 64\n    warmup: int = 8",
+        )
+        findings = _rep005(root)
+        assert len(findings) == 1
+        assert "CACHE_VERSION" in findings[0].message
+        assert "Bump CACHE_VERSION" in findings[0].message
+        # anchored at the CACHE_VERSION assignment in the cache module
+        assert findings[0].path == "mini/cache.py"
+        assert findings[0].line > 0
+
+    def test_added_field_without_bump_fails_cli(self, make_project, capsys):
+        root = _build(make_project)
+        _rewrite(
+            root,
+            "mini/sim.py",
+            "    streams: int = 64",
+            "    streams: int = 64\n    warmup: int = 8",
+        )
+        exit_code = main(["--root", str(root)])
+        assert exit_code == 1
+        assert "REP005" in capsys.readouterr().out
+
+    def test_label_key_body_change_without_bump_is_caught(self, make_project):
+        root = _build(make_project)
+        _rewrite(
+            root,
+            "mini/cache.py",
+            "str(sim_config.seed))",
+            "str(sim_config.seed), sim_config.init_state)",
+        )
+        findings = _rep005(root)
+        assert len(findings) == 1
+        assert "Bump CACHE_VERSION" in findings[0].message
+
+    def test_bump_plus_manifest_regen_is_clean(self, make_project):
+        root = _build(make_project)
+        _rewrite(
+            root,
+            "mini/sim.py",
+            "    streams: int = 64",
+            "    streams: int = 64\n    warmup: int = 8",
+        )
+        _rewrite(root, "mini/cache.py", '"mini-v1"', '"mini-v2"')
+        findings = _rep005(root)
+        assert len(findings) == 1
+        assert "regenerate" in findings[0].message
+        update_manifest(load_config(root))
+        assert _rep005(root) == []
+
+    def test_version_bump_alone_demands_regen(self, make_project):
+        root = _build(make_project)
+        _rewrite(root, "mini/cache.py", '"mini-v1"', '"mini-v2"')
+        findings = _rep005(root)
+        assert len(findings) == 1
+        assert "regenerate" in findings[0].message
+
+    def test_missing_manifest_is_a_finding(self, make_project):
+        root = _build(make_project)
+        (root / "manifest.json").unlink()
+        findings = _rep005(root)
+        assert len(findings) == 1
+        assert "manifest missing" in findings[0].message
+
+    def test_update_cache_manifest_cli(self, make_project, capsys):
+        root = _build(make_project)
+        (root / "manifest.json").unlink()
+        assert main(["--root", str(root), "--update-cache-manifest"]) == 0
+        assert (root / "manifest.json").is_file()
+        assert _rep005(root) == []
+
+
+class TestRep005Suppressed:
+    def test_suppression_on_version_line(self, make_project):
+        root = _build(make_project)
+        _rewrite(
+            root,
+            "mini/sim.py",
+            "    streams: int = 64",
+            "    streams: int = 64\n    warmup: int = 8",
+        )
+        _rewrite(
+            root,
+            "mini/cache.py",
+            'CACHE_VERSION = "mini-v1"',
+            'CACHE_VERSION = "mini-v1"  # reprolint: disable=REP005 -- migration window',
+        )
+        result = run_lint(load_config(root))
+        assert [f for f in result.findings if f.rule == "REP005"] == []
+        assert result.suppressed >= 1

@@ -1,0 +1,130 @@
+"""REP006 fixtures: id()-keyed mappings (the pre-PR-1 bug class)."""
+
+from __future__ import annotations
+
+
+def _rules(result):
+    return [f.rule for f in result.findings]
+
+
+class TestRep006Fires:
+    def test_direct_subscript(self, lint_snippet):
+        result = lint_snippet(
+            """
+            _CACHE = {}
+
+            def plan_for(model):
+                _CACHE[id(model)] = compile_plan(model)
+            """
+        )
+        assert _rules(result) == ["REP006"]
+
+    def test_get_and_setdefault(self, lint_snippet):
+        result = lint_snippet(
+            """
+            _CACHE = {}
+
+            def plan_for(model):
+                hit = _CACHE.get(id(model))
+                if hit is None:
+                    hit = _CACHE.setdefault(id(model), compile_plan(model))
+                return hit
+            """
+        )
+        assert _rules(result) == ["REP006", "REP006"]
+
+    def test_containment_test(self, lint_snippet):
+        result = lint_snippet(
+            """
+            _SEEN = {}
+
+            def seen(model):
+                return id(model) in _SEEN
+            """
+        )
+        assert _rules(result) == ["REP006"]
+
+    def test_dict_comprehension_key(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def index(models):
+                return {id(m): m for m in models}
+            """
+        )
+        assert _rules(result) == ["REP006"]
+
+    def test_one_hop_local_alias(self, lint_snippet):
+        # The exact shape of the pre-PR-1 bug: key = id(x); cache[key].
+        result = lint_snippet(
+            """
+            _CACHE = {}
+
+            def plan_for(model):
+                key = id(model)
+                if key in _CACHE:
+                    return _CACHE[key]
+                _CACHE[key] = compile_plan(model)
+                return _CACHE[key]
+            """
+        )
+        assert len(_rules(result)) == 4
+        assert set(_rules(result)) == {"REP006"}
+
+
+class TestRep006Clean:
+    def test_fingerprint_keyed_cache(self, lint_snippet):
+        result = lint_snippet(
+            """
+            _CACHE = {}
+
+            def plan_for(model):
+                key = model.fingerprint()
+                if key not in _CACHE:
+                    _CACHE[key] = compile_plan(model)
+                return _CACHE[key]
+            """
+        )
+        assert result.findings == []
+
+    def test_id_for_logging_only(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def describe(model):
+                return f"model@{id(model)}"
+            """
+        )
+        assert result.findings == []
+
+    def test_alias_scope_is_per_function(self, lint_snippet):
+        # `key` is id-derived in another function; this one is clean.
+        result = lint_snippet(
+            """
+            _CACHE = {}
+
+            def tag(model):
+                key = id(model)
+                return key
+
+            def lookup(key):
+                return _CACHE[key]
+            """
+        )
+        assert result.findings == []
+
+
+class TestRep006Suppressed:
+    def test_suppressed_transient_store(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def topo(root):
+                seen = {}
+                stack = [root]
+                while stack:
+                    node = stack.pop()
+                    seen[id(node)] = node  # reprolint: disable=REP006 -- nodes pinned by stack
+                    stack.extend(node.parents)
+                return seen
+            """
+        )
+        assert result.findings == []
+        assert result.suppressed == 1

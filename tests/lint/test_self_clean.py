@@ -1,0 +1,65 @@
+"""The acceptance gate, as a test: the repo's own tree lints clean.
+
+``python -m repro.lint src tests benchmarks`` must exit 0 with an empty
+baseline.  Running it inside the tier-1 suite means a PR that introduces
+a violation fails the ordinary test run too, not just the CI lint job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import load_baseline
+from repro.lint.cli import main
+from repro.lint.config import load_config
+from repro.lint.core import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def repo_result():
+    config = load_config(REPO_ROOT)
+    return run_lint(config)
+
+
+def test_repo_tree_is_clean(repo_result):
+    rendered = "\n".join(f.render() for f in repo_result.all_findings)
+    assert repo_result.all_findings == [], f"new reprolint findings:\n{rendered}"
+
+
+def test_whole_tree_was_walked(repo_result):
+    # src + tests + benchmarks is a ~200-file tree; a collapse here means
+    # the path config broke and the clean result above is vacuous.
+    assert repo_result.files_checked > 150
+
+
+def test_committed_baseline_is_empty():
+    config = load_config(REPO_ROOT)
+    baseline = load_baseline(config.baseline_path)
+    assert baseline.findings == [], (
+        "the committed baseline must stay empty: fix findings or "
+        "suppress them in-line with a reason"
+    )
+
+
+def test_cli_exit_zero_on_repo(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["src", "tests", "benchmarks"]) == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_cache_key_manifest_is_current():
+    """The committed REP005 manifest matches the tree (fails when someone
+    edits SimConfig/FaultConfig/Workload/label_key without the bump+regen
+    workflow)."""
+    from repro.lint.rules.cachekey import compute_cache_key_state, load_manifest
+
+    config = load_config(REPO_ROOT)
+    state = compute_cache_key_state(config)
+    manifest = load_manifest(config)
+    assert manifest is not None, "run: python -m repro.lint --update-cache-manifest"
+    assert manifest["digest"] == state["digest"]
+    assert manifest["cache_version"] == state["cache_version"]

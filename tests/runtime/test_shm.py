@@ -92,6 +92,38 @@ class TestShmBlock:
         block.unlink()
         block.unlink()  # idempotent
 
+    def test_atexit_net_unlinks_leaked_owner_blocks(self):
+        from repro.runtime.shm import _LIVE_OWNERS, _unlink_leaked_owners
+
+        block = ShmBlock.create(4096, tag="leak")
+        assert block in _LIVE_OWNERS
+        _unlink_leaked_owners()  # what interpreter shutdown would run
+        assert block.name not in shm_entries()
+        with pytest.raises(FileNotFoundError):
+            ShmBlock.attach(block.name)
+        block.close()
+        block.unlink()  # still idempotent after the net fired
+
+    def test_explicit_unlink_leaves_the_atexit_net(self):
+        from repro.runtime.shm import _LIVE_OWNERS
+
+        block = ShmBlock.create(4096, tag="owned")
+        block.close()
+        block.unlink()
+        assert block not in _LIVE_OWNERS
+        _unlink_leaked_owners_names = {b.name for b in _LIVE_OWNERS}
+        assert block.name not in _unlink_leaked_owners_names
+
+    def test_attached_blocks_never_enter_the_net(self):
+        from repro.runtime.shm import _LIVE_OWNERS
+
+        block = ShmBlock.create(4096, tag="net")
+        attacher = ShmBlock.attach(block.name)
+        assert attacher not in _LIVE_OWNERS
+        attacher.close()
+        block.close()
+        block.unlink()
+
 
 class TestWriteArrays:
     def test_layout_is_aligned_and_ordered(self):
